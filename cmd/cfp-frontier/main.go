@@ -1,0 +1,55 @@
+// cfp-frontier prints, from a saved exploration, each benchmark's best
+// architecture under a sweep of cost caps (a textual reading of the
+// paper's Figures 3/4 frontiers) and the overall per-benchmark maxima.
+//
+// Usage:
+//
+//	cfp-frontier -load results.json -caps 5,10,15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"customfit/internal/dse"
+	"customfit/internal/tables"
+)
+
+func main() {
+	var (
+		load = flag.String("load", "results_full.json", "saved exploration results (cfp-explore -save)")
+		caps = flag.String("caps", "5,10,15,100", "comma-separated cost caps")
+	)
+	flag.Parse()
+
+	res, err := dse.Load(*load)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfp-frontier:", err)
+		os.Exit(1)
+	}
+	var capList []float64
+	for _, s := range strings.Split(*caps, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cfp-frontier: bad cap:", s)
+			os.Exit(1)
+		}
+		capList = append(capList, v)
+	}
+	names := res.Benches
+	fmt.Print(tables.FrontierSummary(res, names, capList))
+	fmt.Println()
+	for _, n := range names {
+		best, cost := 0.0, 0.0
+		var arch string
+		for _, p := range res.Scatter(n) {
+			if p.Speedup > best {
+				best, cost, arch = p.Speedup, p.Cost, p.Arch.String()
+			}
+		}
+		fmt.Printf("%-5s max speedup %.2fx at cost %.1f on %s\n", n, best, cost, arch)
+	}
+}

@@ -1,0 +1,78 @@
+// cfp-search compares design-space search strategies (exhaustive, hill
+// climbing, simulated annealing, genetic) at finding the best
+// architecture for a benchmark under a cost cap — the paper's third
+// research question, quantified.
+//
+// The objective is the real thing: each evaluation compiles the
+// benchmark for the candidate machine and measures speedup over the
+// baseline, so use -sample to thin the space for quick runs.
+//
+// Usage:
+//
+//	cfp-search -bench A -cost 10 -sample 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"customfit/internal/bench"
+	"customfit/internal/dse"
+	"customfit/internal/machine"
+	"customfit/internal/search"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "A", "benchmark to fit")
+		costCap   = flag.Float64("cost", 10, "cost budget (relative to baseline)")
+		sample    = flag.Int("sample", 4, "evaluate every Nth machine of the space")
+		seed      = flag.Int64("seed", 1, "random seed for the stochastic strategies")
+		width     = flag.Int("width", 64, "reference workload width")
+	)
+	flag.Parse()
+
+	b := bench.ByName(*benchName)
+	if b == nil {
+		fmt.Fprintf(os.Stderr, "cfp-search: unknown benchmark %q\n", *benchName)
+		os.Exit(1)
+	}
+	space := search.SubLattice()
+	if *sample > 1 {
+		var thinned []machine.Arch
+		for i := 0; i < len(space); i += *sample {
+			thinned = append(thinned, space[i])
+		}
+		space = thinned
+	}
+
+	ev := dse.NewEvaluator()
+	ev.Width = *width
+	baseline := ev.Evaluate(b, machine.Baseline)
+	if baseline.Failed {
+		fmt.Fprintln(os.Stderr, "cfp-search: baseline evaluation failed")
+		os.Exit(1)
+	}
+	cost := machine.DefaultCostModel
+	obj := func(a machine.Arch) float64 {
+		if cost.Cost(a) > *costCap {
+			return math.Inf(-1)
+		}
+		e := ev.Evaluate(b, a)
+		if e.Failed {
+			return math.Inf(-1)
+		}
+		return baseline.Time / e.Time
+	}
+
+	fmt.Printf("fitting %s under cost %.1f over %d machines (search sub-lattice)\n",
+		b.Name, *costCap, len(space))
+	results := search.Compare(space, obj, *seed)
+	fmt.Printf("%-12s %-22s %9s %7s %11s\n", "strategy", "best arch", "speedup", "evals", "of optimum")
+	for _, r := range results {
+		fmt.Printf("%-12s %-22s %9.2f %7d %10.1f%%\n",
+			r.Strategy, r.Best, r.BestScore, r.Evaluations, 100*r.Optimality)
+	}
+}

@@ -1,0 +1,90 @@
+// Package customfit reproduces "Custom-Fit Processors: Letting
+// Applications Define Architectures" (Fisher, Faraboschi, Desoli;
+// HP Laboratories Cambridge, MICRO-29, 1996) as a Go library: a
+// retargetable clustered-VLIW compiler for a restricted C dialect, a
+// cycle-accurate simulator, datapath cost and cycle-time models, the
+// paper's image-processing benchmark suite, and the design-space
+// exploration that "custom-fits" an architecture to an application.
+//
+// The root package is a thin facade; see the README for the package
+// map and DESIGN.md for the system inventory.
+//
+// A minimal session:
+//
+//	k, _ := customfit.ParseKernel(src)          // CKC source
+//	c, _ := k.Compile(customfit.Arch{ALUs: 8, MULs: 2, Regs: 256,
+//	        L2Ports: 2, L2Lat: 4, Clusters: 2}, 4)
+//	stats, _ := c.Run(args, mem)                // cycle-accurate run
+//
+// and the paper's headline flow:
+//
+//	fit, _ := customfit.Fit([]*customfit.Benchmark{customfit.BenchmarkByName("A")}, 10)
+//	fmt.Println(fit.Best, fit.Speedups)
+package customfit
+
+import (
+	"customfit/internal/bench"
+	"customfit/internal/core"
+	"customfit/internal/machine"
+)
+
+// Arch is an architecture in the paper's template, the 6-tuple
+// (ALUs, MULs, Regs, L2Ports, L2Lat, Clusters).
+type Arch = machine.Arch
+
+// Baseline is the paper's reference machine (cost 1.0, derating 1.0).
+var Baseline = machine.Baseline
+
+// Kernel is a parsed CKC kernel; Compiled is a kernel scheduled for one
+// concrete machine.
+type (
+	Kernel   = core.Kernel
+	Compiled = core.Compiled
+	RunStats = core.RunStats
+)
+
+// Benchmark is one kernel of the paper's suite (or a caller-defined
+// workload in the same shape).
+type Benchmark = bench.Benchmark
+
+// FitResult is the outcome of a custom-fit search.
+type FitResult = core.FitResult
+
+// ParseKernel compiles CKC source containing exactly one kernel.
+func ParseKernel(src string) (*Kernel, error) { return core.ParseKernel(src) }
+
+// BenchmarkByName returns a paper benchmark by its tag (A, C, D, E, F,
+// G, H, GF, GEF, DH, DHEF), or nil.
+func BenchmarkByName(name string) *Benchmark { return bench.ByName(name) }
+
+// Benchmarks returns the paper's full suite.
+func Benchmarks() []*Benchmark { return bench.All() }
+
+// DesignSpace enumerates the unclustered design points of the paper's
+// search space; FullSpace adds every valid cluster arrangement.
+func DesignSpace() []Arch { return machine.DesignSpace() }
+
+// FullSpace returns every concrete machine the explorer evaluates.
+func FullSpace() []Arch { return machine.FullSpace() }
+
+// Cost returns an architecture's datapath cost relative to the
+// baseline, under the model fit to the paper's Table 6.
+func Cost(a Arch) float64 { return machine.DefaultCostModel.Cost(a) }
+
+// CycleDerate returns the cycle-time derating factor relative to the
+// baseline, under the model fit to the paper's Table 7.
+func CycleDerate(a Arch) float64 { return machine.DefaultCycleModel.Derate(a) }
+
+// Fit searches the full design space for the architecture maximizing
+// mean speedup over the given benchmarks within the cost budget — the
+// paper's custom-fit loop. For large budgets of time rather than cost,
+// see internal/dse and cmd/cfp-explore for the full experiment.
+func Fit(benchmarks []*Benchmark, costCap float64) (*FitResult, error) {
+	return core.CustomFit(benchmarks, costCap)
+}
+
+// FitIn is Fit over a caller-chosen subset of machines (for quick,
+// sampled runs).
+func FitIn(benchmarks []*Benchmark, costCap float64, archs []Arch) (*FitResult, error) {
+	return core.CustomFitIn(benchmarks, costCap, archs)
+}

@@ -1,0 +1,71 @@
+package customfit_test
+
+import (
+	"testing"
+
+	"customfit"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	k, err := customfit.ParseKernel(`
+		kernel negate(int in[], int out[], int n) {
+			int i;
+			for (i = 0; i < n; i++) { out[i] = 0 - in[i]; }
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := k.Compile(customfit.Baseline, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []int32{3, -4, 5}
+	out := make([]int32, 3)
+	st, err := c.Run([]int32{3}, map[string][]int32{"in": in, "out": out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range in {
+		if out[i] != -v {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], -v)
+		}
+	}
+	if st.Cycles <= 0 {
+		t.Error("no cycles reported")
+	}
+}
+
+func TestPublicAPIModelsAndSpaces(t *testing.T) {
+	if c := customfit.Cost(customfit.Baseline); c != 1 {
+		t.Errorf("baseline cost = %f", c)
+	}
+	if d := customfit.CycleDerate(customfit.Baseline); d != 1 {
+		t.Errorf("baseline derate = %f", d)
+	}
+	if n := len(customfit.DesignSpace()); n != 234 {
+		t.Errorf("design space = %d points", n)
+	}
+	if len(customfit.FullSpace()) <= len(customfit.DesignSpace()) {
+		t.Error("full space should add cluster arrangements")
+	}
+	if customfit.BenchmarkByName("A") == nil || len(customfit.Benchmarks()) != 11 {
+		t.Error("benchmark registry broken through the facade")
+	}
+}
+
+func TestPublicAPIFitIn(t *testing.T) {
+	space := []customfit.Arch{
+		customfit.Baseline,
+		{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 2, L2Lat: 4, Clusters: 2},
+	}
+	fit, err := customfit.FitIn([]*customfit.Benchmark{customfit.BenchmarkByName("G")}, 5, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Cost > 5 {
+		t.Errorf("fit over budget: %f", fit.Cost)
+	}
+	if fit.Results == nil || fit.Speedups["G"] <= 0 {
+		t.Error("fit result incomplete")
+	}
+}

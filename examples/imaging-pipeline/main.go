@@ -1,0 +1,74 @@
+// Run the paper's biggest jammed benchmark — the full imaging pipeline
+// DHEF (RGB→YCbCr conversion, 3x3 median filter, YCbCr→RGB conversion,
+// Floyd-Steinberg halftoning fused into a single loop) — on three
+// machines, verify every output bit against the golden model, and show
+// where each machine's cycles go.
+//
+//	go run ./examples/imaging-pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"customfit/internal/bench"
+	"customfit/internal/core"
+	"customfit/internal/machine"
+)
+
+func main() {
+	b := bench.ByName("DHEF")
+	fmt.Println(b.Desc)
+	k, err := core.ParseKernel(b.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	width := 240
+	machines := []struct {
+		name string
+		arch machine.Arch
+		u    int
+	}{
+		{"baseline", machine.Baseline, 1},
+		{"mid-range", machine.Arch{ALUs: 8, MULs: 4, Regs: 256, L2Ports: 2, L2Lat: 4, Clusters: 2}, 2},
+		{"wide", machine.Arch{ALUs: 16, MULs: 8, Regs: 512, L2Ports: 4, L2Lat: 4, Clusters: 4}, 2},
+	}
+
+	var baseTime float64
+	for _, m := range machines {
+		compiled, err := k.Compile(m.arch, m.u)
+		if err != nil {
+			log.Fatalf("%s: %v", m.name, err)
+		}
+		cse := b.NewCase(width, 7)
+		run := cse.Clone()
+		stats, err := compiled.Run(run.Args, run.Mem)
+		if err != nil {
+			log.Fatalf("%s: %v", m.name, err)
+		}
+		// Bit-exact verification against the golden pipeline
+		// (composition of the individual kernels' models).
+		want := cse.Golden()
+		for _, name := range cse.Outputs {
+			for i, w := range want[name] {
+				if run.Mem[name][i] != w {
+					log.Fatalf("%s: %s[%d] = %d, want %d", m.name, name, i, run.Mem[name][i], w)
+				}
+			}
+		}
+		if m.name == "baseline" {
+			baseTime = stats.Time
+		}
+		fmt.Printf("%-10s %s  cycles/pixel %5.1f  IPC %4.2f  mem/pixel %4.1f  spilled %2d  cost %5.2f  speedup %4.2fx\n",
+			m.name, m.arch,
+			float64(stats.Cycles)/float64(width), stats.IPC,
+			float64(stats.MemAccesses)/float64(width),
+			compiled.Spilled,
+			machine.DefaultCostModel.Cost(m.arch),
+			baseTime/stats.Time)
+	}
+	fmt.Println("\nall outputs verified bit-exactly against the golden model")
+	fmt.Println("(fusing the pipeline keeps every intermediate pixel in registers —")
+	fmt.Println(" the paper's Table 2 'jammed' benchmarks avoid the memory round-trips)")
+}

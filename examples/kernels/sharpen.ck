@@ -1,0 +1,21 @@
+// A 3x3 unsharp-mask sharpening kernel over an RGB row triplet —
+// an example CKC source file for cfp-compile:
+//
+//   go run ./cmd/cfp-compile -arch "8 2 256 2 4 2" -unroll 2 examples/kernels/sharpen.ck
+//
+// Sharpened = clamp(2*center - blur), with a [1 2 1; 2 4 2; 1 2 1]/16
+// blur kernel.
+kernel sharpen(byte r0[], byte r1[], byte r2[], byte out[], int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		int c;
+		for (c = 0; c < 3; c++) {
+			int blur; int center;
+			blur =  r0[i * 3 + c]           + 2 * r0[(i + 1) * 3 + c] + r0[(i + 2) * 3 + c]
+			     + 2 * r1[i * 3 + c]        + 4 * r1[(i + 1) * 3 + c] + 2 * r1[(i + 2) * 3 + c]
+			     +  r2[i * 3 + c]           + 2 * r2[(i + 1) * 3 + c] + r2[(i + 2) * 3 + c];
+			center = r1[(i + 1) * 3 + c];
+			out[i * 3 + c] = clamp(2 * center - ((blur + 8) >> 4), 0, 255);
+		}
+	}
+}

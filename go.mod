@@ -1,0 +1,3 @@
+module customfit
+
+go 1.22

@@ -1,0 +1,106 @@
+package bench
+
+import "fmt"
+
+// Benchmark A: symmetric FIR filter implemented as a 7x7 convolution
+// over a full-color RGB image (paper Table 1). Seven input rows produce
+// one output row; the kernel is the separable outer product of the
+// symmetric tap vector {3,8,13,16,13,8,3} (sum 64), so the 2-D weights
+// sum to 4096 and the result normalizes with a single >>12.
+//
+// The character the paper reports for A: multiply-dominated (147
+// multiplies per pixel) with 49 loop-invariant coefficients that a good
+// compiler keeps live in registers — so A loves large register files
+// and many IMUL-capable ALUs, and collapses on register-starved
+// machines where the coefficients must be rematerialized through the
+// single L1 port.
+
+const firTaps = 7
+
+var firVector = [firTaps]int32{3, 8, 13, 16, 13, 8, 3}
+
+func firCoef() [firTaps * firTaps]int32 {
+	var c [firTaps * firTaps]int32
+	for y := 0; y < firTaps; y++ {
+		for x := 0; x < firTaps; x++ {
+			c[y*firTaps+x] = firVector[y] * firVector[x]
+		}
+	}
+	return c
+}
+
+func firSource() string {
+	coef := firCoef()
+	src := "const int coef["
+	src += fmt.Sprintf("%d] = {", len(coef))
+	for i, v := range coef {
+		if i > 0 {
+			src += ","
+		}
+		src += fmt.Sprintf("%d", v)
+	}
+	src += `};
+kernel fir7x7(byte in0[], byte in1[], byte in2[], byte in3[], byte in4[], byte in5[], byte in6[], byte out[], int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		int c;
+		for (c = 0; c < 3; c++) {
+			int acc; int kx;
+			acc = 0;
+			for (kx = 0; kx < 7; kx++) {
+				acc += in0[(i + kx) * 3 + c] * coef[0 * 7 + kx];
+				acc += in1[(i + kx) * 3 + c] * coef[1 * 7 + kx];
+				acc += in2[(i + kx) * 3 + c] * coef[2 * 7 + kx];
+				acc += in3[(i + kx) * 3 + c] * coef[3 * 7 + kx];
+				acc += in4[(i + kx) * 3 + c] * coef[4 * 7 + kx];
+				acc += in5[(i + kx) * 3 + c] * coef[5 * 7 + kx];
+				acc += in6[(i + kx) * 3 + c] * coef[6 * 7 + kx];
+			}
+			out[i * 3 + c] = (acc + 2048) >> 12;
+		}
+	}
+}`
+	return src
+}
+
+// goldenFIR mirrors the kernel arithmetic exactly.
+func goldenFIR(rows [firTaps][]int32, w int) []int32 {
+	coef := firCoef()
+	out := make([]int32, 3*w)
+	for i := 0; i < w; i++ {
+		for c := 0; c < 3; c++ {
+			acc := int32(0)
+			for ky := 0; ky < firTaps; ky++ {
+				for kx := 0; kx < firTaps; kx++ {
+					acc += rows[ky][(i+kx)*3+c] * coef[ky*firTaps+kx]
+				}
+			}
+			out[i*3+c] = (acc + 2048) >> 12
+		}
+	}
+	return out
+}
+
+var benchA = register(&Benchmark{
+	Name:   "A",
+	Desc:   "FIR symmetrical filter implemented using a 7x7 convolution kernel",
+	Source: firSource(),
+	NewCase: func(width int, seed int64) *Case {
+		r := newRand(seed)
+		var rows [firTaps][]int32
+		mem := map[string][]int32{}
+		for k := 0; k < firTaps; k++ {
+			rows[k] = rgbRow(r, width+firTaps-1)
+			mem[fmt.Sprintf("in%d", k)] = rows[k]
+		}
+		mem["out"] = make([]int32, 3*width)
+		return &Case{
+			Args:    []int32{int32(width)},
+			Mem:     mem,
+			Outputs: []string{"out"},
+			Golden: func() map[string][]int32 {
+				return map[string][]int32{"out": goldenFIR(rows, width)}
+			},
+		}
+	},
+})

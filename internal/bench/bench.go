@@ -1,0 +1,178 @@
+// Package bench implements the paper's benchmark suite (Tables 1 and
+// 2): the individual color/image-processing kernels A, C, D, E, F, G, H
+// and the jammed combinations GF, GEF, DH, DHEF, each as CKC source
+// plus a bit-exact golden Go implementation and a deterministic input
+// generator. The golden models are the correctness oracle for the whole
+// compiler: every benchmark must produce identical memory images under
+// the golden model, the IR interpreter, and the cycle-accurate VLIW
+// simulator.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"customfit/internal/cc"
+	"customfit/internal/ir"
+)
+
+// Benchmark is one kernel of the suite.
+type Benchmark struct {
+	// Name is the paper's single/multi-letter tag: "A", "C", ... "DHEF".
+	Name string
+	// Desc matches the paper's Table 1/2 description.
+	Desc string
+	// Source is the CKC program text (one kernel).
+	Source string
+	// NewCase builds a workload of the given width with deterministic
+	// pseudo-random contents derived from seed.
+	NewCase func(width int, seed int64) *Case
+}
+
+// Case is a concrete workload: kernel arguments, memory bindings, a
+// golden-model runner and the list of output memories to compare.
+type Case struct {
+	Args []int32
+	Mem  map[string][]int32
+	// Outputs are the memory names the golden model fills and
+	// verification compares.
+	Outputs []string
+	// Golden computes the expected contents of the output memories
+	// (operating on copies; the case itself is not mutated).
+	Golden func() map[string][]int32
+}
+
+// Clone returns a deep copy of the case's memory bindings so a run
+// cannot contaminate later runs.
+func (c *Case) Clone() *Case {
+	nc := &Case{
+		Args:    append([]int32(nil), c.Args...),
+		Mem:     map[string][]int32{},
+		Outputs: c.Outputs,
+		Golden:  c.Golden,
+	}
+	for k, v := range c.Mem {
+		nc.Mem[k] = append([]int32(nil), v...)
+	}
+	return nc
+}
+
+// Env builds an interpreter/simulator environment from the case.
+func (c *Case) Env() *ir.Env {
+	env := ir.NewEnv(c.Args...)
+	for k, v := range c.Mem {
+		env.Bind(k, v)
+	}
+	return env
+}
+
+// Compile parses and lowers the benchmark's kernel to IR.
+func (b *Benchmark) Compile() (*ir.Func, error) {
+	fn, err := cc.CompileKernel(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+	}
+	return fn, nil
+}
+
+var registry = map[string]*Benchmark{}
+
+func register(b *Benchmark) *Benchmark {
+	if _, dup := registry[b.Name]; dup {
+		panic("bench: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+	return b
+}
+
+// ByName returns a registered benchmark or nil.
+func ByName(name string) *Benchmark { return registry[name] }
+
+// Individual returns the paper's Table 1 kernels in order.
+func Individual() []*Benchmark {
+	return list("A", "C", "D", "E", "F", "G", "H")
+}
+
+// Jammed returns the paper's Table 2 fused kernels in order.
+func Jammed() []*Benchmark {
+	return list("GF", "GEF", "DH", "DHEF")
+}
+
+// All returns every benchmark, individual first.
+func All() []*Benchmark {
+	return append(Individual(), Jammed()...)
+}
+
+// Names returns all registered names, sorted.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func list(names ...string) []*Benchmark {
+	out := make([]*Benchmark, 0, len(names))
+	for _, n := range names {
+		b := registry[n]
+		if b == nil {
+			panic("bench: unregistered benchmark " + n)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// xorshift is the deterministic input generator shared by all cases.
+type xorshift uint64
+
+func newRand(seed int64) *xorshift {
+	x := xorshift(seed*2685821657736338717 + 1442695040888963407)
+	return &x
+}
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+// byteVal returns a pseudo-random pixel component in [0, 255].
+func (x *xorshift) byteVal() int32 { return int32(x.next() & 0xff) }
+
+// rgbRow generates an interleaved RGB row of w pixels (3w entries),
+// with mild spatial correlation so the data resembles imagery rather
+// than noise.
+func rgbRow(r *xorshift, w int) []int32 {
+	row := make([]int32, 3*w)
+	cur := [3]int32{r.byteVal(), r.byteVal(), r.byteVal()}
+	for i := 0; i < w; i++ {
+		for c := 0; c < 3; c++ {
+			delta := int32(r.next()%31) - 15
+			cur[c] += delta
+			if cur[c] < 0 {
+				cur[c] = 0
+			}
+			if cur[c] > 255 {
+				cur[c] = 255
+			}
+			row[i*3+c] = cur[c]
+		}
+	}
+	return row
+}
+
+func clamp255(v int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}

@@ -1,0 +1,236 @@
+package bench
+
+// Benchmark C: inverse DCT with dequantization of the coefficients,
+// using the Arai, Agui and Nakajima scaled algorithm (paper Table 1,
+// citing [1, 22]) in the integer formulation popularized by the JPEG
+// reference implementation: 8-bit fixed-point butterflies with the AAN
+// rotation constants 1.414≈362/256, 1.847≈473/256, 1.082≈277/256 and
+// 2.613≈669/256. Each 8x8 block runs eight dequantizing column passes
+// into an L1 workspace, then eight row passes producing level-shifted,
+// clamped bytes.
+//
+// C is the suite's "big straight-line block" benchmark: one block is
+// ~1400 operations with abundant ILP but also a 64-word memory-resident
+// workspace, so it rewards wide machines with short-latency memory.
+
+// cQuant is a standard luminance quantization table (quality ~75).
+var cQuant = [64]int32{
+	8, 6, 5, 8, 12, 20, 26, 31,
+	6, 6, 7, 10, 13, 29, 30, 28,
+	7, 7, 8, 12, 20, 29, 35, 28,
+	7, 9, 11, 15, 26, 44, 40, 31,
+	9, 11, 19, 28, 34, 55, 52, 39,
+	12, 18, 28, 32, 41, 52, 57, 46,
+	25, 32, 39, 44, 52, 61, 60, 51,
+	36, 46, 48, 49, 56, 50, 52, 50,
+}
+
+func cSource() string {
+	src := "const int qt[64] = {"
+	for i, v := range cQuant {
+		if i > 0 {
+			src += ","
+		}
+		src += itoa(v)
+	}
+	src += `};
+kernel idct8(short in[], byte out[], int n) {
+	int i;
+	int ws[64];
+	for (i = 0; i < n; i++) {
+		int base; int k; int j;
+		base = i * 64;
+		for (k = 0; k < 8; k++) {
+			int t0; int t1; int t2; int t3; int t4; int t5; int t6; int t7;
+			int t10; int t11; int t12; int t13;
+			int z5; int z10; int z11; int z12; int z13;
+			t0 = in[base + k] * qt[k];
+			t1 = in[base + k + 16] * qt[k + 16];
+			t2 = in[base + k + 32] * qt[k + 32];
+			t3 = in[base + k + 48] * qt[k + 48];
+			t10 = t0 + t2;
+			t11 = t0 - t2;
+			t13 = t1 + t3;
+			t12 = (((t1 - t3) * 362) >> 8) - t13;
+			t0 = t10 + t13;
+			t3 = t10 - t13;
+			t1 = t11 + t12;
+			t2 = t11 - t12;
+			t4 = in[base + k + 8] * qt[k + 8];
+			t5 = in[base + k + 24] * qt[k + 24];
+			t6 = in[base + k + 40] * qt[k + 40];
+			t7 = in[base + k + 56] * qt[k + 56];
+			z13 = t6 + t5;
+			z10 = t6 - t5;
+			z11 = t4 + t7;
+			z12 = t4 - t7;
+			t7 = z11 + z13;
+			t11 = ((z11 - z13) * 362) >> 8;
+			z5 = (((z10 + z12) * 473) >> 8);
+			t10 = ((z12 * 277) >> 8) - z5;
+			t12 = z5 - ((z10 * 669) >> 8);
+			t6 = t12 - t7;
+			t5 = t11 - t6;
+			t4 = t10 + t5;
+			ws[k] = t0 + t7;
+			ws[k + 56] = t0 - t7;
+			ws[k + 8] = t1 + t6;
+			ws[k + 48] = t1 - t6;
+			ws[k + 16] = t2 + t5;
+			ws[k + 40] = t2 - t5;
+			ws[k + 32] = t3 + t4;
+			ws[k + 24] = t3 - t4;
+		}
+		for (j = 0; j < 8; j++) {
+			int t0; int t1; int t2; int t3; int t4; int t5; int t6; int t7;
+			int t10; int t11; int t12; int t13;
+			int z5; int z10; int z11; int z12; int z13; int r;
+			r = j * 8;
+			t10 = ws[r] + ws[r + 4];
+			t11 = ws[r] - ws[r + 4];
+			t13 = ws[r + 2] + ws[r + 6];
+			t12 = (((ws[r + 2] - ws[r + 6]) * 362) >> 8) - t13;
+			t0 = t10 + t13;
+			t3 = t10 - t13;
+			t1 = t11 + t12;
+			t2 = t11 - t12;
+			z13 = ws[r + 5] + ws[r + 3];
+			z10 = ws[r + 5] - ws[r + 3];
+			z11 = ws[r + 1] + ws[r + 7];
+			z12 = ws[r + 1] - ws[r + 7];
+			t7 = z11 + z13;
+			t11 = ((z11 - z13) * 362) >> 8;
+			z5 = (((z10 + z12) * 473) >> 8);
+			t10 = ((z12 * 277) >> 8) - z5;
+			t12 = z5 - ((z10 * 669) >> 8);
+			t6 = t12 - t7;
+			t5 = t11 - t6;
+			t4 = t10 + t5;
+			out[base + r]     = clamp(((t0 + t7) >> 6) + 128, 0, 255);
+			out[base + r + 7] = clamp(((t0 - t7) >> 6) + 128, 0, 255);
+			out[base + r + 1] = clamp(((t1 + t6) >> 6) + 128, 0, 255);
+			out[base + r + 6] = clamp(((t1 - t6) >> 6) + 128, 0, 255);
+			out[base + r + 2] = clamp(((t2 + t5) >> 6) + 128, 0, 255);
+			out[base + r + 5] = clamp(((t2 - t5) >> 6) + 128, 0, 255);
+			out[base + r + 4] = clamp(((t3 + t4) >> 6) + 128, 0, 255);
+			out[base + r + 3] = clamp(((t3 - t4) >> 6) + 128, 0, 255);
+		}
+	}
+}`
+	return src
+}
+
+func itoa(v int32) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func mult8(x, k int32) int32 { return (x * k) >> 8 }
+
+// idct1D runs the shared AAN butterfly on eight values (already
+// dequantized for column passes).
+func idct1D(v [8]int32) [8]int32 {
+	t10 := v[0] + v[4]
+	t11 := v[0] - v[4]
+	t13 := v[2] + v[6]
+	t12 := mult8(v[2]-v[6], 362) - t13
+	t0 := t10 + t13
+	t3 := t10 - t13
+	t1 := t11 + t12
+	t2 := t11 - t12
+	z13 := v[5] + v[3]
+	z10 := v[5] - v[3]
+	z11 := v[1] + v[7]
+	z12 := v[1] - v[7]
+	t7 := z11 + z13
+	t11 = mult8(z11-z13, 362)
+	z5 := mult8(z10+z12, 473)
+	t10 = mult8(z12, 277) - z5
+	t12 = z5 - mult8(z10, 669)
+	t6 := t12 - t7
+	t5 := t11 - t6
+	t4 := t10 + t5
+	return [8]int32{t0 + t7, t1 + t6, t2 + t5, t3 - t4, t3 + t4, t2 - t5, t1 - t6, t0 - t7}
+}
+
+// goldenC mirrors idct8 exactly: n blocks of 64 int16 coefficients in,
+// n*64 clamped level-shifted bytes out.
+func goldenC(in []int32, n int) []int32 {
+	out := make([]int32, 64*n)
+	for b := 0; b < n; b++ {
+		base := b * 64
+		var ws [64]int32
+		for k := 0; k < 8; k++ {
+			var col [8]int32
+			for y := 0; y < 8; y++ {
+				col[y] = int32(int16(in[base+k+8*y])) * cQuant[k+8*y]
+			}
+			r := idct1D(col)
+			for y := 0; y < 8; y++ {
+				ws[k+8*y] = r[y]
+			}
+		}
+		for j := 0; j < 8; j++ {
+			var row [8]int32
+			copy(row[:], ws[j*8:j*8+8])
+			r := idct1D(row)
+			for x := 0; x < 8; x++ {
+				out[base+j*8+x] = clamp255((r[x] >> 6) + 128)
+			}
+		}
+	}
+	return out
+}
+
+var benchC = register(&Benchmark{
+	Name:   "C",
+	Desc:   "Inverse DCT transform with dequantization (Arai-Agui-Nakajima)",
+	Source: cSource(),
+	NewCase: func(width int, seed int64) *Case {
+		// Interpret width as pixels: one 8x8 block per 8 pixels.
+		blocks := width / 8
+		if blocks < 1 {
+			blocks = 1
+		}
+		r := newRand(seed)
+		in := make([]int32, 64*blocks)
+		for b := 0; b < blocks; b++ {
+			// DC plus sparse decaying AC coefficients, like real JPEG data.
+			in[b*64] = int32(r.next()%512) - 256
+			for k := 1; k < 64; k++ {
+				if r.next()%4 == 0 {
+					mag := int64(96 / (1 + k/8))
+					in[b*64+k] = int32(int64(r.next())%(2*mag+1) - mag)
+				}
+			}
+		}
+		return &Case{
+			Args: []int32{int32(blocks)},
+			Mem: map[string][]int32{
+				"in":  in,
+				"out": make([]int32, 64*blocks),
+			},
+			Outputs: []string{"out"},
+			Golden: func() map[string][]int32 {
+				return map[string][]int32{"out": goldenC(in, blocks)}
+			},
+		}
+	},
+})

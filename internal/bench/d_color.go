@@ -1,0 +1,98 @@
+package bench
+
+// Benchmarks D and E: color space conversion between RGB and YCbCr as
+// specified by the JPEG standard (paper Table 1), in 16-bit fixed
+// point. D converts RGB→YCbCr; E is the inverse. Both are 9 multiplies
+// per pixel by large constants that do not strength-reduce — these are
+// the kernels that justify IMUL-capable ALUs without demanding the
+// register file A needs.
+
+// BT.601 coefficients scaled by 2^16, as used by the JPEG reference
+// implementation.
+const dSource = `
+kernel rgb2ycc(byte in[], byte out[], int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		int r; int g; int b;
+		r = in[i * 3];
+		g = in[i * 3 + 1];
+		b = in[i * 3 + 2];
+		out[i * 3]     = clamp((19595 * r + 38470 * g + 7471 * b + 32768) >> 16, 0, 255);
+		out[i * 3 + 1] = clamp(((0 - 11059) * r - 21709 * g + 32768 * b + 8421376 + 32768) >> 16, 0, 255);
+		out[i * 3 + 2] = clamp((32768 * r - 27439 * g - 5329 * b + 8421376 + 32768) >> 16, 0, 255);
+	}
+}`
+
+// goldenD mirrors rgb2ycc exactly (8421376 = 128 << 16).
+func goldenD(in []int32, w int) []int32 {
+	out := make([]int32, 3*w)
+	for i := 0; i < w; i++ {
+		r, g, b := in[i*3], in[i*3+1], in[i*3+2]
+		out[i*3] = clamp255((19595*r + 38470*g + 7471*b + 32768) >> 16)
+		out[i*3+1] = clamp255((-11059*r - 21709*g + 32768*b + 8421376 + 32768) >> 16)
+		out[i*3+2] = clamp255((32768*r - 27439*g - 5329*b + 8421376 + 32768) >> 16)
+	}
+	return out
+}
+
+var benchD = register(&Benchmark{
+	Name:   "D",
+	Desc:   "Color conversion from the RGB to the YCbCr color space (JPEG)",
+	Source: dSource,
+	NewCase: func(width int, seed int64) *Case {
+		r := newRand(seed)
+		in := rgbRow(r, width)
+		return &Case{
+			Args:    []int32{int32(width)},
+			Mem:     map[string][]int32{"in": in, "out": make([]int32, 3*width)},
+			Outputs: []string{"out"},
+			Golden: func() map[string][]int32 {
+				return map[string][]int32{"out": goldenD(in, width)}
+			},
+		}
+	},
+})
+
+const eSource = `
+kernel ycc2rgb(byte in[], byte out[], int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		int y; int cb; int cr;
+		y  = in[i * 3];
+		cb = in[i * 3 + 1] - 128;
+		cr = in[i * 3 + 2] - 128;
+		out[i * 3]     = clamp(y + ((91881 * cr + 32768) >> 16), 0, 255);
+		out[i * 3 + 1] = clamp(y - ((22554 * cb + 46802 * cr + 32768) >> 16), 0, 255);
+		out[i * 3 + 2] = clamp(y + ((116130 * cb + 32768) >> 16), 0, 255);
+	}
+}`
+
+// goldenE mirrors ycc2rgb exactly.
+func goldenE(in []int32, w int) []int32 {
+	out := make([]int32, 3*w)
+	for i := 0; i < w; i++ {
+		y, cb, cr := in[i*3], in[i*3+1]-128, in[i*3+2]-128
+		out[i*3] = clamp255(y + ((91881*cr + 32768) >> 16))
+		out[i*3+1] = clamp255(y - ((22554*cb + 46802*cr + 32768) >> 16))
+		out[i*3+2] = clamp255(y + ((116130*cb + 32768) >> 16))
+	}
+	return out
+}
+
+var benchE = register(&Benchmark{
+	Name:   "E",
+	Desc:   "Color conversion from the YCbCr to the RGB color space (JPEG)",
+	Source: eSource,
+	NewCase: func(width int, seed int64) *Case {
+		r := newRand(seed)
+		in := rgbRow(r, width)
+		return &Case{
+			Args:    []int32{int32(width)},
+			Mem:     map[string][]int32{"in": in, "out": make([]int32, 3*width)},
+			Outputs: []string{"out"},
+			Golden: func() map[string][]int32 {
+				return map[string][]int32{"out": goldenE(in, width)}
+			},
+		}
+	},
+})

@@ -1,0 +1,121 @@
+package bench
+
+// Benchmark F: halftoning via standard Floyd-Steinberg error diffusion,
+// following the paper's Figure 1 (fixed weights 7/16, 3/16, 5/16, 1/16;
+// no stochastic update). The kernel produces triplets of 1-bit
+// halftoned pixels packed into bytes, diffusing quantization error
+// rightward through the Err scalars (a genuine serial recurrence that
+// caps ILP) and downward through the persistent errBuf row.
+//
+// Fixed point: pixel values are scaled by 2^3 (the paper's
+// (2*8)-13 = 3 shift), threshold 128<<3, full scale 255<<3.
+
+// FMaxWidth bounds F's row width (errBuf is statically sized).
+const FMaxWidth = 1024
+
+const fSource = `
+short errBuf[3078];
+kernel fsd(byte linein[], byte lineout[], int plane_size) {
+	int i;
+	int errT[3]; int errOff[3]; int errC[3]; int oldE[3]; int outb[3];
+	int bitmask; int op;
+	errC[0] = 0; errC[1] = 0; errC[2] = 0;
+	errT[0] = errBuf[0]; errT[1] = errBuf[1]; errT[2] = errBuf[2];
+	outb[0] = 0; outb[1] = 0; outb[2] = 0;
+	bitmask = 128;
+	op = 0;
+	for (i = 0; i < plane_size; i++) {
+		int color;
+		for (color = 0; color < 3; color++) {
+			int e; int bit;
+			errOff[color] = errT[color];
+			errT[color] = errBuf[3 + i * 3 + color];
+			oldE[color] = errC[color];
+			e = errT[color] + ((errC[color] * 7 + 8) >> 4) + (linein[i * 3 + color] << 3);
+			bit = e > (128 << 3);
+			outb[color] = bit ? outb[color] | bitmask : outb[color];
+			e = bit ? e - (255 << 3) : e;
+			errC[color] = e;
+			errOff[color] += (e * 3 + 8) >> 4;
+			errT[color] = (e * 5 + oldE[color] + 8) >> 4;
+			errBuf[i * 3 + color] = errOff[color];
+			lineout[op + color] = outb[color];
+		}
+		if (bitmask == 1) {
+			op += 3;
+			outb[0] = 0; outb[1] = 0; outb[2] = 0;
+			bitmask = 128;
+		} else {
+			bitmask = bitmask >> 1;
+		}
+	}
+}`
+
+// goldenF mirrors fsd exactly, including the persistent errBuf update.
+// It returns the expected lineout and errBuf contents.
+func goldenF(linein, errBufIn []int32, w int) (lineout, errBuf []int32) {
+	errBuf = append([]int32(nil), errBufIn...)
+	lineout = make([]int32, 3*(w/8+2))
+	var errC, errT, errOff, oldE, outb [3]int32
+	for c := 0; c < 3; c++ {
+		errT[c] = int32(int16(errBuf[c]))
+	}
+	bitmask := int32(128)
+	op := 0
+	for i := 0; i < w; i++ {
+		for c := 0; c < 3; c++ {
+			errOff[c] = errT[c]
+			errT[c] = int32(int16(errBuf[3+i*3+c]))
+			oldE[c] = errC[c]
+			e := errT[c] + ((errC[c]*7 + 8) >> 4) + (linein[i*3+c] << 3)
+			bit := e > 128<<3
+			if bit {
+				outb[c] |= bitmask
+				e -= 255 << 3
+			}
+			errC[c] = e
+			errOff[c] += (e*3 + 8) >> 4
+			errT[c] = (e*5 + oldE[c] + 8) >> 4
+			errBuf[i*3+c] = int32(int16(errOff[c]))
+			lineout[op+c] = outb[c] & 0xff
+		}
+		if bitmask == 1 {
+			op += 3
+			outb = [3]int32{}
+			bitmask = 128
+		} else {
+			bitmask >>= 1
+		}
+	}
+	return lineout, errBuf
+}
+
+var benchF = register(&Benchmark{
+	Name:   "F",
+	Desc:   "Halftoning via standard Floyd-Steinberg error diffusion",
+	Source: fSource,
+	NewCase: func(width int, seed int64) *Case {
+		if width > FMaxWidth {
+			width = FMaxWidth
+		}
+		r := newRand(seed)
+		in := rgbRow(r, width)
+		errBuf := make([]int32, 3078)
+		for i := 0; i < 3*width+3; i++ {
+			errBuf[i] = int32(int16(r.next()%512)) - 256 // plausible leftover row error
+		}
+		return &Case{
+			Args: []int32{int32(width)},
+			Mem: map[string][]int32{
+				"linein":  in,
+				"lineout": make([]int32, 3*(width/8+2)),
+				"errBuf":  errBuf,
+			},
+			Outputs: []string{"lineout", "errBuf"},
+			Golden: func() map[string][]int32 {
+				lo, eb := goldenF(in, errBuf, width)
+				return map[string][]int32{"lineout": lo, "errBuf": eb}
+			},
+		}
+	},
+})

@@ -1,0 +1,60 @@
+package bench
+
+// Benchmark G: 1-D bilinear scaling by an integral factor (paper Table
+// 1). Each input pixel produces ScaleFactor output pixels interpolated
+// between it and its right neighbour with weights s/ScaleFactor. The
+// tiny multiplies (by 1..4) strength-reduce to shifts and adds, so G is
+// pure ALU work with streaming loads/stores — it wants issue width and
+// L2 bandwidth, not multipliers or a big register file.
+
+// ScaleFactor is G's integral scaling factor.
+const ScaleFactor = 4
+
+const gSource = `
+kernel scale1d(byte in[], byte out[], int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		int c;
+		for (c = 0; c < 3; c++) {
+			int a; int b; int s;
+			a = in[i * 3 + c];
+			b = in[(i + 1) * 3 + c];
+			for (s = 0; s < 4; s++) {
+				out[(i * 4 + s) * 3 + c] = ((4 - s) * a + s * b + 2) >> 2;
+			}
+		}
+	}
+}`
+
+// goldenG mirrors scale1d exactly: input has w+1 pixels, output 4*w.
+func goldenG(in []int32, w int) []int32 {
+	out := make([]int32, 3*ScaleFactor*w)
+	for i := 0; i < w; i++ {
+		for c := 0; c < 3; c++ {
+			a := in[i*3+c]
+			b := in[(i+1)*3+c]
+			for s := 0; s < ScaleFactor; s++ {
+				out[(i*ScaleFactor+s)*3+c] = (int32(ScaleFactor-s)*a + int32(s)*b + 2) >> 2
+			}
+		}
+	}
+	return out
+}
+
+var benchG = register(&Benchmark{
+	Name:   "G",
+	Desc:   "1D bilinear scaling by integral factors along columns",
+	Source: gSource,
+	NewCase: func(width int, seed int64) *Case {
+		r := newRand(seed)
+		in := rgbRow(r, width+1)
+		return &Case{
+			Args:    []int32{int32(width)},
+			Mem:     map[string][]int32{"in": in, "out": make([]int32, 3*ScaleFactor*width)},
+			Outputs: []string{"out"},
+			Golden: func() map[string][]int32 {
+				return map[string][]int32{"out": goldenG(in, width)}
+			},
+		}
+	},
+})

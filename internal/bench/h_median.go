@@ -1,0 +1,111 @@
+package bench
+
+// Benchmark H: 3x3 median filter using the standard algorithm (paper
+// Table 1: "not using a smart version of the median"). Each channel's
+// nine neighbourhood samples run through the classic triple-sort
+// median network: sort the three column triples (min/max plus the
+// sum-minus-min-minus-max trick for the middle), then take
+// med3(max-of-lows, med3-of-mids, min-of-highs). Everything is
+// compare/select — H is the suite's pure issue-width benchmark: it
+// wants as many plain ALUs as possible, needs no multiplier, and keeps
+// few values live, which is why the paper's H machine is the ALU-rich
+// register-poor (16 4 128 1 4 8).
+const hSource = `
+kernel median3x3(byte r0[], byte r1[], byte r2[], byte out[], int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		int c;
+		for (c = 0; c < 3; c++) {
+			int p0; int p1; int p2; int p3; int p4; int p5; int p6; int p7; int p8;
+			int lo0; int lo1; int lo2; int hi0; int hi1; int hi2; int mid0; int mid1; int mid2;
+			int mxlo; int mnhi; int mdm; int lom; int him;
+			p0 = r0[i * 3 + c]; p1 = r0[(i + 1) * 3 + c]; p2 = r0[(i + 2) * 3 + c];
+			p3 = r1[i * 3 + c]; p4 = r1[(i + 1) * 3 + c]; p5 = r1[(i + 2) * 3 + c];
+			p6 = r2[i * 3 + c]; p7 = r2[(i + 1) * 3 + c]; p8 = r2[(i + 2) * 3 + c];
+			lo0 = min(min(p0, p3), p6);
+			hi0 = max(max(p0, p3), p6);
+			mid0 = p0 + p3 + p6 - lo0 - hi0;
+			lo1 = min(min(p1, p4), p7);
+			hi1 = max(max(p1, p4), p7);
+			mid1 = p1 + p4 + p7 - lo1 - hi1;
+			lo2 = min(min(p2, p5), p8);
+			hi2 = max(max(p2, p5), p8);
+			mid2 = p2 + p5 + p8 - lo2 - hi2;
+			mxlo = max(max(lo0, lo1), lo2);
+			mnhi = min(min(hi0, hi1), hi2);
+			lom = min(min(mid0, mid1), mid2);
+			him = max(max(mid0, mid1), mid2);
+			mdm = mid0 + mid1 + mid2 - lom - him;
+			out[i * 3 + c] = mdm + mxlo + mnhi - min(min(mdm, mxlo), mnhi) - max(max(mdm, mxlo), mnhi);
+		}
+	}
+}`
+
+// goldenH mirrors median3x3 exactly.
+func goldenH(r0, r1, r2 []int32, w int) []int32 {
+	out := make([]int32, 3*w)
+	med3 := func(a, b, c int32) int32 {
+		lo := minI(minI(a, b), c)
+		hi := maxI(maxI(a, b), c)
+		return a + b + c - lo - hi
+	}
+	for i := 0; i < w; i++ {
+		for c := 0; c < 3; c++ {
+			var col [3][3]int32
+			rows := [3][]int32{r0, r1, r2}
+			for y := 0; y < 3; y++ {
+				for x := 0; x < 3; x++ {
+					col[x][y] = rows[y][(i+x)*3+c]
+				}
+			}
+			var lo, hi, mid [3]int32
+			for x := 0; x < 3; x++ {
+				lo[x] = minI(minI(col[x][0], col[x][1]), col[x][2])
+				hi[x] = maxI(maxI(col[x][0], col[x][1]), col[x][2])
+				mid[x] = col[x][0] + col[x][1] + col[x][2] - lo[x] - hi[x]
+			}
+			mxlo := maxI(maxI(lo[0], lo[1]), lo[2])
+			mnhi := minI(minI(hi[0], hi[1]), hi[2])
+			mdm := med3(mid[0], mid[1], mid[2])
+			out[i*3+c] = med3(mdm, mxlo, mnhi)
+		}
+	}
+	return out
+}
+
+func minI(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var benchH = register(&Benchmark{
+	Name:   "H",
+	Desc:   "3x3 median filter using the standard algorithm",
+	Source: hSource,
+	NewCase: func(width int, seed int64) *Case {
+		r := newRand(seed)
+		r0 := rgbRow(r, width+2)
+		r1 := rgbRow(r, width+2)
+		r2 := rgbRow(r, width+2)
+		return &Case{
+			Args: []int32{int32(width)},
+			Mem: map[string][]int32{
+				"r0": r0, "r1": r1, "r2": r2,
+				"out": make([]int32, 3*width),
+			},
+			Outputs: []string{"out"},
+			Golden: func() map[string][]int32 {
+				return map[string][]int32{"out": goldenH(r0, r1, r2, width)}
+			},
+		}
+	},
+})

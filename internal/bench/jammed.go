@@ -1,0 +1,317 @@
+package bench
+
+import "fmt"
+
+// The jammed benchmarks (paper Table 2) fuse pipelines of the
+// individual kernels into single loops, "avoiding the intermediate
+// memory store/load otherwise needed". Because every intermediate
+// value stays in registers at full precision (all intermediates are
+// already byte-range after their clamps), the fused kernels compute
+// bit-identically to the composition of the individual golden models —
+// which is exactly how their goldens are built here.
+
+// fsStep emits the Floyd-Steinberg inner step for channel variable
+// `color`, pixel-value expression pix, and error-row index expression
+// j3 (three times the output pixel index).
+func fsStep(pix, j3 string) string {
+	return fmt.Sprintf(`				errOff[color] = errT[color];
+				errT[color] = errBuf[3 + %[2]s + color];
+				oldE[color] = errC[color];
+				e = errT[color] + ((errC[color] * 7 + 8) >> 4) + ((%[1]s) << 3);
+				bit = e > (128 << 3);
+				outb[color] = bit ? outb[color] | bitmask : outb[color];
+				e = bit ? e - (255 << 3) : e;
+				errC[color] = e;
+				errOff[color] += (e * 3 + 8) >> 4;
+				errT[color] = (e * 5 + oldE[color] + 8) >> 4;
+				errBuf[%[2]s + color] = errOff[color];
+				lineout[op + color] = outb[color];
+`, pix, j3)
+}
+
+// fsPrologue declares and initializes the Floyd-Steinberg state.
+const fsPrologue = `	int errT[3]; int errOff[3]; int errC[3]; int oldE[3]; int outb[3];
+	int bitmask; int op;
+	errC[0] = 0; errC[1] = 0; errC[2] = 0;
+	errT[0] = errBuf[0]; errT[1] = errBuf[1]; errT[2] = errBuf[2];
+	outb[0] = 0; outb[1] = 0; outb[2] = 0;
+	bitmask = 128;
+	op = 0;
+`
+
+// fsAdvance emits the per-output-pixel bitmask/byte-pointer update.
+const fsAdvance = `			if (bitmask == 1) {
+				op += 3;
+				outb[0] = 0; outb[1] = 0; outb[2] = 0;
+				bitmask = 128;
+			} else {
+				bitmask = bitmask >> 1;
+			}
+`
+
+// ---------------------------------------------------------------- GF
+
+func gfSource() string {
+	return `short errBuf[12342];
+kernel gf(byte linein[], byte lineout[], int n) {
+	int i;
+` + fsPrologue + `	for (i = 0; i < n; i++) {
+		int s;
+		for (s = 0; s < 4; s++) {
+			int px[3]; int color;
+			for (color = 0; color < 3; color++) {
+				px[color] = ((4 - s) * linein[i * 3 + color] + s * linein[(i + 1) * 3 + color] + 2) >> 2;
+			}
+			for (color = 0; color < 3; color++) {
+				int e; int bit;
+` + fsStep("px[color]", "(i * 4 + s) * 3") + `			}
+` + fsAdvance + `		}
+	}
+}`
+}
+
+var benchGF = register(&Benchmark{
+	Name:   "GF",
+	Desc:   "1D bilinear scaling followed by Floyd-Steinberg halftoning",
+	Source: gfSource(),
+	NewCase: func(width int, seed int64) *Case {
+		if width*ScaleFactor > FMaxWidth*4 {
+			width = FMaxWidth
+		}
+		r := newRand(seed)
+		in := rgbRow(r, width+1)
+		wOut := width * ScaleFactor
+		errBuf := make([]int32, 12342)
+		for i := 0; i < 3*wOut+3; i++ {
+			errBuf[i] = int32(int16(r.next()%512)) - 256
+		}
+		return &Case{
+			Args: []int32{int32(width)},
+			Mem: map[string][]int32{
+				"linein":  in,
+				"lineout": make([]int32, 3*(wOut/8+2)),
+				"errBuf":  errBuf,
+			},
+			Outputs: []string{"lineout", "errBuf"},
+			Golden: func() map[string][]int32 {
+				scaled := goldenG(in, width)
+				lo, eb := goldenF(scaled, errBuf, wOut)
+				return map[string][]int32{"lineout": lo, "errBuf": eb}
+			},
+		}
+	},
+})
+
+// --------------------------------------------------------------- GEF
+
+func gefSource() string {
+	return `short errBuf[12342];
+kernel gef(byte linein[], byte lineout[], int n) {
+	int i;
+` + fsPrologue + `	for (i = 0; i < n; i++) {
+		int s;
+		for (s = 0; s < 4; s++) {
+			int px[3]; int rgb[3]; int color;
+			int y; int cb; int cr;
+			for (color = 0; color < 3; color++) {
+				px[color] = ((4 - s) * linein[i * 3 + color] + s * linein[(i + 1) * 3 + color] + 2) >> 2;
+			}
+			y  = px[0];
+			cb = px[1] - 128;
+			cr = px[2] - 128;
+			rgb[0] = clamp(y + ((91881 * cr + 32768) >> 16), 0, 255);
+			rgb[1] = clamp(y - ((22554 * cb + 46802 * cr + 32768) >> 16), 0, 255);
+			rgb[2] = clamp(y + ((116130 * cb + 32768) >> 16), 0, 255);
+			for (color = 0; color < 3; color++) {
+				int e; int bit;
+` + fsStep("rgb[color]", "(i * 4 + s) * 3") + `			}
+` + fsAdvance + `		}
+	}
+}`
+}
+
+var benchGEF = register(&Benchmark{
+	Name:   "GEF",
+	Desc:   "1D bilinear scaling, YCbCr→RGB conversion, Floyd-Steinberg halftoning",
+	Source: gefSource(),
+	NewCase: func(width int, seed int64) *Case {
+		if width*ScaleFactor > FMaxWidth*4 {
+			width = FMaxWidth
+		}
+		r := newRand(seed)
+		in := rgbRow(r, width+1)
+		wOut := width * ScaleFactor
+		errBuf := make([]int32, 12342)
+		for i := 0; i < 3*wOut+3; i++ {
+			errBuf[i] = int32(int16(r.next()%512)) - 256
+		}
+		return &Case{
+			Args: []int32{int32(width)},
+			Mem: map[string][]int32{
+				"linein":  in,
+				"lineout": make([]int32, 3*(wOut/8+2)),
+				"errBuf":  errBuf,
+			},
+			Outputs: []string{"lineout", "errBuf"},
+			Golden: func() map[string][]int32 {
+				scaled := goldenG(in, width)
+				rgb := goldenE(scaled, wOut)
+				lo, eb := goldenF(rgb, errBuf, wOut)
+				return map[string][]int32{"lineout": lo, "errBuf": eb}
+			},
+		}
+	},
+})
+
+// ---------------------------------------------------------------- DH
+
+// dhConvert emits RGB→YCbCr conversion of the 3x3 neighbourhood into
+// the scalarizable ycc[27] window: ycc[(row*3+x)*3+ch].
+func dhConvert() string {
+	s := `			for (x = 0; x < 3; x++) {
+`
+	for row := 0; row < 3; row++ {
+		s += fmt.Sprintf(`				r = r%[1]d[(i + x) * 3];
+				g = r%[1]d[(i + x) * 3 + 1];
+				b = r%[1]d[(i + x) * 3 + 2];
+				ycc[(%[1]d * 3 + x) * 3]     = clamp((19595 * r + 38470 * g + 7471 * b + 32768) >> 16, 0, 255);
+				ycc[(%[1]d * 3 + x) * 3 + 1] = clamp(((0 - 11059) * r - 21709 * g + 32768 * b + 8421376 + 32768) >> 16, 0, 255);
+				ycc[(%[1]d * 3 + x) * 3 + 2] = clamp((32768 * r - 27439 * g - 5329 * b + 8421376 + 32768) >> 16, 0, 255);
+`, row)
+	}
+	return s + "			}\n"
+}
+
+// dhMedian emits the 9-sample median network over ycc for channel c
+// into scalar `med`.
+const dhMedian = `				lo0 = min(min(ycc[0 + c], ycc[9 + c]), ycc[18 + c]);
+				hi0 = max(max(ycc[0 + c], ycc[9 + c]), ycc[18 + c]);
+				mid0 = ycc[0 + c] + ycc[9 + c] + ycc[18 + c] - lo0 - hi0;
+				lo1 = min(min(ycc[3 + c], ycc[12 + c]), ycc[21 + c]);
+				hi1 = max(max(ycc[3 + c], ycc[12 + c]), ycc[21 + c]);
+				mid1 = ycc[3 + c] + ycc[12 + c] + ycc[21 + c] - lo1 - hi1;
+				lo2 = min(min(ycc[6 + c], ycc[15 + c]), ycc[24 + c]);
+				hi2 = max(max(ycc[6 + c], ycc[15 + c]), ycc[24 + c]);
+				mid2 = ycc[6 + c] + ycc[15 + c] + ycc[24 + c] - lo2 - hi2;
+				mxlo = max(max(lo0, lo1), lo2);
+				mnhi = min(min(hi0, hi1), hi2);
+				lom = min(min(mid0, mid1), mid2);
+				him = max(max(mid0, mid1), mid2);
+				mdm = mid0 + mid1 + mid2 - lom - him;
+				med = mdm + mxlo + mnhi - min(min(mdm, mxlo), mnhi) - max(max(mdm, mxlo), mnhi);
+`
+
+// dhDecls declares the median network scalars.
+const dhDecls = `			int lo0; int lo1; int lo2; int hi0; int hi1; int hi2;
+			int mid0; int mid1; int mid2; int mxlo; int mnhi; int lom; int him; int mdm; int med;
+`
+
+func dhSource() string {
+	return `kernel dh(byte r0[], byte r1[], byte r2[], byte out[], int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		int ycc[27]; int x; int c;
+		int r; int g; int b;
+		{
+` + dhConvert() + `		}
+		for (c = 0; c < 3; c++) {
+` + dhDecls + dhMedian + `			out[i * 3 + c] = med;
+		}
+	}
+}`
+}
+
+// goldenDHInputs converts three RGB rows of width w+2 and medians them.
+func goldenDH(r0, r1, r2 []int32, w int) []int32 {
+	d0 := goldenD(r0, w+2)
+	d1 := goldenD(r1, w+2)
+	d2 := goldenD(r2, w+2)
+	return goldenH(d0, d1, d2, w)
+}
+
+var benchDH = register(&Benchmark{
+	Name:   "DH",
+	Desc:   "RGB→YCbCr color space conversion followed by a 3x3 median filter",
+	Source: dhSource(),
+	NewCase: func(width int, seed int64) *Case {
+		r := newRand(seed)
+		r0 := rgbRow(r, width+2)
+		r1 := rgbRow(r, width+2)
+		r2 := rgbRow(r, width+2)
+		return &Case{
+			Args: []int32{int32(width)},
+			Mem: map[string][]int32{
+				"r0": r0, "r1": r1, "r2": r2,
+				"out": make([]int32, 3*width),
+			},
+			Outputs: []string{"out"},
+			Golden: func() map[string][]int32 {
+				return map[string][]int32{"out": goldenDH(r0, r1, r2, width)}
+			},
+		}
+	},
+})
+
+// -------------------------------------------------------------- DHEF
+
+func dhefSource() string {
+	return `short errBuf[3078];
+kernel dhef(byte r0[], byte r1[], byte r2[], byte lineout[], int n) {
+	int i;
+` + fsPrologue + `	for (i = 0; i < n; i++) {
+		int ycc[27]; int med3v[3]; int rgb[3]; int x; int c;
+		int r; int g; int b; int yy; int cb; int cr;
+		{
+` + dhConvert() + `		}
+		for (c = 0; c < 3; c++) {
+` + dhDecls + dhMedian + `			med3v[c] = med;
+		}
+		yy = med3v[0];
+		cb = med3v[1] - 128;
+		cr = med3v[2] - 128;
+		rgb[0] = clamp(yy + ((91881 * cr + 32768) >> 16), 0, 255);
+		rgb[1] = clamp(yy - ((22554 * cb + 46802 * cr + 32768) >> 16), 0, 255);
+		rgb[2] = clamp(yy + ((116130 * cb + 32768) >> 16), 0, 255);
+		{
+			int color;
+			for (color = 0; color < 3; color++) {
+				int e; int bit;
+` + fsStep("rgb[color]", "i * 3") + `			}
+` + fsAdvance + `		}
+	}
+}`
+}
+
+var benchDHEF = register(&Benchmark{
+	Name:   "DHEF",
+	Desc:   "RGB→YCbCr, 3x3 median, YCbCr→RGB, Floyd-Steinberg halftoning",
+	Source: dhefSource(),
+	NewCase: func(width int, seed int64) *Case {
+		if width > FMaxWidth {
+			width = FMaxWidth
+		}
+		r := newRand(seed)
+		r0 := rgbRow(r, width+2)
+		r1 := rgbRow(r, width+2)
+		r2 := rgbRow(r, width+2)
+		errBuf := make([]int32, 3078)
+		for i := 0; i < 3*width+3; i++ {
+			errBuf[i] = int32(int16(r.next()%512)) - 256
+		}
+		return &Case{
+			Args: []int32{int32(width)},
+			Mem: map[string][]int32{
+				"r0": r0, "r1": r1, "r2": r2,
+				"lineout": make([]int32, 3*(width/8+2)),
+				"errBuf":  errBuf,
+			},
+			Outputs: []string{"lineout", "errBuf"},
+			Golden: func() map[string][]int32 {
+				med := goldenDH(r0, r1, r2, width)
+				rgb := goldenE(med, width)
+				lo, eb := goldenF(rgb, errBuf, width)
+				return map[string][]int32{"lineout": lo, "errBuf": eb}
+			},
+		}
+	},
+})

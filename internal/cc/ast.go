@@ -1,0 +1,221 @@
+package cc
+
+import "customfit/internal/ir"
+
+// Type is a CKC storage type. All scalar arithmetic is 32-bit; narrower
+// types only matter for array element storage.
+type Type uint8
+
+const (
+	TInt Type = iota
+	TShort
+	TUShort
+	TByte
+	TSByte
+)
+
+// Elem maps a CKC type to the IR element type.
+func (t Type) Elem() ir.ElemType {
+	switch t {
+	case TShort:
+		return ir.ElemI16
+	case TUShort:
+		return ir.ElemU16
+	case TByte:
+		return ir.ElemU8
+	case TSByte:
+		return ir.ElemI8
+	default:
+		return ir.ElemI32
+	}
+}
+
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TShort:
+		return "short"
+	case TUShort:
+		return "ushort"
+	case TByte:
+		return "byte"
+	case TSByte:
+		return "sbyte"
+	}
+	return "?"
+}
+
+// File is a parsed CKC translation unit: top-level array declarations
+// (globals and constant tables, all resident in L1) and kernels.
+type File struct {
+	Globals []*VarDecl
+	Kernels []*Kernel
+}
+
+// Kernel is a kernel definition.
+type Kernel struct {
+	Name   string
+	Params []*ParamDecl
+	Body   *BlockStmt
+	Pos    Pos
+}
+
+// ParamDecl declares a kernel parameter: a scalar int or an unsized
+// array (`byte in[]`). Array parameters are bound by the caller and live
+// in L2 memory.
+type ParamDecl struct {
+	Name    string
+	Type    Type
+	IsArray bool
+	Pos     Pos
+}
+
+// VarDecl declares a scalar variable or array. Arrays declared inside a
+// kernel (or at top level) reside in L1 memory.
+type VarDecl struct {
+	Name    string
+	Type    Type
+	IsArray bool
+	Size    Expr   // array length (must be constant); nil for scalars
+	Init    Expr   // scalar initializer, or nil
+	Inits   []Expr // array initializer list, or nil
+	IsConst bool   // read-only table
+	Pos     Pos
+}
+
+// Stmt is a CKC statement.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is a `{ ... }` statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// DeclStmt wraps a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+// AssignStmt is `lhs op= rhs` (Op == ASSIGN for plain assignment) or a
+// `++`/`--` statement normalized to `+= 1` / `-= 1` by the parser.
+type AssignStmt struct {
+	LHS *LValue
+	Op  Kind // ASSIGN, PLUSEQ, ...
+	RHS Expr
+	Pos Pos
+}
+
+// ForStmt is a C for loop. CKC requires the canonical counting shape
+// `for (v = lo; v < hi; v++)` (or `v = ...` reusing a declared scalar).
+type ForStmt struct {
+	Var  string // induction variable name
+	Init Expr   // initial value
+	Cond Expr   // full condition expression, must be `v < bound`
+	Body *BlockStmt
+	Pos  Pos
+}
+
+// IfStmt is an if/else statement.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // possibly nil; `else if` nests as a one-stmt block
+	Pos  Pos
+}
+
+// ReturnStmt returns from the kernel (kernels are void).
+type ReturnStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmtNode()  {}
+func (*DeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*ForStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()     {}
+func (*ReturnStmt) stmtNode() {}
+
+// LValue is an assignable location: a scalar variable or array element.
+type LValue struct {
+	Name  string
+	Index Expr // nil for scalars
+	Pos   Pos
+}
+
+// Expr is a CKC expression.
+type Expr interface {
+	exprNode()
+	ExprPos() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int32
+	Pos Pos
+}
+
+// VarRef reads a scalar variable.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Pos   Pos
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   Kind
+	L, R Expr
+	Pos  Pos
+}
+
+// UnaryExpr is -x, ~x or !x.
+type UnaryExpr struct {
+	Op  Kind
+	X   Expr
+	Pos Pos
+}
+
+// CondExpr is the ternary operator c ? a : b, lowered to a select (both
+// arms are evaluated; CKC expressions are side-effect free).
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Pos              Pos
+}
+
+// CastExpr is (type)x; only the byte/short casts have an effect
+// (masking/sign-extension), (int)x is the identity.
+type CastExpr struct {
+	Type Type
+	X    Expr
+	Pos  Pos
+}
+
+// CallExpr invokes one of the builtins: min, max, abs, clamp. They lower
+// to compare/select sequences.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+func (*IntLit) exprNode()     {}
+func (*VarRef) exprNode()     {}
+func (*IndexExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*CondExpr) exprNode()   {}
+func (*CastExpr) exprNode()   {}
+func (*CallExpr) exprNode()   {}
+
+func (e *IntLit) ExprPos() Pos     { return e.Pos }
+func (e *VarRef) ExprPos() Pos     { return e.Pos }
+func (e *IndexExpr) ExprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+func (e *UnaryExpr) ExprPos() Pos  { return e.Pos }
+func (e *CondExpr) ExprPos() Pos   { return e.Pos }
+func (e *CastExpr) ExprPos() Pos   { return e.Pos }
+func (e *CallExpr) ExprPos() Pos   { return e.Pos }

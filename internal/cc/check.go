@@ -1,0 +1,491 @@
+package cc
+
+import "fmt"
+
+// MaxFullUnroll is the largest constant trip count the frontend fully
+// unrolls at lowering time. Constant-trip loops up to this bound (color
+// channels, filter taps, DCT lanes) disappear into straight-line code;
+// anything larger, or any loop with a runtime bound, must be the
+// kernel's single streaming "pixel loop".
+const MaxFullUnroll = 64
+
+// Check validates a parsed CKC file: name resolution, scalar/array
+// usage, constant restrictions (division only by power-of-two literals),
+// and the canonical loop structure the backend depends on (exactly one
+// runtime-trip pixel loop per kernel, at the top level of the body).
+func Check(f *File) error {
+	c := &checker{}
+	globals := newScope(nil)
+	for _, g := range f.Globals {
+		if err := c.checkGlobal(globals, g); err != nil {
+			return err
+		}
+	}
+	for _, k := range f.Kernels {
+		if err := c.checkKernel(globals, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type symKind uint8
+
+const (
+	scalarSym symKind = iota
+	arraySym
+)
+
+type csym struct {
+	kind    symKind
+	isConst bool
+	size    int // arrays; 0 = unsized parameter
+}
+
+type cscope struct {
+	parent *cscope
+	syms   map[string]*csym
+}
+
+func newScope(parent *cscope) *cscope {
+	return &cscope{parent: parent, syms: map[string]*csym{}}
+}
+
+func (s *cscope) lookup(name string) *csym {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *cscope) declare(name string, sym *csym) bool {
+	if _, dup := s.syms[name]; dup {
+		return false
+	}
+	s.syms[name] = sym
+	return true
+}
+
+type checker struct {
+	// pixelLoops counts runtime-trip loops in the current kernel.
+	pixelLoops int
+	// loopVars tracks induction/bound variables of enclosing loops that
+	// must not be assigned inside their bodies.
+	frozen map[string]bool
+}
+
+func (c *checker) checkGlobal(globals *cscope, d *VarDecl) error {
+	if !d.IsArray {
+		return errf(d.Pos, "top-level declarations must be arrays (scalar %q)", d.Name)
+	}
+	if err := c.checkArrayDecl(globals, d); err != nil {
+		return err
+	}
+	if !globals.declare(d.Name, &csym{kind: arraySym, isConst: d.IsConst, size: c.mustConstSize(d)}) {
+		return errf(d.Pos, "duplicate declaration of %q", d.Name)
+	}
+	return nil
+}
+
+func (c *checker) mustConstSize(d *VarDecl) int {
+	v, _ := EvalConst(d.Size)
+	return int(v)
+}
+
+func (c *checker) checkArrayDecl(sc *cscope, d *VarDecl) error {
+	size, ok := EvalConst(d.Size)
+	if !ok {
+		return errf(d.Pos, "array %q size must be a constant expression", d.Name)
+	}
+	if size <= 0 {
+		return errf(d.Pos, "array %q size must be positive, got %d", d.Name, size)
+	}
+	if d.IsConst && len(d.Inits) == 0 {
+		return errf(d.Pos, "const array %q must have an initializer", d.Name)
+	}
+	if len(d.Inits) > int(size) {
+		return errf(d.Pos, "array %q has %d initializers for %d elements", d.Name, len(d.Inits), size)
+	}
+	for _, e := range d.Inits {
+		if _, ok := EvalConst(e); !ok {
+			return errf(e.ExprPos(), "array initializer for %q must be constant", d.Name)
+		}
+	}
+	if d.Init != nil {
+		return errf(d.Pos, "array %q cannot have a scalar initializer", d.Name)
+	}
+	return nil
+}
+
+func (c *checker) checkKernel(globals *cscope, k *Kernel) error {
+	c.pixelLoops = 0
+	c.frozen = map[string]bool{}
+	sc := newScope(globals)
+	for _, p := range k.Params {
+		sym := &csym{kind: scalarSym}
+		if p.IsArray {
+			sym.kind = arraySym
+		} else if p.Type != TInt {
+			return errf(p.Pos, "scalar parameter %q must have type int", p.Name)
+		}
+		if !sc.declare(p.Name, sym) {
+			return errf(p.Pos, "duplicate parameter %q", p.Name)
+		}
+	}
+	return c.checkBlock(sc, k.Body, true)
+}
+
+// checkBlock validates a statement block. topLevel marks the kernel's
+// outermost block, the only place a pixel loop may appear.
+func (c *checker) checkBlock(sc *cscope, b *BlockStmt, topLevel bool) error {
+	inner := newScope(sc)
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(inner, s, topLevel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(sc *cscope, s Stmt, topLevel bool) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(sc, st, false)
+	case *DeclStmt:
+		return c.checkDecl(sc, st.Decl)
+	case *AssignStmt:
+		return c.checkAssign(sc, st)
+	case *ForStmt:
+		return c.checkFor(sc, st, topLevel)
+	case *IfStmt:
+		if err := c.checkExpr(sc, st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(sc, st.Then, false); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkBlock(sc, st.Else, false)
+		}
+		return nil
+	case *ReturnStmt:
+		return nil
+	}
+	return fmt.Errorf("cc: unknown statement %T", s)
+}
+
+func (c *checker) checkDecl(sc *cscope, d *VarDecl) error {
+	if d.IsArray {
+		if err := c.checkArrayDecl(sc, d); err != nil {
+			return err
+		}
+		if !sc.declare(d.Name, &csym{kind: arraySym, isConst: d.IsConst, size: c.mustConstSize(d)}) {
+			return errf(d.Pos, "duplicate declaration of %q", d.Name)
+		}
+		return nil
+	}
+	if d.IsConst {
+		return errf(d.Pos, "const applies only to arrays (scalar %q)", d.Name)
+	}
+	if d.Init != nil {
+		if err := c.checkExpr(sc, d.Init); err != nil {
+			return err
+		}
+	}
+	if !sc.declare(d.Name, &csym{kind: scalarSym}) {
+		return errf(d.Pos, "duplicate declaration of %q", d.Name)
+	}
+	return nil
+}
+
+func (c *checker) checkAssign(sc *cscope, st *AssignStmt) error {
+	sym := sc.lookup(st.LHS.Name)
+	if sym == nil {
+		return errf(st.LHS.Pos, "undeclared variable %q", st.LHS.Name)
+	}
+	if st.LHS.Index == nil {
+		if sym.kind != scalarSym {
+			return errf(st.LHS.Pos, "cannot assign to array %q without an index", st.LHS.Name)
+		}
+		if c.frozen[st.LHS.Name] {
+			return errf(st.LHS.Pos, "cannot assign to loop variable %q inside its loop", st.LHS.Name)
+		}
+	} else {
+		if sym.kind != arraySym {
+			return errf(st.LHS.Pos, "cannot index scalar %q", st.LHS.Name)
+		}
+		if sym.isConst {
+			return errf(st.LHS.Pos, "cannot assign to const array %q", st.LHS.Name)
+		}
+		if err := c.checkExpr(sc, st.LHS.Index); err != nil {
+			return err
+		}
+	}
+	return c.checkExpr(sc, st.RHS)
+}
+
+func (c *checker) checkFor(sc *cscope, st *ForStmt, topLevel bool) error {
+	sym := sc.lookup(st.Var)
+	if sym == nil {
+		return errf(st.Pos, "undeclared loop variable %q", st.Var)
+	}
+	if sym.kind != scalarSym {
+		return errf(st.Pos, "loop variable %q must be a scalar", st.Var)
+	}
+	if err := c.checkExpr(sc, st.Init); err != nil {
+		return err
+	}
+	bound, le, err := c.loopBound(st)
+	if err != nil {
+		return err
+	}
+	_ = le
+	if err := c.checkExpr(sc, bound); err != nil {
+		return err
+	}
+	trip, isConst := c.constTrip(st)
+	if isConst && trip <= MaxFullUnroll {
+		// Fully unrolled at lowering: body checked with the induction
+		// variable frozen (it becomes a constant binding).
+		if trip <= 0 {
+			return errf(st.Pos, "constant loop over %q never executes", st.Var)
+		}
+		c.frozen[st.Var] = true
+		defer delete(c.frozen, st.Var)
+		return c.checkBlock(sc, st.Body, false)
+	}
+	// Runtime-trip pixel loop.
+	if !topLevel {
+		return errf(st.Pos, "runtime-bound loop over %q must be at the top level of the kernel", st.Var)
+	}
+	c.pixelLoops++
+	if c.pixelLoops > 1 {
+		return errf(st.Pos, "kernel has more than one runtime-bound loop; fuse them or make inner trips constant")
+	}
+	if bv, ok := bound.(*VarRef); ok {
+		bsym := sc.lookup(bv.Name)
+		if bsym == nil || bsym.kind != scalarSym {
+			return errf(bv.Pos, "loop bound %q must be a scalar", bv.Name)
+		}
+		c.frozen[bv.Name] = true
+		defer delete(c.frozen, bv.Name)
+	}
+	c.frozen[st.Var] = true
+	defer delete(c.frozen, st.Var)
+	return c.checkBlock(sc, st.Body, false)
+}
+
+// loopBound extracts the bound expression from the loop condition,
+// which must have the shape `v < bound` or `v <= bound`.
+func (c *checker) loopBound(st *ForStmt) (Expr, bool, error) {
+	be, ok := st.Cond.(*BinaryExpr)
+	if !ok || (be.Op != LT && be.Op != LE) {
+		return nil, false, errf(st.Pos, "loop condition must be `%s < bound` or `%s <= bound`", st.Var, st.Var)
+	}
+	vr, ok := be.L.(*VarRef)
+	if !ok || vr.Name != st.Var {
+		return nil, false, errf(st.Pos, "loop condition must compare the loop variable %q", st.Var)
+	}
+	switch be.R.(type) {
+	case *IntLit, *VarRef:
+	default:
+		return nil, false, errf(be.R.ExprPos(), "loop bound must be a literal or a variable")
+	}
+	return be.R, be.Op == LE, nil
+}
+
+// constTrip returns the loop's trip count if both the initial value and
+// the bound are compile-time constants.
+func (c *checker) constTrip(st *ForStmt) (int, bool) {
+	init, ok1 := EvalConst(st.Init)
+	bound, le, err := c.loopBound(st)
+	if err != nil {
+		return 0, false
+	}
+	bv, ok2 := EvalConst(bound)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	trip := int(bv - init)
+	if le {
+		trip++
+	}
+	return trip, true
+}
+
+func (c *checker) checkExpr(sc *cscope, e Expr) error {
+	switch ex := e.(type) {
+	case *IntLit:
+		return nil
+	case *VarRef:
+		sym := sc.lookup(ex.Name)
+		if sym == nil {
+			return errf(ex.Pos, "undeclared variable %q", ex.Name)
+		}
+		if sym.kind != scalarSym {
+			return errf(ex.Pos, "array %q used without an index", ex.Name)
+		}
+		return nil
+	case *IndexExpr:
+		sym := sc.lookup(ex.Name)
+		if sym == nil {
+			return errf(ex.Pos, "undeclared array %q", ex.Name)
+		}
+		if sym.kind != arraySym {
+			return errf(ex.Pos, "cannot index scalar %q", ex.Name)
+		}
+		return c.checkExpr(sc, ex.Index)
+	case *BinaryExpr:
+		if err := c.checkExpr(sc, ex.L); err != nil {
+			return err
+		}
+		if err := c.checkExpr(sc, ex.R); err != nil {
+			return err
+		}
+		if ex.Op == SLASH || ex.Op == PERCENT {
+			v, ok := EvalConst(ex.R)
+			if !ok || v <= 0 || v&(v-1) != 0 {
+				return errf(ex.Pos, "division/modulo only by positive power-of-two constants (the template has no divide unit)")
+			}
+		}
+		return nil
+	case *UnaryExpr:
+		return c.checkExpr(sc, ex.X)
+	case *CondExpr:
+		if err := c.checkExpr(sc, ex.Cond); err != nil {
+			return err
+		}
+		if err := c.checkExpr(sc, ex.Then); err != nil {
+			return err
+		}
+		return c.checkExpr(sc, ex.Else)
+	case *CastExpr:
+		return c.checkExpr(sc, ex.X)
+	case *CallExpr:
+		arity, ok := builtinArity[ex.Name]
+		if !ok {
+			return errf(ex.Pos, "unknown function %q (builtins: min, max, abs, clamp)", ex.Name)
+		}
+		if len(ex.Args) != arity {
+			return errf(ex.Pos, "%s expects %d arguments, got %d", ex.Name, arity, len(ex.Args))
+		}
+		for _, a := range ex.Args {
+			if err := c.checkExpr(sc, a); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("cc: unknown expression %T", e)
+}
+
+var builtinArity = map[string]int{"min": 2, "max": 2, "abs": 1, "clamp": 3}
+
+// EvalConst folds a constant expression, reporting success. Variable
+// references are not constant (full-unroll constant bindings are handled
+// during lowering, not here).
+func EvalConst(e Expr) (int32, bool) {
+	switch ex := e.(type) {
+	case nil:
+		return 0, false
+	case *IntLit:
+		return ex.Val, true
+	case *UnaryExpr:
+		v, ok := EvalConst(ex.X)
+		if !ok {
+			return 0, false
+		}
+		switch ex.Op {
+		case MINUS:
+			return -v, true
+		case TILDE:
+			return ^v, true
+		case BANG:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *CastExpr:
+		v, ok := EvalConst(ex.X)
+		if !ok {
+			return 0, false
+		}
+		return ex.Type.Elem().Extend(v), true
+	case *BinaryExpr:
+		l, ok1 := EvalConst(ex.L)
+		r, ok2 := EvalConst(ex.R)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		return evalConstBin(ex.Op, l, r)
+	case *CondExpr:
+		c, ok := EvalConst(ex.Cond)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return EvalConst(ex.Then)
+		}
+		return EvalConst(ex.Else)
+	}
+	return 0, false
+}
+
+func evalConstBin(op Kind, l, r int32) (int32, bool) {
+	switch op {
+	case PLUS:
+		return l + r, true
+	case MINUS:
+		return l - r, true
+	case STAR:
+		return l * r, true
+	case SLASH:
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case PERCENT:
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case SHL:
+		return l << (uint32(r) & 31), true
+	case SHR:
+		return l >> (uint32(r) & 31), true
+	case AMP:
+		return l & r, true
+	case PIPE:
+		return l | r, true
+	case CARET:
+		return l ^ r, true
+	case EQ:
+		return cb(l == r), true
+	case NE:
+		return cb(l != r), true
+	case LT:
+		return cb(l < r), true
+	case LE:
+		return cb(l <= r), true
+	case GT:
+		return cb(l > r), true
+	case GE:
+		return cb(l >= r), true
+	case ANDAND:
+		return cb(l != 0 && r != 0), true
+	case OROR:
+		return cb(l != 0 || r != 0), true
+	}
+	return 0, false
+}
+
+func cb(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,196 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkErr(t *testing.T, src, frag string) {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	err = Check(f)
+	if frag == "" {
+		if err != nil {
+			t.Errorf("Check(%q) = %v, want nil", src, err)
+		}
+		return
+	}
+	if err == nil || !strings.Contains(err.Error(), frag) {
+		t.Errorf("Check(%q) = %v, want containing %q", src, err, frag)
+	}
+}
+
+func TestCheckAcceptsValidKernel(t *testing.T) {
+	checkErr(t, `
+		short errBuf[256];
+		const int w[4] = {1, 3, 3, 1};
+		kernel k(byte in[], byte out[], int n) {
+			int i;
+			int acc;
+			for (i = 0; i < n; i++) {
+				int c;
+				acc = 0;
+				for (c = 0; c < 4; c++) {
+					acc += in[i + c] * w[c];
+				}
+				out[i] = (byte) (acc >> 3);
+			}
+		}
+	`, "")
+}
+
+func TestCheckUndeclared(t *testing.T) {
+	checkErr(t, `kernel k(int a) { int x; x = y + 1; }`, `undeclared variable "y"`)
+	checkErr(t, `kernel k(int a) { z = 1; }`, `undeclared variable "z"`)
+	checkErr(t, `kernel k(int a) { int x; x = t[0]; }`, `undeclared array "t"`)
+}
+
+func TestCheckScalarArrayMisuse(t *testing.T) {
+	checkErr(t, `kernel k(byte in[], int a) { int x; x = in + 1; }`, "without an index")
+	checkErr(t, `kernel k(byte in[], int a) { in = 3; }`, "without an index")
+	checkErr(t, `kernel k(int a) { int x; x = a[0]; }`, "cannot index scalar")
+	checkErr(t, `kernel k(int a) { a[1] = 2; }`, "cannot index scalar")
+}
+
+func TestCheckConstArray(t *testing.T) {
+	checkErr(t, `const int t[2] = {1, 2}; kernel k(int a) { t[0] = 5; }`, "const array")
+	checkErr(t, `const int t[2]; kernel k(int a) { }`, "must have an initializer")
+	checkErr(t, `int t[2] = {1, 2, 3}; kernel k(int a) { }`, "3 initializers for 2")
+}
+
+func TestCheckDivisionRestrictions(t *testing.T) {
+	checkErr(t, `kernel k(int a) { int x; x = a / 3; }`, "power-of-two")
+	checkErr(t, `kernel k(int a) { int x; x = a % 6; }`, "power-of-two")
+	checkErr(t, `kernel k(int a) { int x; x = a / a; }`, "power-of-two")
+	checkErr(t, `kernel k(int a) { int x; x = a / 8; x = a % 16; }`, "")
+}
+
+func TestCheckDuplicates(t *testing.T) {
+	checkErr(t, `kernel k(int a, int a) { }`, "duplicate parameter")
+	checkErr(t, `kernel k(int a) { int x; int x; }`, "duplicate declaration")
+	// Shadowing in an inner scope is allowed.
+	checkErr(t, `kernel k(int a) { int x; { int x; x = 1; } }`, "")
+}
+
+func TestCheckLoopStructure(t *testing.T) {
+	// Two runtime loops at top level: rejected.
+	checkErr(t, `kernel k(int n) {
+		int i; int j;
+		for (i = 0; i < n; i++) { }
+		for (j = 0; j < n; j++) { }
+	}`, "more than one runtime-bound loop")
+	// Runtime loop nested in an if: rejected.
+	checkErr(t, `kernel k(int n) {
+		int i;
+		if (n > 0) { for (i = 0; i < n; i++) { } }
+	}`, "top level")
+	// Constant inner loop nested in the pixel loop: fine.
+	checkErr(t, `kernel k(byte o[], int n) {
+		int i;
+		for (i = 0; i < n; i++) {
+			int c;
+			for (c = 0; c < 3; c++) { o[i * 3 + c] = 0; }
+		}
+	}`, "")
+	// Assigning the induction variable inside the loop: rejected.
+	checkErr(t, `kernel k(int n) {
+		int i;
+		for (i = 0; i < n; i++) { i = 0; }
+	}`, "loop variable")
+	// Assigning the bound inside the loop: rejected.
+	checkErr(t, `kernel k(byte o[], int n) {
+		int i;
+		for (i = 0; i < n; i++) { n = 3; }
+	}`, "loop variable")
+}
+
+func TestCheckBuiltins(t *testing.T) {
+	checkErr(t, `kernel k(int a) { int x; x = min(a, 3); x = clamp(x, 0, 255); x = abs(x); }`, "")
+	checkErr(t, `kernel k(int a) { int x; x = min(a); }`, "expects 2 arguments")
+	checkErr(t, `kernel k(int a) { int x; x = frobnicate(a); }`, "unknown function")
+}
+
+func TestCheckConstScalar(t *testing.T) {
+	checkErr(t, `kernel k(int a) { const int x = 3; }`, "only to arrays")
+}
+
+func TestCheckZeroTripConstLoop(t *testing.T) {
+	checkErr(t, `kernel k(int a) { int i; for (i = 0; i < 0; i++) { } }`, "never executes")
+}
+
+func TestEvalConst(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int32
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"-5 >> 1", -3},
+		{"1 << 10", 1024},
+		{"~0", -1},
+		{"!3", 0},
+		{"7 / 2", 3},
+		{"-7 / 2", -3},
+		{"1 ? 42 : 7", 42},
+		{"(byte)300", 44},
+		{"(short)0x8000", -32768},
+		{"3 < 4", 1},
+		{"1 && 0", 0},
+		{"1 || 0", 1},
+	}
+	for _, c := range cases {
+		f, err := Parse("kernel k(int a) { int x; x = " + c.src + "; }")
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		e := f.Kernels[0].Body.Stmts[1].(*AssignStmt).RHS
+		got, ok := EvalConst(e)
+		if !ok || got != c.want {
+			t.Errorf("EvalConst(%q) = %d,%v, want %d", c.src, got, ok, c.want)
+		}
+	}
+	// Non-constant expressions must report !ok.
+	f, _ := Parse("kernel k(int a) { int x; x = a + 1; }")
+	e := f.Kernels[0].Body.Stmts[1].(*AssignStmt).RHS
+	if _, ok := EvalConst(e); ok {
+		t.Error("EvalConst(a+1) = ok, want not constant")
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, err := Compile("kernel k(int a) {\n\tint x;\n\tx = y;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ce *Error
+	if !errorsAs(err, &ce) {
+		t.Fatalf("error %T does not carry a position", err)
+	}
+	if ce.Pos.Line != 3 {
+		t.Errorf("error at line %d, want 3: %v", ce.Pos.Line, err)
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Errorf("rendered error lacks position: %v", err)
+	}
+}
+
+// errorsAs is a minimal errors.As for *Error without importing errors
+// in several places.
+func errorsAs(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

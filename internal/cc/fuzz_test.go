@@ -1,0 +1,141 @@
+package cc
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"customfit/internal/ir"
+)
+
+// This file pits randomly generated CKC expressions against a direct
+// AST evaluator: the expression is compiled through the full frontend
+// and interpreted, and the result must match evaluating the same tree
+// in Go with C semantics. Hundreds of random trees exercise operator
+// precedence, ternaries, builtins, casts and the power-of-two
+// division lowering in combination.
+
+type exprGen struct {
+	r     *rand.Rand
+	depth int
+}
+
+// gen returns (source fragment, evaluator) for a random expression over
+// the variables a, b, c.
+func (g *exprGen) gen(d int) (string, func(a, b, c int32) int32) {
+	if d >= g.depth || g.r.Intn(4) == 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return "a", func(a, _, _ int32) int32 { return a }
+		case 1:
+			return "b", func(_, b, _ int32) int32 { return b }
+		case 2:
+			return "c", func(_, _, c int32) int32 { return c }
+		default:
+			v := int32(g.r.Intn(200) - 100)
+			return fmt.Sprintf("(%d)", v), func(_, _, _ int32) int32 { return v }
+		}
+	}
+	ls, lf := g.gen(d + 1)
+	rs, rf := g.gen(d + 1)
+	switch g.r.Intn(14) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), func(a, b, c int32) int32 { return lf(a, b, c) + rf(a, b, c) }
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), func(a, b, c int32) int32 { return lf(a, b, c) - rf(a, b, c) }
+	case 2:
+		return fmt.Sprintf("(%s * %s)", ls, rs), func(a, b, c int32) int32 { return lf(a, b, c) * rf(a, b, c) }
+	case 3:
+		sh := g.r.Intn(8)
+		return fmt.Sprintf("(%s << %d)", ls, sh), func(a, b, c int32) int32 { return lf(a, b, c) << sh }
+	case 4:
+		sh := g.r.Intn(8)
+		return fmt.Sprintf("(%s >> %d)", ls, sh), func(a, b, c int32) int32 { return lf(a, b, c) >> sh }
+	case 5:
+		return fmt.Sprintf("(%s & %s)", ls, rs), func(a, b, c int32) int32 { return lf(a, b, c) & rf(a, b, c) }
+	case 6:
+		return fmt.Sprintf("(%s | %s)", ls, rs), func(a, b, c int32) int32 { return lf(a, b, c) | rf(a, b, c) }
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", ls, rs), func(a, b, c int32) int32 { return lf(a, b, c) ^ rf(a, b, c) }
+	case 8:
+		cs, cf := g.gen(d + 1)
+		return fmt.Sprintf("(%s ? %s : %s)", cs, ls, rs), func(a, b, c int32) int32 {
+			if cf(a, b, c) != 0 {
+				return lf(a, b, c)
+			}
+			return rf(a, b, c)
+		}
+	case 9:
+		return fmt.Sprintf("min(%s, %s)", ls, rs), func(a, b, c int32) int32 {
+			l, r := lf(a, b, c), rf(a, b, c)
+			if l < r {
+				return l
+			}
+			return r
+		}
+	case 10:
+		return fmt.Sprintf("(%s < %s)", ls, rs), func(a, b, c int32) int32 {
+			if lf(a, b, c) < rf(a, b, c) {
+				return 1
+			}
+			return 0
+		}
+	case 11:
+		pw := int32(1) << (1 + g.r.Intn(4))
+		return fmt.Sprintf("(%s / %d)", ls, pw), func(a, b, c int32) int32 { return lf(a, b, c) / pw }
+	case 12:
+		return fmt.Sprintf("(byte)(%s)", ls), func(a, b, c int32) int32 { return lf(a, b, c) & 0xff }
+	default:
+		return fmt.Sprintf("abs(%s)", ls), func(a, b, c int32) int32 {
+			v := lf(a, b, c)
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+	}
+}
+
+func TestRandomExpressionsAgainstDirectEvaluation(t *testing.T) {
+	r := rand.New(rand.NewSource(20260705))
+	inputs := [][3]int32{
+		{0, 0, 0}, {1, -1, 2}, {255, 128, 7}, {-100, 99, -3},
+		{2147483647, -2147483648, 1}, {12345, -9876, 42},
+	}
+	for trial := 0; trial < 200; trial++ {
+		g := &exprGen{r: r, depth: 4}
+		src, eval := g.gen(0)
+		kernel := fmt.Sprintf(`kernel f(int out[], int a, int b, int c) { out[0] = %s; }`, src)
+		fn, err := CompileKernel(kernel)
+		if err != nil {
+			t.Fatalf("trial %d: compile %q: %v", trial, src, err)
+		}
+		for _, in := range inputs {
+			out := []int32{0}
+			env := ir.NewEnv(in[0], in[1], in[2]).Bind("out", out)
+			if _, err := ir.Interp(fn, env); err != nil {
+				t.Fatalf("trial %d: interp %q: %v", trial, src, err)
+			}
+			if want := eval(in[0], in[1], in[2]); out[0] != want {
+				t.Fatalf("trial %d: %s with (a,b,c)=%v = %d, want %d",
+					trial, src, in, out[0], want)
+			}
+		}
+	}
+}
+
+func TestRandomExpressionsSurviveParsing(t *testing.T) {
+	// Unparenthesized mixes stress precedence handling: regenerate the
+	// trees without the outer parens by stripping them and re-parsing.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		g := &exprGen{r: r, depth: 3}
+		src, _ := g.gen(0)
+		flat := strings.ReplaceAll(src, "(", " ( ")
+		kernel := fmt.Sprintf(`kernel f(int out[], int a, int b, int c) { out[0] = %s; }`, flat)
+		if _, err := CompileKernel(kernel); err != nil {
+			t.Fatalf("trial %d: %q: %v", trial, flat, err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cc
+
+import "testing"
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex("kernel f(int n) { x <<= 3; y = 0x1F + 12; /* c */ // d\n }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{
+		KWKernel, IDENT, LPAREN, KWInt, IDENT, RPAREN, LBRACE,
+		IDENT, SHLEQ, NUMBER, SEMI,
+		IDENT, ASSIGN, NUMBER, PLUS, NUMBER, SEMI,
+		RBRACE, EOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[9].Val != 3 {
+		t.Errorf("shift literal = %d, want 3", toks[9].Val)
+	}
+	if toks[13].Val != 0x1f {
+		t.Errorf("hex literal = %d, want 31", toks[13].Val)
+	}
+}
+
+func TestLexOperatorsLongestMatch(t *testing.T) {
+	toks, err := Lex("a >>= b >> c > d == e = f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{IDENT, SHREQ, IDENT, SHR, IDENT, GT, IDENT, EQ, IDENT, ASSIGN, IDENT, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %s, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b at %s, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{"@", "/* unterminated", "0x", "99999999999999"}
+	for _, src := range cases {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexHexMax(t *testing.T) {
+	toks, err := Lex("0xFFFFFFFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Val != -1 {
+		t.Errorf("0xFFFFFFFF = %d, want -1 (wraparound)", toks[0].Val)
+	}
+}

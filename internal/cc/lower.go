@@ -1,0 +1,677 @@
+package cc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"customfit/internal/ir"
+)
+
+// Compile parses, checks and lowers CKC source, returning one ir.Func
+// per kernel.
+func Compile(src string) ([]*ir.Func, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(file); err != nil {
+		return nil, err
+	}
+	return LowerFile(file)
+}
+
+// CompileKernel is Compile for sources containing a single kernel.
+func CompileKernel(src string) (*ir.Func, error) {
+	fns, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(fns) != 1 {
+		return nil, fmt.Errorf("cc: source defines %d kernels, want 1", len(fns))
+	}
+	return fns[0], nil
+}
+
+// LowerFile lowers every kernel in a checked file to IR. Each function
+// gets its own MemRef instances for the file's globals; the simulator
+// binds them by name.
+func LowerFile(f *File) ([]*ir.Func, error) {
+	var out []*ir.Func
+	for _, k := range f.Kernels {
+		fn, err := lowerKernel(f, k)
+		if err != nil {
+			return nil, err
+		}
+		fn.RemoveUnreachable()
+		if err := fn.Verify(); err != nil {
+			return nil, fmt.Errorf("cc: internal error lowering %s: %w", k.Name, err)
+		}
+		out = append(out, fn)
+	}
+	return out, nil
+}
+
+type lsymKind uint8
+
+const (
+	lScalar lsymKind = iota
+	lArray
+	lConstVal // full-unroll induction binding
+)
+
+type lsym struct {
+	kind lsymKind
+	reg  ir.Reg     // lScalar home register
+	mem  *ir.MemRef // lArray
+	val  int32      // lConstVal
+}
+
+type lscope struct {
+	parent *lscope
+	syms   map[string]*lsym
+}
+
+func (s *lscope) lookup(name string) *lsym {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+type lowerer struct {
+	f       *ir.Func
+	cur     *ir.Block
+	memSeq  int
+	retSeen bool
+}
+
+func lowerKernel(file *File, k *Kernel) (*ir.Func, error) {
+	lw := &lowerer{f: ir.NewFunc(k.Name)}
+	globalScope := &lscope{syms: map[string]*lsym{}}
+
+	for _, g := range file.Globals {
+		size, _ := EvalConst(g.Size)
+		mem := &ir.MemRef{
+			Name:   g.Name,
+			Space:  ir.L1,
+			Elem:   g.Type.Elem(),
+			Size:   int(size),
+			Global: true,
+			Const:  g.IsConst,
+			Init:   constInits(g),
+		}
+		lw.f.AddMem(mem)
+		globalScope.syms[g.Name] = &lsym{kind: lArray, mem: mem}
+	}
+
+	paramScope := &lscope{parent: globalScope, syms: map[string]*lsym{}}
+	for _, p := range k.Params {
+		if p.IsArray {
+			mem := &ir.MemRef{
+				Name:    p.Name,
+				Space:   ir.L2,
+				Elem:    p.Type.Elem(),
+				IsParam: true,
+			}
+			lw.f.AddMem(mem)
+			paramScope.syms[p.Name] = &lsym{kind: lArray, mem: mem}
+		} else {
+			pp := lw.f.AddScalarParam(p.Name)
+			paramScope.syms[p.Name] = &lsym{kind: lScalar, reg: pp.Reg}
+		}
+	}
+
+	lw.cur = lw.f.NewBlock("entry")
+	if err := lw.block(paramScope, k.Body); err != nil {
+		return nil, err
+	}
+	if lw.cur.Terminator() == nil {
+		lw.cur.Append(&ir.Instr{Op: ir.OpRet, Dest: ir.NoReg})
+	}
+	return lw.f, nil
+}
+
+func constInits(d *VarDecl) []int32 {
+	if len(d.Inits) == 0 {
+		return nil
+	}
+	out := make([]int32, len(d.Inits))
+	for i, e := range d.Inits {
+		v, _ := EvalConst(e)
+		out[i] = d.Type.Elem().Truncate(v)
+	}
+	return out
+}
+
+// emit appends a pure instruction, constant-folding when all operands
+// are immediates, and returns the result operand.
+func (lw *lowerer) emit(op ir.Op, args ...ir.Operand) ir.Operand {
+	allImm := true
+	for _, a := range args {
+		if !a.IsImm() {
+			allImm = false
+			break
+		}
+	}
+	if allImm {
+		vals := make([]int32, len(args))
+		for i, a := range args {
+			vals[i] = a.Imm
+		}
+		return ir.Imm(op.Eval(vals...))
+	}
+	dest := lw.f.NewReg()
+	lw.cur.Append(ir.NewInstr(op, dest, args...))
+	return ir.R(dest)
+}
+
+// emitTo appends `mov dest, src` (no folding; dest is a home register).
+func (lw *lowerer) emitTo(dest ir.Reg, src ir.Operand) {
+	lw.cur.Append(ir.NewInstr(ir.OpMov, dest, src))
+}
+
+func (lw *lowerer) block(parent *lscope, b *BlockStmt) error {
+	sc := &lscope{parent: parent, syms: map[string]*lsym{}}
+	for _, s := range b.Stmts {
+		if err := lw.stmt(sc, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(sc *lscope, s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return lw.block(sc, st)
+	case *DeclStmt:
+		return lw.decl(sc, st.Decl)
+	case *AssignStmt:
+		return lw.assign(sc, st)
+	case *IfStmt:
+		return lw.ifStmt(sc, st)
+	case *ForStmt:
+		return lw.forStmt(sc, st)
+	case *ReturnStmt:
+		lw.cur.Append(&ir.Instr{Op: ir.OpRet, Dest: ir.NoReg})
+		lw.cur = lw.f.NewBlock("dead")
+		return nil
+	}
+	return fmt.Errorf("cc: unknown statement %T", s)
+}
+
+func (lw *lowerer) decl(sc *lscope, d *VarDecl) error {
+	if d.IsArray {
+		size, _ := EvalConst(d.Size)
+		name := d.Name
+		if lw.f.MemByName(name) != nil {
+			lw.memSeq++
+			name = fmt.Sprintf("%s$%d", d.Name, lw.memSeq)
+		}
+		mem := &ir.MemRef{
+			Name:  name,
+			Space: ir.L1,
+			Elem:  d.Type.Elem(),
+			Size:  int(size),
+			Const: d.IsConst,
+			Init:  constInits(d),
+		}
+		lw.f.AddMem(mem)
+		sc.syms[d.Name] = &lsym{kind: lArray, mem: mem}
+		return nil
+	}
+	home := lw.f.NewReg()
+	init := ir.Imm(0) // CKC zero-initializes scalars (documented divergence from C)
+	if d.Init != nil {
+		v, err := lw.expr(sc, d.Init)
+		if err != nil {
+			return err
+		}
+		init = v
+	}
+	lw.emitTo(home, init)
+	sc.syms[d.Name] = &lsym{kind: lScalar, reg: home}
+	return nil
+}
+
+func (lw *lowerer) assign(sc *lscope, st *AssignStmt) error {
+	sym := sc.lookup(st.LHS.Name)
+	if sym == nil {
+		return errf(st.LHS.Pos, "undeclared variable %q", st.LHS.Name)
+	}
+	// Compute the new value. Compound assignment reads the old value.
+	var old ir.Operand
+	var idx ir.Operand
+	if st.LHS.Index != nil {
+		v, err := lw.expr(sc, st.LHS.Index)
+		if err != nil {
+			return err
+		}
+		idx = v
+	}
+	if st.Op != ASSIGN {
+		if st.LHS.Index == nil {
+			old = ir.R(sym.reg)
+		} else {
+			old = lw.load(sym.mem, idx)
+		}
+	}
+	rhs, err := lw.expr(sc, st.RHS)
+	if err != nil {
+		return err
+	}
+	val := rhs
+	if st.Op != ASSIGN {
+		val, err = lw.binOp(compoundBase(st.Op), old, rhs, st.Pos)
+		if err != nil {
+			return err
+		}
+	}
+	if st.LHS.Index == nil {
+		lw.emitTo(sym.reg, val)
+		return nil
+	}
+	lw.cur.Append(&ir.Instr{
+		Op: ir.OpStore, Dest: ir.NoReg,
+		Args: []ir.Operand{idx, val},
+		Mem:  sym.mem, Elem: sym.mem.Elem,
+	})
+	return nil
+}
+
+func compoundBase(k Kind) Kind {
+	switch k {
+	case PLUSEQ:
+		return PLUS
+	case MINUSEQ:
+		return MINUS
+	case STAREQ:
+		return STAR
+	case SLASHEQ:
+		return SLASH
+	case PERCENTEQ:
+		return PERCENT
+	case SHLEQ:
+		return SHL
+	case SHREQ:
+		return SHR
+	case ANDEQ:
+		return AMP
+	case OREQ:
+		return PIPE
+	case XOREQ:
+		return CARET
+	}
+	panic(fmt.Sprintf("cc: not a compound assignment op: %s", k))
+}
+
+func (lw *lowerer) load(mem *ir.MemRef, idx ir.Operand) ir.Operand {
+	dest := lw.f.NewReg()
+	lw.cur.Append(&ir.Instr{
+		Op: ir.OpLoad, Dest: dest,
+		Args: []ir.Operand{idx},
+		Mem:  mem, Elem: mem.Elem,
+	})
+	return ir.R(dest)
+}
+
+func (lw *lowerer) ifStmt(sc *lscope, st *IfStmt) error {
+	cond, err := lw.expr(sc, st.Cond)
+	if err != nil {
+		return err
+	}
+	if cond.IsImm() {
+		// Statically decided branch: lower only the taken arm.
+		if cond.Imm != 0 {
+			return lw.block(sc, st.Then)
+		}
+		if st.Else != nil {
+			return lw.block(sc, st.Else)
+		}
+		return nil
+	}
+	thenB := lw.f.NewBlock("then")
+	join := lw.f.NewBlock("join")
+	elseB := join
+	if st.Else != nil {
+		elseB = lw.f.NewBlock("else")
+	}
+	lw.cur.Append(&ir.Instr{
+		Op: ir.OpCBr, Dest: ir.NoReg,
+		Args:    []ir.Operand{cond},
+		Targets: []*ir.Block{thenB, elseB},
+	})
+	lw.cur = thenB
+	if err := lw.block(sc, st.Then); err != nil {
+		return err
+	}
+	if lw.cur.Terminator() == nil {
+		lw.cur.Append(&ir.Instr{Op: ir.OpBr, Dest: ir.NoReg, Targets: []*ir.Block{join}})
+	}
+	if st.Else != nil {
+		lw.cur = elseB
+		if err := lw.block(sc, st.Else); err != nil {
+			return err
+		}
+		if lw.cur.Terminator() == nil {
+			lw.cur.Append(&ir.Instr{Op: ir.OpBr, Dest: ir.NoReg, Targets: []*ir.Block{join}})
+		}
+	}
+	lw.cur = join
+	return nil
+}
+
+func (lw *lowerer) forStmt(sc *lscope, st *ForStmt) error {
+	sym := sc.lookup(st.Var)
+	if sym == nil || sym.kind != lScalar {
+		return errf(st.Pos, "loop variable %q must be a declared scalar", st.Var)
+	}
+	bound, le := loopBoundExpr(st)
+	initV, initConst := EvalConst(st.Init)
+	boundV, boundConst := EvalConst(bound)
+	if initConst && boundConst {
+		trip := int(boundV - initV)
+		if le {
+			trip++
+		}
+		if trip <= MaxFullUnroll {
+			return lw.fullUnroll(sc, st, initV, trip)
+		}
+	}
+	return lw.pixelLoop(sc, st, sym, bound, le)
+}
+
+func loopBoundExpr(st *ForStmt) (Expr, bool) {
+	be := st.Cond.(*BinaryExpr) // shape validated by Check
+	return be.R, be.Op == LE
+}
+
+// fullUnroll expands a constant-trip loop by binding the induction
+// variable to each constant value in turn. The loop variable's home
+// register is left holding its final value, matching C semantics.
+func (lw *lowerer) fullUnroll(sc *lscope, st *ForStmt, init int32, trip int) error {
+	inner := &lscope{parent: sc, syms: map[string]*lsym{}}
+	bind := &lsym{kind: lConstVal}
+	inner.syms[st.Var] = bind
+	for k := 0; k < trip; k++ {
+		bind.val = init + int32(k)
+		if err := lw.block(inner, st.Body); err != nil {
+			return err
+		}
+	}
+	// Final value visible after the loop.
+	outer := sc.lookup(st.Var)
+	lw.emitTo(outer.reg, ir.Imm(init+int32(trip)))
+	return nil
+}
+
+// pixelLoop lowers the kernel's runtime-trip streaming loop in rotated
+// form and records LoopInfo for the unroller and scheduler.
+func (lw *lowerer) pixelLoop(sc *lscope, st *ForStmt, sym *lsym, bound Expr, le bool) error {
+	if lw.f.Loop != nil {
+		return errf(st.Pos, "kernel has more than one runtime-bound loop")
+	}
+	limit, err := lw.expr(sc, bound)
+	if err != nil {
+		return err
+	}
+	if le {
+		limit = lw.emit(ir.OpAdd, limit, ir.Imm(1))
+	}
+	initV, err := lw.expr(sc, st.Init)
+	if err != nil {
+		return err
+	}
+	lw.emitTo(sym.reg, initV)
+
+	pre := lw.cur
+	body := lw.f.NewBlock("loop")
+	exit := lw.f.NewBlock("exit")
+	guard := lw.emit(ir.OpCmpLT, ir.R(sym.reg), limit)
+	lw.appendCBr(guard, body, exit)
+
+	lw.cur = body
+	if err := lw.block(sc, st.Body); err != nil {
+		return err
+	}
+	if lw.cur.Terminator() != nil {
+		return errf(st.Pos, "return inside the pixel loop is not supported")
+	}
+	latch := lw.cur
+	// Control tail: i' = i + 1; i = i'; t = i' < limit; cbr t, body, exit.
+	nxt := lw.emit(ir.OpAdd, ir.R(sym.reg), ir.Imm(1))
+	lw.emitTo(sym.reg, nxt)
+	back := lw.emit(ir.OpCmpLT, nxt, limit)
+	lw.appendCBr(back, body, exit)
+
+	lw.f.Loop = &ir.LoopInfo{
+		Preheader: pre,
+		Header:    body,
+		Latch:     latch,
+		Exit:      exit,
+		IndVar:    sym.reg,
+		Limit:     limit,
+		Step:      1,
+	}
+	lw.cur = exit
+	return nil
+}
+
+func (lw *lowerer) appendCBr(cond ir.Operand, t, f *ir.Block) {
+	if cond.IsImm() {
+		target := f
+		if cond.Imm != 0 {
+			target = t
+		}
+		lw.cur.Append(&ir.Instr{Op: ir.OpBr, Dest: ir.NoReg, Targets: []*ir.Block{target}})
+		return
+	}
+	lw.cur.Append(&ir.Instr{
+		Op: ir.OpCBr, Dest: ir.NoReg,
+		Args:    []ir.Operand{cond},
+		Targets: []*ir.Block{t, f},
+	})
+}
+
+// expr lowers an expression to an operand (immediate when constant).
+func (lw *lowerer) expr(sc *lscope, e Expr) (ir.Operand, error) {
+	switch ex := e.(type) {
+	case *IntLit:
+		return ir.Imm(ex.Val), nil
+	case *VarRef:
+		sym := sc.lookup(ex.Name)
+		if sym == nil {
+			return ir.Operand{}, errf(ex.Pos, "undeclared variable %q", ex.Name)
+		}
+		switch sym.kind {
+		case lConstVal:
+			return ir.Imm(sym.val), nil
+		case lScalar:
+			return ir.R(sym.reg), nil
+		}
+		return ir.Operand{}, errf(ex.Pos, "array %q used without an index", ex.Name)
+	case *IndexExpr:
+		sym := sc.lookup(ex.Name)
+		if sym == nil || sym.kind != lArray {
+			return ir.Operand{}, errf(ex.Pos, "undeclared array %q", ex.Name)
+		}
+		idx, err := lw.expr(sc, ex.Index)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return lw.load(sym.mem, idx), nil
+	case *BinaryExpr:
+		l, err := lw.expr(sc, ex.L)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		r, err := lw.expr(sc, ex.R)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return lw.binOp(ex.Op, l, r, ex.Pos)
+	case *UnaryExpr:
+		x, err := lw.expr(sc, ex.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		switch ex.Op {
+		case MINUS:
+			return lw.emit(ir.OpSub, ir.Imm(0), x), nil
+		case TILDE:
+			return lw.emit(ir.OpXor, x, ir.Imm(-1)), nil
+		case BANG:
+			return lw.emit(ir.OpCmpEQ, x, ir.Imm(0)), nil
+		}
+		return ir.Operand{}, errf(ex.Pos, "unsupported unary operator %s", ex.Op)
+	case *CondExpr:
+		c, err := lw.expr(sc, ex.Cond)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		t, err := lw.expr(sc, ex.Then)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		f, err := lw.expr(sc, ex.Else)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return lw.emit(ir.OpSelect, c, t, f), nil
+	case *CastExpr:
+		x, err := lw.expr(sc, ex.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		switch ex.Type {
+		case TInt:
+			return x, nil
+		case TByte:
+			return lw.emit(ir.OpAnd, x, ir.Imm(0xff)), nil
+		case TUShort:
+			return lw.emit(ir.OpAnd, x, ir.Imm(0xffff)), nil
+		case TSByte:
+			t := lw.emit(ir.OpShl, x, ir.Imm(24))
+			return lw.emit(ir.OpShrA, t, ir.Imm(24)), nil
+		case TShort:
+			t := lw.emit(ir.OpShl, x, ir.Imm(16))
+			return lw.emit(ir.OpShrA, t, ir.Imm(16)), nil
+		}
+		return ir.Operand{}, errf(ex.Pos, "unsupported cast")
+	case *CallExpr:
+		return lw.builtin(sc, ex)
+	}
+	return ir.Operand{}, fmt.Errorf("cc: unknown expression %T", e)
+}
+
+func (lw *lowerer) builtin(sc *lscope, ex *CallExpr) (ir.Operand, error) {
+	args := make([]ir.Operand, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := lw.expr(sc, a)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		args[i] = v
+	}
+	switch ex.Name {
+	case "min":
+		c := lw.emit(ir.OpCmpLT, args[0], args[1])
+		return lw.emit(ir.OpSelect, c, args[0], args[1]), nil
+	case "max":
+		c := lw.emit(ir.OpCmpGT, args[0], args[1])
+		return lw.emit(ir.OpSelect, c, args[0], args[1]), nil
+	case "abs":
+		neg := lw.emit(ir.OpSub, ir.Imm(0), args[0])
+		c := lw.emit(ir.OpCmpLT, args[0], ir.Imm(0))
+		return lw.emit(ir.OpSelect, c, neg, args[0]), nil
+	case "clamp":
+		cLo := lw.emit(ir.OpCmpLT, args[0], args[1])
+		lo := lw.emit(ir.OpSelect, cLo, args[1], args[0])
+		cHi := lw.emit(ir.OpCmpGT, lo, args[2])
+		return lw.emit(ir.OpSelect, cHi, args[2], lo), nil
+	}
+	return ir.Operand{}, errf(ex.Pos, "unknown function %q", ex.Name)
+}
+
+// binOp lowers a binary operation, handling the operators that need
+// expansion: logical and/or normalize to booleans, division and modulo
+// by power-of-two constants expand to shift sequences with the C
+// round-toward-zero fixup.
+func (lw *lowerer) binOp(op Kind, l, r ir.Operand, pos Pos) (ir.Operand, error) {
+	switch op {
+	case PLUS:
+		return lw.emit(ir.OpAdd, l, r), nil
+	case MINUS:
+		return lw.emit(ir.OpSub, l, r), nil
+	case STAR:
+		return lw.emit(ir.OpMul, l, r), nil
+	case SHL:
+		return lw.emit(ir.OpShl, l, r), nil
+	case SHR:
+		// C's >> on signed int is arithmetic on every relevant target.
+		return lw.emit(ir.OpShrA, l, r), nil
+	case AMP:
+		return lw.emit(ir.OpAnd, l, r), nil
+	case PIPE:
+		return lw.emit(ir.OpOr, l, r), nil
+	case CARET:
+		return lw.emit(ir.OpXor, l, r), nil
+	case EQ:
+		return lw.emit(ir.OpCmpEQ, l, r), nil
+	case NE:
+		return lw.emit(ir.OpCmpNE, l, r), nil
+	case LT:
+		return lw.emit(ir.OpCmpLT, l, r), nil
+	case LE:
+		return lw.emit(ir.OpCmpLE, l, r), nil
+	case GT:
+		return lw.emit(ir.OpCmpGT, l, r), nil
+	case GE:
+		return lw.emit(ir.OpCmpGE, l, r), nil
+	case ANDAND:
+		lb := lw.toBool(l)
+		rb := lw.toBool(r)
+		return lw.emit(ir.OpAnd, lb, rb), nil
+	case OROR:
+		lb := lw.toBool(l)
+		rb := lw.toBool(r)
+		return lw.emit(ir.OpOr, lb, rb), nil
+	case SLASH, PERCENT:
+		if !r.IsImm() || r.Imm <= 0 || r.Imm&(r.Imm-1) != 0 {
+			return ir.Operand{}, errf(pos, "division/modulo only by positive power-of-two constants")
+		}
+		return lw.divPow2(op, l, r.Imm), nil
+	}
+	return ir.Operand{}, errf(pos, "unsupported binary operator %s", op)
+}
+
+// toBool normalizes a value to 0/1 for logical connectives.
+func (lw *lowerer) toBool(x ir.Operand) ir.Operand {
+	return lw.emit(ir.OpCmpNE, x, ir.Imm(0))
+}
+
+// divPow2 expands x / 2^k (or x % 2^k) with C truncation semantics:
+//
+//	bias = (x >> 31) & (2^k - 1)   // 2^k-1 if x negative, else 0
+//	q    = (x + bias) >> k
+//	rem  = x - (q << k)
+func (lw *lowerer) divPow2(op Kind, x ir.Operand, c int32) ir.Operand {
+	k := int32(bits.TrailingZeros32(uint32(c)))
+	if k == 0 { // division by 1
+		if op == SLASH {
+			return x
+		}
+		return ir.Imm(0)
+	}
+	sign := lw.emit(ir.OpShrA, x, ir.Imm(31))
+	bias := lw.emit(ir.OpAnd, sign, ir.Imm(c-1))
+	biased := lw.emit(ir.OpAdd, x, bias)
+	q := lw.emit(ir.OpShrA, biased, ir.Imm(k))
+	if op == SLASH {
+		return q
+	}
+	back := lw.emit(ir.OpShl, q, ir.Imm(k))
+	return lw.emit(ir.OpSub, x, back)
+}

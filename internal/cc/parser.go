@@ -1,0 +1,545 @@
+package cc
+
+import "fmt"
+
+// Parser is a recursive-descent parser for CKC.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses a CKC translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.file()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) at(k Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, describe(p.cur()))
+	}
+	return p.next(), nil
+}
+
+func describe(t Token) string {
+	if t.Kind == IDENT || t.Kind == NUMBER {
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	}
+	return fmt.Sprintf("%q", t.Kind.String())
+}
+
+func isTypeKw(k Kind) bool {
+	switch k {
+	case KWInt, KWShort, KWUShort, KWByte, KWSByte:
+		return true
+	}
+	return false
+}
+
+func typeOf(k Kind) Type {
+	switch k {
+	case KWShort:
+		return TShort
+	case KWUShort:
+		return TUShort
+	case KWByte:
+		return TByte
+	case KWSByte:
+		return TSByte
+	default:
+		return TInt
+	}
+}
+
+func (p *Parser) file() (*File, error) {
+	f := &File{}
+	for !p.at(EOF) {
+		switch {
+		case p.at(KWKernel):
+			k, err := p.kernel()
+			if err != nil {
+				return nil, err
+			}
+			f.Kernels = append(f.Kernels, k)
+		case p.at(KWConst) || isTypeKw(p.cur().Kind):
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Globals = append(f.Globals, d)
+		default:
+			return nil, errf(p.cur().Pos, "expected declaration or kernel, found %s", describe(p.cur()))
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) kernel() (*Kernel, error) {
+	kw, _ := p.expect(KWKernel)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	k := &Kernel{Name: name.Text, Pos: kw.Pos}
+	for !p.at(RPAREN) {
+		if len(k.Params) > 0 {
+			if _, err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+		if !isTypeKw(p.cur().Kind) {
+			return nil, errf(p.cur().Pos, "expected parameter type, found %s", describe(p.cur()))
+		}
+		ty := typeOf(p.next().Kind)
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		pd := &ParamDecl{Name: pn.Text, Type: ty, Pos: pn.Pos}
+		if p.accept(LBRACK) {
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			pd.IsArray = true
+		}
+		k.Params = append(k.Params, pd)
+	}
+	p.next() // RPAREN
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+	return k, nil
+}
+
+// varDecl parses `[const] type name;`, `[const] type name = expr;`,
+// `[const] type name[N];` or `[const] type name[N] = {a, b, ...};`.
+func (p *Parser) varDecl() (*VarDecl, error) {
+	d := &VarDecl{}
+	if p.accept(KWConst) {
+		d.IsConst = true
+	}
+	if !isTypeKw(p.cur().Kind) {
+		return nil, errf(p.cur().Pos, "expected type, found %s", describe(p.cur()))
+	}
+	d.Type = typeOf(p.next().Kind)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	d.Pos = name.Pos
+	if p.accept(LBRACK) {
+		d.IsArray = true
+		size, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Size = size
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(ASSIGN) {
+		if d.IsArray {
+			if _, err := p.expect(LBRACE); err != nil {
+				return nil, err
+			}
+			for !p.at(RBRACE) {
+				if len(d.Inits) > 0 {
+					if _, err := p.expect(COMMA); err != nil {
+						return nil, err
+					}
+					if p.at(RBRACE) { // trailing comma
+						break
+					}
+				}
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				d.Inits = append(d.Inits, e)
+			}
+			p.next() // RBRACE
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) block() (*BlockStmt, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for !p.at(RBRACE) {
+		if p.at(EOF) {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.next() // RBRACE
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	switch {
+	case p.accept(SEMI):
+		return nil, nil
+	case p.at(LBRACE):
+		return p.block()
+	case p.at(KWConst) || isTypeKw(p.cur().Kind):
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decl: d}, nil
+	case p.at(KWFor):
+		return p.forStmt()
+	case p.at(KWIf):
+		return p.ifStmt()
+	case p.at(KWReturn):
+		t := p.next()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos: t.Pos}, nil
+	case p.at(IDENT):
+		s, err := p.assign()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	return nil, errf(p.cur().Pos, "expected statement, found %s", describe(p.cur()))
+}
+
+func isAssignOp(k Kind) bool {
+	switch k {
+	case ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ, PERCENTEQ, SHLEQ, SHREQ,
+		ANDEQ, OREQ, XOREQ:
+		return true
+	}
+	return false
+}
+
+// assign parses `lvalue op= expr`, `lvalue++` or `lvalue--` (without the
+// trailing semicolon, so forStmt can reuse it).
+func (p *Parser) assign() (*AssignStmt, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	lv := &LValue{Name: name.Text, Pos: name.Pos}
+	if p.accept(LBRACK) {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		lv.Index = idx
+		if _, err := p.expect(RBRACK); err != nil {
+			return nil, err
+		}
+	}
+	t := p.cur()
+	switch {
+	case t.Kind == PLUSPLUS:
+		p.next()
+		return &AssignStmt{LHS: lv, Op: PLUSEQ, RHS: &IntLit{Val: 1, Pos: t.Pos}, Pos: t.Pos}, nil
+	case t.Kind == MINUSMINUS:
+		p.next()
+		return &AssignStmt{LHS: lv, Op: MINUSEQ, RHS: &IntLit{Val: 1, Pos: t.Pos}, Pos: t.Pos}, nil
+	case isAssignOp(t.Kind):
+		p.next()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{LHS: lv, Op: t.Kind, RHS: rhs, Pos: t.Pos}, nil
+	}
+	return nil, errf(t.Pos, "expected assignment operator, found %s", describe(t))
+}
+
+// forStmt parses the canonical counting loop
+// `for (v = init; v < bound; v++) body` (<= is also accepted and
+// normalized to < during checking).
+func (p *Parser) forStmt() (Stmt, error) {
+	kw := p.next() // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	initStmt, err := p.assign()
+	if err != nil {
+		return nil, err
+	}
+	if initStmt.Op != ASSIGN || initStmt.LHS.Index != nil {
+		return nil, errf(initStmt.Pos, "for-init must be a scalar assignment `v = expr`")
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	post, err := p.assign()
+	if err != nil {
+		return nil, err
+	}
+	if post.LHS.Index != nil || post.LHS.Name != initStmt.LHS.Name ||
+		post.Op != PLUSEQ || !isLitOne(post.RHS) {
+		return nil, errf(post.Pos, "for-post must be `%s++`", initStmt.LHS.Name)
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	var body *BlockStmt
+	if p.at(LBRACE) {
+		body, err = p.block()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = &BlockStmt{Pos: kw.Pos}
+		if s != nil {
+			body.Stmts = []Stmt{s}
+		}
+	}
+	return &ForStmt{Var: initStmt.LHS.Name, Init: initStmt.RHS, Cond: cond, Body: body, Pos: kw.Pos}, nil
+}
+
+func isLitOne(e Expr) bool {
+	l, ok := e.(*IntLit)
+	return ok && l.Val == 1
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	kw := p.next() // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	thenBlk, err := p.stmtAsBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Cond: cond, Then: thenBlk, Pos: kw.Pos}
+	if p.accept(KWElse) {
+		elseBlk, err := p.stmtAsBlock()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = elseBlk
+	}
+	return st, nil
+}
+
+func (p *Parser) stmtAsBlock() (*BlockStmt, error) {
+	if p.at(LBRACE) {
+		return p.block()
+	}
+	pos := p.cur().Pos
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: pos}
+	if s != nil {
+		b.Stmts = []Stmt{s}
+	}
+	return b, nil
+}
+
+// Expression parsing: precedence climbing following C.
+
+var binPrec = map[Kind]int{
+	OROR:   1,
+	ANDAND: 2,
+	PIPE:   3,
+	CARET:  4,
+	AMP:    5,
+	EQ:     6, NE: 6,
+	LT: 7, LE: 7, GT: 7, GE: 7,
+	SHL: 8, SHR: 8,
+	PLUS: 9, MINUS: 9,
+	STAR: 10, SLASH: 10, PERCENT: 10,
+}
+
+func (p *Parser) expr() (Expr, error) { return p.ternary() }
+
+func (p *Parser) ternary() (Expr, error) {
+	cond, err := p.binary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(QUESTION) {
+		return cond, nil
+	}
+	q := p.next()
+	thenE, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	elseE, err := p.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: thenE, Else: elseE, Pos: q.Pos}, nil
+}
+
+func (p *Parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, L: lhs, R: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case MINUS, TILDE, BANG:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*IntLit); ok && t.Kind == MINUS {
+			return &IntLit{Val: -lit.Val, Pos: t.Pos}, nil
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Pos: t.Pos}, nil
+	case PLUS:
+		p.next()
+		return p.unary()
+	case LPAREN:
+		// Either a cast `(type) x` or a parenthesized expression.
+		if isTypeKw(p.toks[p.pos+1].Kind) && p.toks[p.pos+2].Kind == RPAREN {
+			p.next()
+			ty := typeOf(p.next().Kind)
+			p.next() // RPAREN
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Type: ty, X: x, Pos: t.Pos}, nil
+		}
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return p.primary()
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case NUMBER:
+		p.next()
+		return &IntLit{Val: t.Val, Pos: t.Pos}, nil
+	case IDENT:
+		p.next()
+		switch {
+		case p.at(LPAREN):
+			p.next()
+			call := &CallExpr{Name: t.Text, Pos: t.Pos}
+			for !p.at(RPAREN) {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(COMMA); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // RPAREN
+			return call, nil
+		case p.at(LBRACK):
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACK); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.Text, Index: idx, Pos: t.Pos}, nil
+		}
+		return &VarRef{Name: t.Text, Pos: t.Pos}, nil
+	}
+	return nil, errf(t.Pos, "expected expression, found %s", describe(t))
+}

@@ -1,0 +1,194 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseKernelShape(t *testing.T) {
+	f, err := Parse(`
+		const short coef[3] = {1, 2, 3};
+		kernel scale(byte in[], byte out[], int n) {
+			int i;
+			for (i = 0; i < n; i++) {
+				out[i] = (in[i] * coef[1] + 8) >> 4;
+			}
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Globals) != 1 || f.Globals[0].Name != "coef" || !f.Globals[0].IsConst {
+		t.Fatalf("globals wrong: %+v", f.Globals)
+	}
+	if len(f.Globals[0].Inits) != 3 {
+		t.Fatalf("coef inits = %d, want 3", len(f.Globals[0].Inits))
+	}
+	if len(f.Kernels) != 1 {
+		t.Fatalf("kernels = %d, want 1", len(f.Kernels))
+	}
+	k := f.Kernels[0]
+	if k.Name != "scale" || len(k.Params) != 3 {
+		t.Fatalf("kernel shape wrong: %s %d params", k.Name, len(k.Params))
+	}
+	if !k.Params[0].IsArray || k.Params[2].IsArray {
+		t.Error("param array flags wrong")
+	}
+	if len(k.Body.Stmts) != 2 {
+		t.Fatalf("body stmts = %d, want 2", len(k.Body.Stmts))
+	}
+	loop, ok := k.Body.Stmts[1].(*ForStmt)
+	if !ok || loop.Var != "i" {
+		t.Fatalf("second stmt not a for over i: %T", k.Body.Stmts[1])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := Parse(`kernel k(int a, int b, int c) { int x; x = a + b * c; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := f.Kernels[0].Body.Stmts[1].(*AssignStmt)
+	add, ok := asn.RHS.(*BinaryExpr)
+	if !ok || add.Op != PLUS {
+		t.Fatalf("top op = %v, want +", asn.RHS)
+	}
+	mul, ok := add.R.(*BinaryExpr)
+	if !ok || mul.Op != STAR {
+		t.Fatalf("rhs of + is %T, want *", add.R)
+	}
+}
+
+func TestParseTernaryRightAssoc(t *testing.T) {
+	f, err := Parse(`kernel k(int a) { int x; x = a ? 1 : a ? 2 : 3; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := f.Kernels[0].Body.Stmts[1].(*AssignStmt)
+	outer := asn.RHS.(*CondExpr)
+	if _, ok := outer.Else.(*CondExpr); !ok {
+		t.Fatalf("else arm = %T, want nested CondExpr", outer.Else)
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	f, err := Parse(`kernel k(int a) { int x; x = (byte) a; x = (a) + 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := f.Kernels[0].Body.Stmts[1].(*AssignStmt)
+	if _, ok := s1.RHS.(*CastExpr); !ok {
+		t.Fatalf("first RHS = %T, want CastExpr", s1.RHS)
+	}
+	s2 := f.Kernels[0].Body.Stmts[2].(*AssignStmt)
+	if _, ok := s2.RHS.(*BinaryExpr); !ok {
+		t.Fatalf("second RHS = %T, want BinaryExpr", s2.RHS)
+	}
+}
+
+func TestParseIncDecNormalized(t *testing.T) {
+	f, err := Parse(`kernel k(int a) { int x; x++; x--; x += 2; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := f.Kernels[0].Body.Stmts[1].(*AssignStmt)
+	if inc.Op != PLUSEQ || !isLitOne(inc.RHS) {
+		t.Error("x++ not normalized to += 1")
+	}
+	dec := f.Kernels[0].Body.Stmts[2].(*AssignStmt)
+	if dec.Op != MINUSEQ || !isLitOne(dec.RHS) {
+		t.Error("x-- not normalized to -= 1")
+	}
+}
+
+func TestParseIfElseChain(t *testing.T) {
+	f, err := Parse(`kernel k(int a) { int x; if (a > 0) x = 1; else if (a < 0) x = 2; else { x = 3; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := f.Kernels[0].Body.Stmts[1].(*IfStmt)
+	if top.Else == nil || len(top.Else.Stmts) != 1 {
+		t.Fatal("else-if chain not nested")
+	}
+	if _, ok := top.Else.Stmts[0].(*IfStmt); !ok {
+		t.Fatalf("else body = %T, want IfStmt", top.Else.Stmts[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, frag string
+	}{
+		{"kernel", "expected identifier"},
+		{"kernel k(int a) { x = ; }", "expected expression"},
+		{"kernel k(int a) { for (a; a < 3; a++) {} }", "expected assignment"},
+		{"kernel k(int a) { for (a = 0; a < 3; a += 2) {} }", "for-post"},
+		{"int x;", "must be arrays"}, // caught by Check, not Parse
+		{"kernel k(int a) { if a { } }", "expected ("},
+		{"kernel k(int a) {", "unterminated block"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err == nil {
+			err = Check(f)
+		}
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q) error = %v, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseTrailingCommaInInit(t *testing.T) {
+	f, err := Parse(`const int t[2] = {1, 2,}; kernel k(int a) { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Globals[0].Inits) != 2 {
+		t.Fatalf("inits = %d, want 2", len(f.Globals[0].Inits))
+	}
+}
+
+func TestParseCompoundOpsOnArrays(t *testing.T) {
+	f, err := Parse(`kernel k(int a[], int n) { a[0] += 3; a[1] <<= 2; a[2]++; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := f.Kernels[0].Body.Stmts
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+	if stmts[0].(*AssignStmt).Op != PLUSEQ || stmts[1].(*AssignStmt).Op != SHLEQ {
+		t.Error("compound ops mis-parsed")
+	}
+}
+
+func TestParseForSingleStatementBody(t *testing.T) {
+	f, err := Parse(`kernel k(int o[], int n) { int i; for (i = 0; i < n; i++) o[i] = i; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := f.Kernels[0].Body.Stmts[1].(*ForStmt)
+	if len(loop.Body.Stmts) != 1 {
+		t.Errorf("single-statement for body = %d stmts", len(loop.Body.Stmts))
+	}
+}
+
+func TestParseUnaryChains(t *testing.T) {
+	f, err := Parse(`kernel k(int a) { int x; x = - - a; x = ~~a; x = !!a; x = -~!a; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Kernels[0].Body.Stmts) != 5 {
+		t.Error("unary chains mis-parsed")
+	}
+}
+
+func TestParseEmptyKernelAndSemicolons(t *testing.T) {
+	f, err := Parse(`kernel k(int a) { ;;; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Kernels[0].Body.Stmts) != 0 {
+		t.Error("stray semicolons produced statements")
+	}
+}

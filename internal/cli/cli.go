@@ -1,0 +1,24 @@
+// Package cli holds small helpers shared by the cfp-* command-line
+// tools.
+package cli
+
+import (
+	"fmt"
+
+	"customfit/internal/machine"
+)
+
+// ParseArch parses the paper's positional architecture tuple
+// "a m r p2 l2 c" (e.g. "8 2 128 1 4 4") and validates it.
+func ParseArch(s string) (machine.Arch, error) {
+	var a machine.Arch
+	n, err := fmt.Sscanf(s, "%d %d %d %d %d %d",
+		&a.ALUs, &a.MULs, &a.Regs, &a.L2Ports, &a.L2Lat, &a.Clusters)
+	if err != nil || n != 6 {
+		return a, fmt.Errorf("architecture must be six integers \"a m r p2 l2 c\", got %q", s)
+	}
+	if err := a.Validate(); err != nil {
+		return a, err
+	}
+	return a, nil
+}

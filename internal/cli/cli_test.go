@@ -1,0 +1,40 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"customfit/internal/machine"
+)
+
+func TestParseArch(t *testing.T) {
+	a, err := ParseArch("8 2 128 1 4 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := machine.Arch{ALUs: 8, MULs: 2, Regs: 128, L2Ports: 1, L2Lat: 4, Clusters: 4}
+	if a != want {
+		t.Errorf("ParseArch = %v, want %v", a, want)
+	}
+}
+
+func TestParseArchErrors(t *testing.T) {
+	cases := []struct {
+		in, frag string
+	}{
+		{"8 2 128 1 4", "six integers"},
+		{"a b c d e f", "six integers"},
+		{"", "six integers"},
+		{"0 1 64 1 4 1", "out of range"},    // zero ALUs invalid
+		{"8 2 128 1 4 3", "divisible"},      // clusters don't divide
+		{"8 2 128 9 4 1", "L2Ports"},        // too many ports
+		{"8 2 128 1 99 1", "L2Lat"},         // latency out of range
+		{"4 2 64 1 8 8", "clusters exceed"}, // more clusters than ALUs
+	}
+	for _, c := range cases {
+		_, err := ParseArch(c.in)
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseArch(%q) = %v, want error containing %q", c.in, err, c.frag)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package core is the high-level facade over the custom-fit toolchain:
+// compile a CKC kernel for any architecture in the template, simulate
+// it cycle-accurately, explore the design space, and "custom-fit" an
+// architecture to an application under a cost budget — the paper's
+// end-to-end loop as a library.
+package core
+
+import (
+	"fmt"
+
+	"customfit/internal/bench"
+	"customfit/internal/cc"
+	"customfit/internal/dse"
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+	"customfit/internal/sched"
+	"customfit/internal/sim"
+	"customfit/internal/vliw"
+)
+
+// Kernel is a parsed and lowered CKC kernel ready for retargeting.
+type Kernel struct {
+	Name string
+	fn   *ir.Func
+}
+
+// ParseKernel compiles CKC source containing exactly one kernel.
+func ParseKernel(src string) (*Kernel, error) {
+	fn, err := cc.CompileKernel(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{Name: fn.Name, fn: fn}, nil
+}
+
+// IR returns the lowered (unoptimized) IR listing.
+func (k *Kernel) IR() string { return k.fn.String() }
+
+// Compiled is a kernel scheduled for one concrete architecture.
+type Compiled struct {
+	Kernel  *Kernel
+	Arch    machine.Arch
+	Unroll  int
+	Spilled int
+	Prog    *vliw.Program
+}
+
+// Compile retargets the kernel to arch at the given unroll factor,
+// running the full pipeline: optimize, unroll, partition, schedule,
+// allocate (with spilling if needed), validate.
+func (k *Kernel) Compile(arch machine.Arch, unroll int) (*Compiled, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	prepared, err := opt.Prepare(k.fn, unroll)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sched.Compile(prepared, arch)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(res.Prog); err != nil {
+		return nil, fmt.Errorf("core: internal scheduling error: %w", err)
+	}
+	return &Compiled{
+		Kernel:  k,
+		Arch:    arch,
+		Unroll:  unroll,
+		Spilled: res.Spilled,
+		Prog:    res.Prog,
+	}, nil
+}
+
+// Assembly renders the scheduled VLIW program.
+func (c *Compiled) Assembly() string { return c.Prog.String() }
+
+// RunStats reports a simulation.
+type RunStats struct {
+	Cycles      int64
+	Ops         int64
+	Bundles     int64
+	MemAccesses int64
+	IPC         float64
+	// Time is Cycles scaled by the architecture's cycle-time derating —
+	// the paper's performance metric.
+	Time float64
+}
+
+// Run executes the compiled kernel on the cycle-accurate simulator.
+// args are scalar parameters in declaration order; mem binds arrays by
+// name (mutated in place).
+func (c *Compiled) Run(args []int32, mem map[string][]int32) (*RunStats, error) {
+	env := ir.NewEnv(args...)
+	for name, data := range mem {
+		env.Bind(name, data)
+	}
+	st, err := sim.Run(c.Prog, env)
+	if err != nil {
+		return nil, err
+	}
+	ipc := 0.0
+	if st.Cycles > 0 {
+		ipc = float64(st.Ops) / float64(st.Cycles)
+	}
+	return &RunStats{
+		Cycles:      st.Cycles,
+		Ops:         st.Ops,
+		Bundles:     st.Bundles,
+		MemAccesses: st.MemAccesses,
+		IPC:         ipc,
+		Time:        float64(st.Cycles) * machine.DefaultCycleModel.Derate(c.Arch),
+	}, nil
+}
+
+// RunPhysical is Run through the register allocator's physical
+// assignment: every access goes to the assigned physical register in
+// its cluster's file, so the run additionally proves the allocation
+// conflict-free.
+func (c *Compiled) RunPhysical(args []int32, mem map[string][]int32) (*RunStats, error) {
+	env := ir.NewEnv(args...)
+	for name, data := range mem {
+		env.Bind(name, data)
+	}
+	st, err := sim.RunPhysical(c.Prog, env)
+	if err != nil {
+		return nil, err
+	}
+	ipc := 0.0
+	if st.Cycles > 0 {
+		ipc = float64(st.Ops) / float64(st.Cycles)
+	}
+	return &RunStats{
+		Cycles:      st.Cycles,
+		Ops:         st.Ops,
+		Bundles:     st.Bundles,
+		MemAccesses: st.MemAccesses,
+		IPC:         ipc,
+		Time:        float64(st.Cycles) * machine.DefaultCycleModel.Derate(c.Arch),
+	}, nil
+}
+
+// Interpret runs the kernel's (unscheduled) IR directly — the semantic
+// reference, useful for validating against Run.
+func (k *Kernel) Interpret(args []int32, mem map[string][]int32) error {
+	env := ir.NewEnv(args...)
+	for name, data := range mem {
+		env.Bind(name, data)
+	}
+	_, err := ir.Interp(k.fn, env)
+	return err
+}
+
+// FitResult is the outcome of a custom-fit run.
+type FitResult struct {
+	// Best is the selected architecture.
+	Best machine.Arch
+	// Cost is its datapath cost relative to the baseline.
+	Cost float64
+	// Speedups per benchmark, relative to the baseline machine.
+	Speedups map[string]float64
+	// Results is the full exploration for further analysis.
+	Results *dse.Results
+}
+
+// CustomFit searches the full design space for the architecture that
+// maximizes mean speedup over the given benchmarks without exceeding
+// costCap — the paper's headline flow. Pass a single benchmark to
+// specialize for one algorithm (and read the Results to see what that
+// choice does to everything else).
+func CustomFit(benchmarks []*bench.Benchmark, costCap float64) (*FitResult, error) {
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("core: no benchmarks given")
+	}
+	e := dse.NewExplorer()
+	e.Benchmarks = benchmarks
+	res, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	return pickBest(res, benchmarks, costCap)
+}
+
+// CustomFitIn is CustomFit over a caller-chosen architecture subset
+// (e.g. a sampled space for quick runs).
+func CustomFitIn(benchmarks []*bench.Benchmark, costCap float64, archs []machine.Arch) (*FitResult, error) {
+	e := dse.NewExplorer()
+	e.Benchmarks = benchmarks
+	e.Archs = ensureBaseline(archs)
+	res, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	return pickBest(res, benchmarks, costCap)
+}
+
+func ensureBaseline(archs []machine.Arch) []machine.Arch {
+	for _, a := range archs {
+		if a == machine.Baseline {
+			return archs
+		}
+	}
+	return append(append([]machine.Arch(nil), archs...), machine.Baseline)
+}
+
+func pickBest(res *dse.Results, benchmarks []*bench.Benchmark, costCap float64) (*FitResult, error) {
+	best, bestScore := -1, -1.0
+	for i := range res.Archs {
+		if res.Cost[i] > costCap {
+			continue
+		}
+		sum, ok := 0.0, true
+		for _, b := range benchmarks {
+			ev := res.Eval[b.Name][i]
+			if ev.Failed {
+				ok = false
+				break
+			}
+			sum += ev.Speedup
+		}
+		if !ok {
+			continue
+		}
+		if avg := sum / float64(len(benchmarks)); avg > bestScore {
+			best, bestScore = i, avg
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("core: no architecture fits cost cap %.1f", costCap)
+	}
+	out := &FitResult{
+		Best:     res.Archs[best],
+		Cost:     res.Cost[best],
+		Speedups: map[string]float64{},
+		Results:  res,
+	}
+	for _, b := range benchmarks {
+		out.Speedups[b.Name] = res.Eval[b.Name][best].Speedup
+	}
+	return out, nil
+}

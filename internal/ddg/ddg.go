@@ -1,0 +1,245 @@
+// Package ddg builds data-dependence DAGs over basic blocks for the
+// clustered-VLIW list scheduler. Edges carry minimum issue-distance
+// weights derived from operation latencies:
+//
+//   - true dependences (def→use) weigh the producer's latency;
+//   - anti dependences (use→def) weigh 0: a VLIW reads registers at
+//     issue and commits writes after the latency, so a redefinition may
+//     issue in the same cycle as the last reader;
+//   - output dependences order commits;
+//   - memory dependences use a base+offset disambiguator: accesses to
+//     different arrays, or to the same array at provably different
+//     offsets from the same base register, are independent — everything
+//     else is ordered conservatively.
+//
+// After the optimizer's regional renaming, anti and output edges are
+// rare inside hot blocks; what remains are the kernel's genuine
+// recurrences (Floyd-Steinberg's error chain), which is exactly what
+// should limit ILP.
+package ddg
+
+import (
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+)
+
+// Node is one schedulable operation.
+type Node struct {
+	Index int // position in block
+	Instr *ir.Instr
+	Succs []Edge
+	Preds []Edge
+
+	// Height is the critical-path distance to the end of the block
+	// (latency-weighted), the scheduler's priority.
+	Height int
+}
+
+// Edge is a dependence with a minimum issue-cycle distance.
+type Edge struct {
+	To       *Node
+	MinDelta int // successor must issue >= this many cycles after predecessor
+}
+
+// Graph is the dependence DAG of one basic block. The terminator, if
+// present, is the last node and has incoming edges enforcing that every
+// write and every memory-port occupancy completes before control
+// leaves the block.
+type Graph struct {
+	Nodes []*Node
+	Term  *Node // terminator node, or nil
+}
+
+// Latency returns the def-use latency of an instruction's result.
+func Latency(in *ir.Instr, arch machine.Arch) int {
+	switch in.Op {
+	case ir.OpMul:
+		return machine.LatMUL
+	case ir.OpLoad:
+		if in.Mem.Space == ir.L1 {
+			return machine.LatL1
+		}
+		return arch.L2Lat
+	case ir.OpXMov:
+		return machine.LatMove
+	default:
+		return machine.LatALU
+	}
+}
+
+// Occupancy returns how many cycles an instruction holds its memory
+// port. L2's ports are non-pipelined (busy for the full configurable
+// latency, paper Table 4); the fixed-throughput L1 port accepts one
+// access per cycle. Non-memory operations return 0.
+func Occupancy(in *ir.Instr, arch machine.Arch) int {
+	if !in.Op.IsMem() {
+		return 0
+	}
+	if in.Mem.Space == ir.L1 {
+		return machine.L1Occupancy
+	}
+	return arch.L2Lat
+}
+
+// Build constructs the dependence graph for a block under the given
+// architecture's latencies.
+func Build(b *ir.Block, arch machine.Arch) *Graph {
+	g := &Graph{Nodes: make([]*Node, len(b.Instrs))}
+	for i, in := range b.Instrs {
+		g.Nodes[i] = &Node{Index: i, Instr: in}
+	}
+	n := len(g.Nodes)
+	if n == 0 {
+		return g
+	}
+	addEdge := func(from, to *Node, d int) {
+		// Keep only the strongest constraint between a pair.
+		for i := range from.Succs {
+			if from.Succs[i].To == to {
+				if d > from.Succs[i].MinDelta {
+					from.Succs[i].MinDelta = d
+					for j := range to.Preds {
+						if to.Preds[j].To == from {
+							to.Preds[j].MinDelta = d
+						}
+					}
+				}
+				return
+			}
+		}
+		from.Succs = append(from.Succs, Edge{To: to, MinDelta: d})
+		to.Preds = append(to.Preds, Edge{To: from, MinDelta: d})
+	}
+
+	lastDef := map[ir.Reg]*Node{}
+	lastUses := map[ir.Reg][]*Node{}
+	var memOps []*Node
+
+	for _, nd := range g.Nodes {
+		in := nd.Instr
+		// Register dependences.
+		for _, a := range in.Args {
+			if !a.IsReg() {
+				continue
+			}
+			if def, ok := lastDef[a.Reg]; ok {
+				addEdge(def, nd, Latency(def.Instr, arch)) // true
+			}
+			lastUses[a.Reg] = append(lastUses[a.Reg], nd)
+		}
+		if in.Op.HasDest() {
+			r := in.Dest
+			if def, ok := lastDef[r]; ok {
+				// Output: later def must commit strictly after earlier.
+				d := Latency(def.Instr, arch) - Latency(in, arch) + 1
+				if d < 0 {
+					d = 0
+				}
+				addEdge(def, nd, d)
+			}
+			for _, u := range lastUses[r] {
+				if u != nd {
+					addEdge(u, nd, 0) // anti
+				}
+			}
+			lastDef[r] = nd
+			delete(lastUses, r)
+		}
+		// Memory dependences.
+		if in.Op.IsMem() {
+			for _, m := range memOps {
+				if d, dep := memDependence(m.Instr, in); dep {
+					addEdge(m, nd, d)
+				}
+			}
+			memOps = append(memOps, nd)
+		}
+	}
+
+	// Terminator constraints: every result committed and every memory
+	// port drained by the end of the block, so no state is in flight
+	// across block boundaries.
+	if t := b.Terminator(); t != nil {
+		tn := g.Nodes[n-1]
+		g.Term = tn
+		for _, nd := range g.Nodes[:n-1] {
+			d := 0
+			if nd.Instr.Op.HasDest() {
+				d = Latency(nd.Instr, arch) - 1
+			}
+			if occ := Occupancy(nd.Instr, arch); occ-1 > d {
+				d = occ - 1
+			}
+			addEdge(nd, tn, d)
+		}
+	}
+
+	g.computeHeights(arch)
+	return g
+}
+
+// memDependence classifies the ordering constraint between two memory
+// operations, returning (minDelta, dependent).
+func memDependence(a, b *ir.Instr) (int, bool) {
+	if a.Op == ir.OpLoad && b.Op == ir.OpLoad {
+		return 0, false
+	}
+	if a.Mem != b.Mem {
+		return 0, false
+	}
+	if disjoint(a, b) {
+		return 0, false
+	}
+	if a.Op == ir.OpStore && b.Op == ir.OpLoad {
+		return 1, true // store visible to loads issued in later cycles
+	}
+	if a.Op == ir.OpStore && b.Op == ir.OpStore {
+		return 1, true
+	}
+	return 0, true // load then store: same-cycle is safe (read-old)
+}
+
+// disjoint reports whether two accesses to the same array provably
+// touch different elements: both constant addresses that differ, or the
+// same base register with different offsets.
+func disjoint(a, b *ir.Instr) bool {
+	ai, bi := a.Args[0], b.Args[0]
+	if ai.IsImm() && bi.IsImm() {
+		return ai.Imm+a.Off != bi.Imm+b.Off
+	}
+	if ai.IsReg() && bi.IsReg() && ai.Reg == bi.Reg {
+		return a.Off != b.Off
+	}
+	return false
+}
+
+// computeHeights fills in latency-weighted critical-path heights by a
+// reverse topological sweep (nodes are in program order, a valid
+// topological order).
+func (g *Graph) computeHeights(arch machine.Arch) {
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		nd := g.Nodes[i]
+		h := Latency(nd.Instr, arch)
+		if !nd.Instr.Op.HasDest() {
+			h = 1
+		}
+		for _, e := range nd.Succs {
+			if v := e.MinDelta + e.To.Height; v > h {
+				h = v
+			}
+		}
+		nd.Height = h
+	}
+}
+
+// CriticalPath returns the graph's critical path length in cycles — a
+// lower bound on the block's schedule length regardless of resources.
+func (g *Graph) CriticalPath() int {
+	cp := 0
+	for _, nd := range g.Nodes {
+		if nd.Height > cp {
+			cp = nd.Height
+		}
+	}
+	return cp
+}

@@ -1,0 +1,141 @@
+package ddg
+
+import (
+	"testing"
+
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+)
+
+// block builds a basic block from instructions, appending a Ret.
+func block(ins ...*ir.Instr) *ir.Block {
+	b := &ir.Block{Name: "b"}
+	b.Instrs = append(b.Instrs, ins...)
+	b.Instrs = append(b.Instrs, &ir.Instr{Op: ir.OpRet, Dest: ir.NoReg})
+	return b
+}
+
+func edgeBetween(g *Graph, from, to int) (int, bool) {
+	for _, e := range g.Nodes[from].Succs {
+		if e.To == g.Nodes[to] {
+			return e.MinDelta, true
+		}
+	}
+	return 0, false
+}
+
+func TestTrueDependenceCarriesLatency(t *testing.T) {
+	arch := machine.Baseline
+	b := block(
+		ir.NewInstr(ir.OpMul, 1, ir.R(0), ir.Imm(3)), // lat 2
+		ir.NewInstr(ir.OpAdd, 2, ir.R(1), ir.Imm(1)),
+	)
+	g := Build(b, arch)
+	d, ok := edgeBetween(g, 0, 1)
+	if !ok || d != machine.LatMUL {
+		t.Errorf("mul->add edge = %d,%v, want %d", d, ok, machine.LatMUL)
+	}
+}
+
+func TestAntiDependenceZeroDelta(t *testing.T) {
+	b := block(
+		ir.NewInstr(ir.OpAdd, 1, ir.R(0), ir.Imm(1)), // uses r0
+		ir.NewInstr(ir.OpMov, 0, ir.Imm(9)),          // redefines r0
+	)
+	g := Build(b, machine.Baseline)
+	d, ok := edgeBetween(g, 0, 1)
+	if !ok || d != 0 {
+		t.Errorf("anti edge = %d,%v, want 0,true", d, ok)
+	}
+}
+
+func TestMemoryDisambiguation(t *testing.T) {
+	m := &ir.MemRef{Name: "a", Space: ir.L2, Elem: ir.ElemI32, Size: 64}
+	other := &ir.MemRef{Name: "b", Space: ir.L2, Elem: ir.ElemI32, Size: 64}
+	st := func(mem *ir.MemRef, base ir.Reg, off int32) *ir.Instr {
+		return &ir.Instr{Op: ir.OpStore, Dest: ir.NoReg,
+			Args: []ir.Operand{ir.R(base), ir.Imm(0)}, Mem: mem, Off: off, Elem: ir.ElemI32}
+	}
+	ld := func(mem *ir.MemRef, base ir.Reg, off int32, dst ir.Reg) *ir.Instr {
+		return &ir.Instr{Op: ir.OpLoad, Dest: dst,
+			Args: []ir.Operand{ir.R(base)}, Mem: mem, Off: off, Elem: ir.ElemI32}
+	}
+	cases := []struct {
+		name string
+		a, b *ir.Instr
+		dep  bool
+	}{
+		{"store-load same base same off", st(m, 0, 4), ld(m, 0, 4, 1), true},
+		{"store-load same base diff off", st(m, 0, 4), ld(m, 0, 5, 1), false},
+		{"store-load diff base", st(m, 0, 4), ld(m, 2, 4, 1), true}, // conservative
+		{"store-load diff array", st(m, 0, 4), ld(other, 0, 4, 1), false},
+		{"store-store same base same off", st(m, 0, 4), st(m, 0, 4), true},
+		{"load-load", ld(m, 0, 4, 1), ld(m, 0, 4, 3), false},
+	}
+	for _, c := range cases {
+		b := block(c.a, c.b)
+		g := Build(b, machine.Baseline)
+		_, got := edgeBetween(g, 0, 1)
+		if got != c.dep {
+			t.Errorf("%s: dependent=%v, want %v", c.name, got, c.dep)
+		}
+	}
+}
+
+func TestTerminatorDrainsMemoryPorts(t *testing.T) {
+	arch := machine.Arch{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 1, L2Lat: 8, Clusters: 1}
+	m := &ir.MemRef{Name: "a", Space: ir.L2, Elem: ir.ElemI32, Size: 64, IsParam: true}
+	b := block(&ir.Instr{Op: ir.OpStore, Dest: ir.NoReg,
+		Args: []ir.Operand{ir.Imm(0), ir.Imm(1)}, Mem: m, Elem: ir.ElemI32})
+	g := Build(b, arch)
+	d, ok := edgeBetween(g, 0, 1)
+	if !ok || d != arch.L2Lat-1 {
+		t.Errorf("store->term edge = %d,%v, want %d (port drain)", d, ok, arch.L2Lat-1)
+	}
+}
+
+func TestCriticalPathOfChain(t *testing.T) {
+	// r1 = r0*3; r2 = r1*3; r3 = r2+1  -> 2+2+1 = 5 (plus none for ret)
+	b := block(
+		ir.NewInstr(ir.OpMul, 1, ir.R(0), ir.Imm(3)),
+		ir.NewInstr(ir.OpMul, 2, ir.R(1), ir.Imm(3)),
+		ir.NewInstr(ir.OpAdd, 3, ir.R(2), ir.Imm(1)),
+	)
+	g := Build(b, machine.Baseline)
+	if cp := g.CriticalPath(); cp != 5 {
+		t.Errorf("critical path = %d, want 5", cp)
+	}
+}
+
+func TestHeightsMonotoneAlongEdges(t *testing.T) {
+	b := block(
+		ir.NewInstr(ir.OpAdd, 1, ir.R(0), ir.Imm(1)),
+		ir.NewInstr(ir.OpMul, 2, ir.R(1), ir.R(1)),
+		ir.NewInstr(ir.OpSub, 3, ir.R(2), ir.R(0)),
+		ir.NewInstr(ir.OpAdd, 4, ir.R(3), ir.R(1)),
+	)
+	g := Build(b, machine.Baseline)
+	for _, nd := range g.Nodes {
+		for _, e := range nd.Succs {
+			if nd.Height < e.MinDelta+e.To.Height {
+				t.Errorf("height(%v)=%d < %d+height(succ)=%d",
+					nd.Instr, nd.Height, e.MinDelta, e.To.Height)
+			}
+		}
+	}
+}
+
+func TestOutputDependenceOrdersCommits(t *testing.T) {
+	m := &ir.MemRef{Name: "a", Space: ir.L2, Elem: ir.ElemI32, Size: 8, IsParam: true}
+	// r1 = load (L2, lat 8); r1 = mov 5 — the mov commits after the load.
+	b := block(
+		&ir.Instr{Op: ir.OpLoad, Dest: 1, Args: []ir.Operand{ir.Imm(0)}, Mem: m, Elem: ir.ElemI32},
+		ir.NewInstr(ir.OpMov, 1, ir.Imm(5)),
+	)
+	arch := machine.Baseline // L2Lat 8
+	g := Build(b, arch)
+	d, ok := edgeBetween(g, 0, 1)
+	if !ok || d != 8-1+1 {
+		t.Errorf("output edge = %d,%v, want 8 (loadLat-movLat+1)", d, ok)
+	}
+}

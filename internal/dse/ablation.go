@@ -1,0 +1,113 @@
+package dse
+
+import (
+	"fmt"
+	"strings"
+
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+	"customfit/internal/sched"
+)
+
+// AblationResult measures one benchmark × machine under one
+// configuration of the compiler's design choices.
+type AblationResult struct {
+	Config string
+	Bench  string
+	Arch   machine.Arch
+	Cycles int64
+	Unroll int
+	// Slowdown is Cycles / full-pipeline Cycles (1.0 = no effect).
+	Slowdown float64
+	Failed   bool
+}
+
+// ablationConfigs enumerates the compiler design choices DESIGN.md
+// calls out, each switched off in isolation.
+var ablationConfigs = []struct {
+	name  string
+	set   func()
+	unset func()
+}{
+	{"full", func() {}, func() {}},
+	{"no-reassociation",
+		func() { opt.AblateReassociation = true },
+		func() { opt.AblateReassociation = false }},
+	{"no-licm",
+		func() { opt.AblateLICM = true },
+		func() { opt.AblateLICM = false }},
+	{"no-if-conversion",
+		func() { opt.AblateIfConversion = true },
+		func() { opt.AblateIfConversion = false }},
+	{"no-pressure-throttle",
+		func() { sched.AblatePressureThrottle = true },
+		func() { sched.AblatePressureThrottle = false }},
+}
+
+// RunAblation evaluates each benchmark on each machine with each design
+// choice disabled in isolation. It is single-threaded by construction
+// (the ablation switches are globals).
+func RunAblation(benches []*bench.Benchmark, archs []machine.Arch, width int) []AblationResult {
+	var out []AblationResult
+	baseCycles := map[string]int64{}
+	for _, cfg := range ablationConfigs {
+		cfg.set()
+		ev := NewEvaluator() // fresh caches: prepared IR depends on the switches
+		ev.Width = width
+		for _, b := range benches {
+			for _, a := range archs {
+				e := ev.Evaluate(b, a)
+				r := AblationResult{
+					Config: cfg.name, Bench: b.Name, Arch: a,
+					Cycles: e.Cycles, Unroll: e.Unroll, Failed: e.Failed,
+				}
+				key := b.Name + a.String()
+				if cfg.name == "full" {
+					baseCycles[key] = e.Cycles
+				}
+				if base := baseCycles[key]; base > 0 && !e.Failed {
+					r.Slowdown = float64(e.Cycles) / float64(base)
+				}
+				out = append(out, r)
+			}
+		}
+		cfg.unset()
+	}
+	return out
+}
+
+// SummarizeAblation renders mean slowdown per configuration.
+func SummarizeAblation(results []AblationResult) string {
+	var sb strings.Builder
+	sb.WriteString("ablation: cycle slowdown vs the full pipeline (mean over benchmark×machine)\n")
+	order := []string{}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	fails := map[string]int{}
+	for _, r := range results {
+		if _, seen := sums[r.Config]; !seen {
+			order = append(order, r.Config)
+		}
+		if r.Failed {
+			fails[r.Config]++
+			continue
+		}
+		if r.Slowdown > 0 {
+			sums[r.Config] += r.Slowdown
+			counts[r.Config]++
+		}
+	}
+	for _, cfg := range order {
+		if counts[cfg] == 0 {
+			fmt.Fprintf(&sb, "  %-22s all failed\n", cfg)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-22s %.2fx", cfg, sums[cfg]/float64(counts[cfg]))
+		if fails[cfg] > 0 {
+			fmt.Fprintf(&sb, "  (%d configurations failed to compile)", fails[cfg])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,132 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Claims quantifies the paper's headline conclusions from an
+// exploration's results:
+//
+//  1. "Specialization is very valuable: the differences between
+//     architectural choices, even among reasonable-seeming architectures
+//     having similar costs, can be very great, often a factor of 5."
+//  2. "Specialization is also very dangerous. A reasonable choice of
+//     architecture to fit one algorithm can be a very poor choice for
+//     another, even in the same domain" — including the Table 9 story
+//     where one kernel "gets into pathologically bad trouble and runs at
+//     about 17% of its performance on the architecture made for it."
+//  3. Backing off a little (RANGE) recovers most of the average.
+type Claims struct {
+	// SpreadByBench is, per benchmark, the largest best/worst speedup
+	// ratio among architectures within ±25% of the same cost.
+	SpreadByBench map[string]float64
+	// WorstCrossFraction is the paper's pathology metric at cost<10:
+	// min over targets of (speedup on the machine fit for another
+	// target) / (speedup on its own machine).
+	WorstCrossFraction float64
+	WorstCrossTarget   string
+	WorstCrossDonor    string
+	// BackoffRecovery is avg(Range=50%) / avg(Range=0%) at cost<10,
+	// averaged over targets (>1 means backing off helped the average).
+	BackoffRecovery float64
+}
+
+// ComputeClaims derives the headline numbers.
+func (r *Results) ComputeClaims() *Claims {
+	c := &Claims{SpreadByBench: map[string]float64{}}
+
+	// Claim 1: spread at similar cost. Scan cost anchors across the
+	// space and keep each benchmark's maximum spread.
+	anchors := []float64{2, 4, 6, 8, 10, 14}
+	for _, b := range DisplayBenches {
+		best := 0.0
+		for _, a := range anchors {
+			lo, hi := r.SpreadAtCost(b, a, 0.25)
+			if lo > 0 && hi/lo > best {
+				best = hi / lo
+			}
+		}
+		c.SpreadByBench[b] = best
+	}
+
+	// Claim 2: design for one, run another, at the medium cost cap.
+	zero := r.SelectConstrained(10, 0)
+	own := map[string]float64{}
+	pick := map[string]int{}
+	for _, ch := range zero {
+		own[ch.Target] = ch.OwnSpeedup
+		pick[ch.Target] = ch.ArchIdx
+	}
+	c.WorstCrossFraction = math.Inf(1)
+	for _, target := range DisplayBenches {
+		if own[target] <= 0 {
+			continue
+		}
+		for _, donor := range DisplayBenches {
+			if donor == target {
+				continue
+			}
+			idx, ok := pick[donor]
+			if !ok {
+				continue
+			}
+			su := r.Eval[target][idx].Speedup
+			if f := su / own[target]; f < c.WorstCrossFraction {
+				c.WorstCrossFraction = f
+				c.WorstCrossTarget = target
+				c.WorstCrossDonor = donor
+			}
+		}
+	}
+
+	// Claim 3: RANGE=50% average recovery vs RANGE=0 at cost<10.
+	fifty := r.SelectConstrained(10, 0.50)
+	sumZero, sumFifty, n := 0.0, 0.0, 0
+	f50 := map[string]Choice{}
+	for _, ch := range fifty {
+		f50[ch.Target] = ch
+	}
+	for _, ch := range zero {
+		if other, ok := f50[ch.Target]; ok {
+			sumZero += ch.Average
+			sumFifty += other.Average
+			n++
+		}
+	}
+	if n > 0 && sumZero > 0 {
+		c.BackoffRecovery = sumFifty / sumZero
+	}
+	return c
+}
+
+// String renders the claims next to the paper's statements.
+func (c *Claims) String() string {
+	var sb strings.Builder
+	sb.WriteString("Headline claims (paper §5 Conclusions):\n\n")
+	sb.WriteString("1. spread among similar-cost (±25%) architectures, per benchmark\n")
+	sb.WriteString("   (paper: \"often a factor of 5 (and sometimes much more)\"):\n")
+	var names []string
+	for b := range c.SpreadByBench {
+		names = append(names, b)
+	}
+	sort.Strings(names)
+	over5 := 0
+	for _, b := range names {
+		fmt.Fprintf(&sb, "     %-5s %5.1fx\n", b, c.SpreadByBench[b])
+		if c.SpreadByBench[b] >= 5 {
+			over5++
+		}
+	}
+	fmt.Fprintf(&sb, "   %d of %d benchmarks show a >=5x spread\n\n", over5, len(names))
+	fmt.Fprintf(&sb, "2. worst design-for-one-run-another fraction at cost<10\n")
+	fmt.Fprintf(&sb, "   (paper: \"one application ... runs at about 17%% of its performance\"):\n")
+	fmt.Fprintf(&sb, "     %s on %s's machine runs at %.0f%% of its own-machine speedup\n\n",
+		c.WorstCrossTarget, c.WorstCrossDonor, 100*c.WorstCrossFraction)
+	fmt.Fprintf(&sb, "3. average-speedup recovery from a 50%% back-off at cost<10\n")
+	fmt.Fprintf(&sb, "   (paper: GEF's average went from 3.9 to 5.8, a 1.49x recovery):\n")
+	fmt.Fprintf(&sb, "     mean avg(Range=50%%) / avg(Range=0) = %.2fx\n", c.BackoffRecovery)
+	return sb.String()
+}

@@ -1,0 +1,66 @@
+package dse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"customfit/internal/machine"
+)
+
+// syntheticResults builds a Results with controlled speedups so claim
+// extraction can be verified exactly.
+func syntheticResults() *Results {
+	archs := []machine.Arch{
+		machine.Baseline, // cost 1
+		{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 1, L2Lat: 4, Clusters: 1},
+		{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 1, L2Lat: 4, Clusters: 2},
+		{ALUs: 8, MULs: 4, Regs: 256, L2Ports: 2, L2Lat: 4, Clusters: 4},
+	}
+	r := &Results{Archs: archs}
+	for _, a := range archs {
+		r.Cost = append(r.Cost, machine.DefaultCostModel.Cost(a))
+	}
+	r.Eval = map[string][]Evaluation{}
+	// Benchmark X loves arch 1, collapses on arch 3; Y is the opposite.
+	su := map[string][]float64{}
+	for _, b := range DisplayBenches {
+		su[b] = []float64{1, 2, 2.5, 3}
+	}
+	su["A"] = []float64{1, 10, 2, 0.5}
+	su["H"] = []float64{1, 0.8, 2, 6}
+	for b, sus := range su {
+		evs := make([]Evaluation, len(archs))
+		for i := range archs {
+			evs[i] = Evaluation{Arch: archs[i], Bench: b, Speedup: sus[i], Unroll: 1, Cycles: 100}
+		}
+		r.Eval[b] = evs
+	}
+	r.Benches = append([]string(nil), DisplayBenches...)
+	return r
+}
+
+func TestComputeClaims(t *testing.T) {
+	r := syntheticResults()
+	c := r.ComputeClaims()
+	if c.SpreadByBench["A"] < 2 {
+		t.Errorf("A spread = %f, want >= 2", c.SpreadByBench["A"])
+	}
+	// A's own machine gives 10x; H's machine (arch 3) gives A 0.5x ->
+	// fraction 0.05. The worst cross pair must find something <= that.
+	if c.WorstCrossFraction > 0.051 {
+		t.Errorf("worst cross fraction = %f, want <= 0.05", c.WorstCrossFraction)
+	}
+	if c.WorstCrossTarget != "A" {
+		t.Errorf("worst cross target = %s, want A", c.WorstCrossTarget)
+	}
+	if math.IsNaN(c.BackoffRecovery) || c.BackoffRecovery < 1 {
+		t.Errorf("backoff recovery = %f, want >= 1", c.BackoffRecovery)
+	}
+	s := c.String()
+	for _, want := range []string{"factor of 5", "17%", "Range=50%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("claims text missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package dse
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+)
+
+// The paper did not compile for every cluster arrangement: "To account
+// for clustering, we computed a 'correction value' as a function of the
+// number of clusters, by running a set of separate experiments for a
+// few significant architecture data points ... In our experience, this
+// approximation is enough to account for the effects of clustering."
+//
+// This file reproduces that methodology AND validates it — an ablation
+// the paper could not publish. FitCorrections plays the paper's role
+// (fit κ(c) on a few data points); CorrectionStudy then measures, on
+// held-out points, how far κ(c)-predicted performance is from really
+// compiling with the cluster partitioner.
+
+// Correction holds per-cluster-count cycle multipliers relative to the
+// single-cluster compilation of the same design point (κ(1) = 1).
+type Correction struct {
+	Kappa map[int]float64
+	// Samples is how many (point, benchmark) pairs informed each κ.
+	Samples map[int]int
+}
+
+// String renders κ in cluster order.
+func (c *Correction) String() string {
+	var ks []int
+	for k := range c.Kappa {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	var sb strings.Builder
+	for _, k := range ks {
+		fmt.Fprintf(&sb, "κ(%d)=%.3f ", k, c.Kappa[k])
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// FitCorrections fits cluster-correction factors the way the paper did:
+// compile a few significant design points at every cluster arrangement
+// and average the cycle ratios vs the single-cluster compile. The
+// returned κ(c) multiplies a c=1 cycle count to estimate the c-cluster
+// cycle count (before cycle-time derating, which is analytic anyway).
+func FitCorrections(ev *Evaluator, benches []*bench.Benchmark, points []machine.Arch) (*Correction, error) {
+	cor := &Correction{Kappa: map[int]float64{1: 1}, Samples: map[int]int{}}
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for _, pt := range points {
+		for _, b := range benches {
+			base := ev.Evaluate(b, pt.WithClusters(1))
+			if base.Failed {
+				continue
+			}
+			for _, c := range machine.ClusterArrangements(pt) {
+				if c == 1 {
+					continue
+				}
+				e := ev.Evaluate(b, pt.WithClusters(c))
+				if e.Failed {
+					continue
+				}
+				sums[c] += float64(e.Cycles) / float64(base.Cycles)
+				counts[c]++
+			}
+		}
+	}
+	if len(sums) == 0 {
+		return nil, fmt.Errorf("dse: no cluster arrangements to fit corrections from")
+	}
+	for c, s := range sums {
+		cor.Kappa[c] = s / float64(counts[c])
+		cor.Samples[c] = counts[c]
+	}
+	return cor, nil
+}
+
+// CorrectionError is one held-out validation measurement.
+type CorrectionError struct {
+	Arch      machine.Arch
+	Bench     string
+	Predicted float64 // c=1 cycles × κ(c)
+	Actual    float64 // really compiled with the partitioner
+	RelErr    float64 // |pred-act| / act
+}
+
+// ValidateCorrections measures the correction approximation on held-out
+// (point, benchmark) pairs, returning per-pair errors.
+func ValidateCorrections(ev *Evaluator, cor *Correction, benches []*bench.Benchmark, points []machine.Arch) []CorrectionError {
+	var out []CorrectionError
+	for _, pt := range points {
+		for _, b := range benches {
+			base := ev.Evaluate(b, pt.WithClusters(1))
+			if base.Failed {
+				continue
+			}
+			for _, c := range machine.ClusterArrangements(pt) {
+				if c == 1 {
+					continue
+				}
+				k, ok := cor.Kappa[c]
+				if !ok {
+					continue
+				}
+				e := ev.Evaluate(b, pt.WithClusters(c))
+				if e.Failed {
+					continue
+				}
+				pred := float64(base.Cycles) * k
+				act := float64(e.Cycles)
+				rel := pred - act
+				if rel < 0 {
+					rel = -rel
+				}
+				out = append(out, CorrectionError{
+					Arch:      pt.WithClusters(c),
+					Bench:     b.Name,
+					Predicted: pred,
+					Actual:    act,
+					RelErr:    rel / act,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// SummarizeCorrectionStudy formats mean/max error per cluster count.
+func SummarizeCorrectionStudy(cor *Correction, errs []CorrectionError) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cluster correction factors (paper §2.4 methodology): %s\n", cor)
+	byC := map[int][]float64{}
+	for _, e := range errs {
+		byC[e.Arch.Clusters] = append(byC[e.Arch.Clusters], e.RelErr)
+	}
+	var cs []int
+	for c := range byC {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	for _, c := range cs {
+		mean, max := 0.0, 0.0
+		for _, e := range byC[c] {
+			mean += e
+			if e > max {
+				max = e
+			}
+		}
+		mean /= float64(len(byC[c]))
+		fmt.Fprintf(&sb, "  c=%d: held-out cycle prediction error mean %.1f%%, max %.1f%% (%d pairs)\n",
+			c, 100*mean, 100*max, len(byC[c]))
+	}
+	return sb.String()
+}

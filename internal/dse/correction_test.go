@@ -1,0 +1,63 @@
+package dse
+
+import (
+	"testing"
+
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+)
+
+func TestClusterCorrectionStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles dozens of configurations")
+	}
+	ev := NewEvaluator()
+	ev.Width = 48
+
+	fitBenches := []*bench.Benchmark{bench.ByName("D"), bench.ByName("G")}
+	fitPoints := []machine.Arch{
+		{ALUs: 8, MULs: 4, Regs: 256, L2Ports: 1, L2Lat: 4, Clusters: 1},
+		{ALUs: 16, MULs: 8, Regs: 512, L2Ports: 2, L2Lat: 4, Clusters: 1},
+	}
+	cor, err := FitCorrections(ev, fitBenches, fitPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustering costs cycles: κ must be >= 1 and (weakly) grow with c.
+	prev := 1.0
+	for _, c := range []int{2, 4, 8} {
+		k, ok := cor.Kappa[c]
+		if !ok {
+			continue
+		}
+		if k < 0.95 {
+			t.Errorf("κ(%d) = %.3f < 1: clustering made code faster?", c, k)
+		}
+		if k < prev-0.25 {
+			t.Errorf("κ(%d) = %.3f far below κ(%d-) = %.3f", c, k, c, prev)
+		}
+		prev = k
+	}
+
+	// Validate on held-out benchmarks/points.
+	valBenches := []*bench.Benchmark{bench.ByName("H")}
+	valPoints := []machine.Arch{
+		{ALUs: 8, MULs: 2, Regs: 128, L2Ports: 1, L2Lat: 4, Clusters: 1},
+	}
+	errs := ValidateCorrections(ev, cor, valBenches, valPoints)
+	if len(errs) == 0 {
+		t.Fatal("no held-out validation pairs")
+	}
+	summary := SummarizeCorrectionStudy(cor, errs)
+	t.Logf("\n%s", summary)
+	// The paper claims "this approximation is enough"; our honest bound
+	// is loose, but it must not be wildly wrong on average.
+	mean := 0.0
+	for _, e := range errs {
+		mean += e.RelErr
+	}
+	mean /= float64(len(errs))
+	if mean > 0.6 {
+		t.Errorf("mean held-out correction error %.0f%% — approximation unusable", 100*mean)
+	}
+}

@@ -1,0 +1,165 @@
+// Package dse implements the paper's design-space exploration loop
+// (Section 2.2): for every candidate architecture, retarget the
+// compiler, compile every benchmark at increasing unroll factors until
+// the registers spill, measure performance against the baseline
+// machine, and feed cost/performance into the constrained selection
+// mechanisms of Tables 8-10 and the scatter diagrams of Figures 3-4.
+package dse
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"customfit/internal/bench"
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+	"customfit/internal/sched"
+)
+
+// UnrollFactors is the sweep of unroll factors, tried in order until
+// the compiler spills (the paper's stopping rule).
+var UnrollFactors = []int{1, 2, 4, 8}
+
+// Evaluation is one (benchmark, architecture) measurement.
+type Evaluation struct {
+	Arch    machine.Arch
+	Bench   string
+	Unroll  int     // unroll factor that produced the best time
+	Cycles  int64   // simulated-equivalent cycles on the reference workload
+	Time    float64 // Cycles × cycle-time derating
+	Speedup float64 // baseline time / Time (filled by the explorer)
+	Spilled int     // registers spilled at the chosen unroll
+	Failed  bool    // no unroll factor compiled (never expected at u=1)
+}
+
+// prepared caches the architecture-independent compilation artifacts of
+// one benchmark at one unroll factor: the optimized+unrolled IR and the
+// per-block execution counts on the reference workload (block visit
+// counts do not depend on the target architecture).
+type prepared struct {
+	fn     *ir.Func
+	visits map[string]int64
+	err    error
+}
+
+// Evaluator compiles benchmarks for architectures with caching.
+type Evaluator struct {
+	// Width is the reference workload width in pixels.
+	Width int
+	// Seed generates the reference workload.
+	Seed int64
+	// Cycle is the cycle-time model applied to raw cycles.
+	Cycle machine.CycleModel
+
+	mu    sync.Mutex
+	cache map[string]map[int]*prepared // bench -> unroll -> artifacts
+	fns   map[string]*ir.Func          // bench -> lowered IR
+	// Compilations counts backend runs (the paper's Table 3 "# runs").
+	Compilations int64
+}
+
+// NewEvaluator returns an evaluator with the standard reference
+// workload (96 pixels, seed 1).
+func NewEvaluator() *Evaluator {
+	return &Evaluator{
+		Width: 96,
+		Seed:  1,
+		Cycle: machine.DefaultCycleModel,
+		cache: map[string]map[int]*prepared{},
+		fns:   map[string]*ir.Func{},
+	}
+}
+
+// prepare returns (cached) prepared IR and visit counts for b at unroll u.
+func (e *Evaluator) prepare(b *bench.Benchmark, u int) *prepared {
+	e.mu.Lock()
+	byU, ok := e.cache[b.Name]
+	if !ok {
+		byU = map[int]*prepared{}
+		e.cache[b.Name] = byU
+	}
+	if p, ok := byU[u]; ok {
+		e.mu.Unlock()
+		return p
+	}
+	fn := e.fns[b.Name]
+	e.mu.Unlock()
+
+	if fn == nil {
+		var err error
+		fn, err = b.Compile()
+		if err != nil {
+			p := &prepared{err: err}
+			e.mu.Lock()
+			byU[u] = p
+			e.mu.Unlock()
+			return p
+		}
+		e.mu.Lock()
+		e.fns[b.Name] = fn
+		e.mu.Unlock()
+	}
+
+	p := &prepared{}
+	g, err := opt.Prepare(fn, u)
+	if err != nil {
+		p.err = err
+	} else {
+		p.fn = g
+		p.visits, p.err = e.countVisits(b, g)
+	}
+	e.mu.Lock()
+	byU[u] = p
+	e.mu.Unlock()
+	return p
+}
+
+// countVisits interprets the prepared IR over the reference workload
+// and records how many times each block executes.
+func (e *Evaluator) countVisits(b *bench.Benchmark, g *ir.Func) (map[string]int64, error) {
+	c := b.NewCase(e.Width, e.Seed).Clone()
+	env := c.Env()
+	env.Visits = map[string]int64{}
+	if _, err := ir.Interp(g, env); err != nil {
+		return nil, fmt.Errorf("dse: reference run of %s: %w", b.Name, err)
+	}
+	return env.Visits, nil
+}
+
+// Evaluate compiles benchmark b for arch, sweeping unroll factors until
+// the compiler spills, and returns the best-performing compilation.
+func (e *Evaluator) Evaluate(b *bench.Benchmark, arch machine.Arch) Evaluation {
+	ev := Evaluation{Arch: arch, Bench: b.Name, Failed: true}
+	derate := e.Cycle.Derate(arch)
+	for _, u := range UnrollFactors {
+		p := e.prepare(b, u)
+		if p.err != nil {
+			break // unrollable limit reached (op budget etc.)
+		}
+		res, err := sched.Compile(p.fn, arch)
+		e.mu.Lock()
+		e.Compilations++
+		e.mu.Unlock()
+		if err != nil {
+			if errors.Is(err, sched.ErrNoFit) {
+				break // paper rule: stop at this unroll and all larger
+			}
+			break
+		}
+		cycles := res.Prog.StaticCycles(p.visits)
+		t := float64(cycles) * derate
+		if ev.Failed || t < ev.Time {
+			ev.Failed = false
+			ev.Unroll = u
+			ev.Cycles = cycles
+			ev.Time = t
+			ev.Spilled = res.Spilled
+		}
+		if res.Spilled > 0 {
+			break // spilled: stop considering larger unroll factors
+		}
+	}
+	return ev
+}

@@ -1,0 +1,232 @@
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+)
+
+// Explorer runs the full experiment: every concrete machine in the
+// design space (design points × cluster arrangements) against every
+// benchmark.
+type Explorer struct {
+	Cost       machine.CostModel
+	Cycle      machine.CycleModel
+	Benchmarks []*bench.Benchmark
+	Archs      []machine.Arch // default: machine.FullSpace()
+	Workers    int            // default: GOMAXPROCS
+	Width      int            // reference workload width (default 96)
+	Progress   func(done, total int)
+}
+
+// NewExplorer returns an explorer over the full space and benchmark
+// suite with default models.
+func NewExplorer() *Explorer {
+	return &Explorer{
+		Cost:       machine.DefaultCostModel,
+		Cycle:      machine.DefaultCycleModel,
+		Benchmarks: bench.All(),
+		Archs:      machine.FullSpace(),
+		Width:      96,
+	}
+}
+
+// Stats summarizes an exploration run (the paper's Table 3).
+type Stats struct {
+	Runs          int64 // benchmark compilations
+	Architectures int   // concrete machines evaluated
+	DesignPoints  int   // unclustered design points
+	Benchmarks    int
+	WallTime      time.Duration
+	PerArch       time.Duration // wall time / architectures
+	PerRun        time.Duration // wall time / runs
+}
+
+// Results holds every measurement from one exploration.
+type Results struct {
+	Archs   []machine.Arch
+	Benches []string
+	Cost    []float64               // per arch
+	Eval    map[string][]Evaluation // bench -> per-arch evaluations
+	Stats   Stats
+	CostMdl machine.CostModel
+}
+
+// Run executes the exploration.
+func (e *Explorer) Run() (*Results, error) {
+	archs := e.Archs
+	if archs == nil {
+		archs = machine.FullSpace()
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	width := e.Width
+	if width <= 0 {
+		width = 96
+	}
+
+	ev := NewEvaluator()
+	ev.Width = width
+	ev.Cycle = e.Cycle
+
+	res := &Results{
+		Archs:   archs,
+		Eval:    map[string][]Evaluation{},
+		CostMdl: e.Cost,
+	}
+	for _, b := range e.Benchmarks {
+		res.Benches = append(res.Benches, b.Name)
+		res.Eval[b.Name] = make([]Evaluation, len(archs))
+	}
+	res.Cost = make([]float64, len(archs))
+	for i, a := range archs {
+		res.Cost[i] = e.Cost.Cost(a)
+	}
+
+	// Warm the per-benchmark caches serially (one prepare per unroll)
+	// so workers do not duplicate the work under the cache lock.
+	for _, b := range e.Benchmarks {
+		for _, u := range UnrollFactors {
+			ev.prepare(b, u)
+		}
+	}
+
+	type job struct {
+		bi, ai int
+	}
+	jobs := make(chan job, workers*2)
+	var wg sync.WaitGroup
+	var done int64
+	var doneMu sync.Mutex
+	total := len(e.Benchmarks) * len(archs)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				b := e.Benchmarks[j.bi]
+				res.Eval[b.Name][j.ai] = ev.Evaluate(b, archs[j.ai])
+				if e.Progress != nil {
+					doneMu.Lock()
+					done++
+					e.Progress(int(done), total)
+					doneMu.Unlock()
+				}
+			}
+		}()
+	}
+	for bi := range e.Benchmarks {
+		for ai := range archs {
+			jobs <- job{bi, ai}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Baseline times and speedups. The baseline machine is evaluated
+	// like any other (it is in the space); if absent, evaluate it now.
+	baseIdx := -1
+	for i, a := range archs {
+		if a == machine.Baseline {
+			baseIdx = i
+			break
+		}
+	}
+	for _, b := range e.Benchmarks {
+		var baseTime float64
+		if baseIdx >= 0 {
+			baseTime = res.Eval[b.Name][baseIdx].Time
+		} else {
+			bev := ev.Evaluate(b, machine.Baseline)
+			baseTime = bev.Time
+		}
+		if baseTime <= 0 {
+			return nil, fmt.Errorf("dse: baseline failed on %s", b.Name)
+		}
+		evs := res.Eval[b.Name]
+		for i := range evs {
+			if !evs[i].Failed && evs[i].Time > 0 {
+				evs[i].Speedup = baseTime / evs[i].Time
+			}
+		}
+	}
+
+	wall := time.Since(start)
+	res.Stats = Stats{
+		Runs:          ev.Compilations,
+		Architectures: len(archs),
+		DesignPoints:  len(machine.DesignSpace()),
+		Benchmarks:    len(e.Benchmarks),
+		WallTime:      wall,
+	}
+	if len(archs) > 0 {
+		res.Stats.PerArch = wall / time.Duration(len(archs))
+	}
+	if ev.Compilations > 0 {
+		res.Stats.PerRun = wall / time.Duration(ev.Compilations)
+	}
+	return res, nil
+}
+
+// ScatterPoint is one (cost, speedup) point of Figures 3/4.
+type ScatterPoint struct {
+	Arch    machine.Arch
+	Cost    float64
+	Speedup float64
+	Best    bool // on the best cost/performance frontier
+}
+
+// Scatter builds the Figure 3/4 data for one benchmark: each design
+// point appears once with its best cluster arrangement (the paper:
+// "after the best cluster arrangement had been selected"), and the
+// Pareto frontier of best cost/performance alternatives is marked.
+func (r *Results) Scatter(benchName string) []ScatterPoint {
+	evs, ok := r.Eval[benchName]
+	if !ok {
+		return nil
+	}
+	// Group by unclustered design point; keep the best-speedup cluster
+	// arrangement.
+	type key struct{ a, m, reg, p2, l2 int }
+	best := map[key]int{}
+	for i, ev := range evs {
+		if ev.Failed {
+			continue
+		}
+		k := key{ev.Arch.ALUs, ev.Arch.MULs, ev.Arch.Regs, ev.Arch.L2Ports, ev.Arch.L2Lat}
+		if j, ok := best[k]; !ok || ev.Speedup > evs[j].Speedup {
+			best[k] = i
+		}
+	}
+	var pts []ScatterPoint
+	for _, i := range best {
+		pts = append(pts, ScatterPoint{
+			Arch:    evs[i].Arch,
+			Cost:    r.Cost[i],
+			Speedup: evs[i].Speedup,
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Cost != pts[j].Cost {
+			return pts[i].Cost < pts[j].Cost
+		}
+		return pts[i].Speedup > pts[j].Speedup
+	})
+	// Pareto frontier: increasing cost must strictly improve speedup.
+	bestSu := 0.0
+	for i := range pts {
+		if pts[i].Speedup > bestSu {
+			pts[i].Best = true
+			bestSu = pts[i].Speedup
+		}
+	}
+	return pts
+}

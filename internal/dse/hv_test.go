@@ -1,0 +1,16 @@
+package dse
+
+import (
+	"testing"
+
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+)
+
+func TestHeavyPair(t *testing.T) {
+	ev := NewEvaluator()
+	for i := 0; i < 3; i++ {
+		ev.Evaluate(bench.ByName("C"), machine.Arch{ALUs: 16, MULs: 4, Regs: 128, L2Ports: 1, L2Lat: 4, Clusters: 8})
+		ev.Evaluate(bench.ByName("C"), machine.Arch{ALUs: 16, MULs: 8, Regs: 512, L2Ports: 2, L2Lat: 4, Clusters: 2})
+	}
+}

@@ -1,0 +1,65 @@
+package dse
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"customfit/internal/machine"
+)
+
+// resultsJSON is the serialized form of Results (Stats durations encode
+// as nanoseconds via time.Duration's integer representation).
+type resultsJSON struct {
+	Archs   []archJSON              `json:"archs"`
+	Benches []string                `json:"benches"`
+	Cost    []float64               `json:"cost"`
+	Eval    map[string][]Evaluation `json:"eval"`
+	Stats   Stats                   `json:"stats"`
+}
+
+type archJSON struct {
+	A, M, R, P2, L2, C int
+}
+
+// Save writes the results to path as JSON.
+func (r *Results) Save(path string) error {
+	out := resultsJSON{
+		Benches: r.Benches,
+		Cost:    r.Cost,
+		Eval:    r.Eval,
+		Stats:   r.Stats,
+	}
+	for _, a := range r.Archs {
+		out.Archs = append(out.Archs, archJSON{a.ALUs, a.MULs, a.Regs, a.L2Ports, a.L2Lat, a.Clusters})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return fmt.Errorf("dse: encode results: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads results saved by Save.
+func Load(path string) (*Results, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var in resultsJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("dse: decode %s: %w", path, err)
+	}
+	r := &Results{
+		Benches: in.Benches,
+		Cost:    in.Cost,
+		Eval:    in.Eval,
+		Stats:   in.Stats,
+	}
+	for _, a := range in.Archs {
+		r.Archs = append(r.Archs, machine.Arch{
+			ALUs: a.A, MULs: a.M, Regs: a.R, L2Ports: a.P2, L2Lat: a.L2, Clusters: a.C,
+		})
+	}
+	return r, nil
+}

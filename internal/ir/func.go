@@ -1,0 +1,232 @@
+package ir
+
+import "fmt"
+
+// MemRef names an array in one of the two memory spaces. Kernel
+// parameters (image rows) live in L2; locals, constant tables and spill
+// slots live in L1.
+type MemRef struct {
+	Name    string
+	Space   Space
+	Elem    ElemType
+	Size    int     // number of elements; 0 = unknown (parameter arrays)
+	IsParam bool    // bound by the caller
+	Global  bool    // file-level storage persisting across invocations
+	Const   bool    // read-only constant table
+	Init    []int32 // initial contents for locals/constants
+}
+
+func (m *MemRef) String() string {
+	return fmt.Sprintf("%s %s[%d]@%s", m.Elem, m.Name, m.Size, m.Space)
+}
+
+// Param is a scalar kernel parameter bound to a virtual register on entry.
+type Param struct {
+	Name string
+	Reg  Reg
+}
+
+// Block is a basic block: a straight-line run of instructions ending in
+// a terminator.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+
+	// Preds/Succs are recomputed by Func.ComputeCFG.
+	Preds []*Block
+	Succs []*Block
+}
+
+// Terminator returns the block's final instruction, or nil if the block
+// is empty or unterminated.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Body returns the block's instructions excluding its terminator.
+func (b *Block) Body() []*Instr {
+	if b.Terminator() != nil {
+		return b.Instrs[:len(b.Instrs)-1]
+	}
+	return b.Instrs
+}
+
+// Append adds an instruction to the end of the block.
+func (b *Block) Append(in *Instr) *Instr {
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// Func is a compiled kernel: scalar parameters, memory references and a
+// CFG of basic blocks. Entry is Blocks[0].
+type Func struct {
+	Name    string
+	Params  []Param   // scalar parameters, in declaration order
+	Mems    []*MemRef // all memory references (params first, then locals)
+	Blocks  []*Block
+	Loop    *LoopInfo // the schedulable pixel loop, if any
+	nextReg Reg
+	nextBlk int
+}
+
+// NewFunc creates an empty function.
+func NewFunc(name string) *Func {
+	return &Func{Name: name}
+}
+
+// NewReg allocates a fresh virtual register.
+func (f *Func) NewReg() Reg {
+	r := f.nextReg
+	f.nextReg++
+	return r
+}
+
+// NumRegs returns the number of virtual registers allocated so far.
+func (f *Func) NumRegs() int { return int(f.nextReg) }
+
+// SetNumRegs raises the virtual register counter; used by passes that
+// renumber registers wholesale.
+func (f *Func) SetNumRegs(n int) {
+	if Reg(n) > f.nextReg {
+		f.nextReg = Reg(n)
+	}
+}
+
+// NewBlock creates a new basic block with a unique name derived from hint.
+func (f *Func) NewBlock(hint string) *Block {
+	b := &Block{Name: fmt.Sprintf("%s%d", hint, f.nextBlk)}
+	f.nextBlk++
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the function's entry block.
+func (f *Func) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// AddScalarParam declares a scalar parameter bound to a fresh register.
+func (f *Func) AddScalarParam(name string) Param {
+	p := Param{Name: name, Reg: f.NewReg()}
+	f.Params = append(f.Params, p)
+	return p
+}
+
+// AddMem declares a memory reference.
+func (f *Func) AddMem(m *MemRef) *MemRef {
+	f.Mems = append(f.Mems, m)
+	return m
+}
+
+// MemByName looks up a memory reference by name, or nil.
+func (f *Func) MemByName(name string) *MemRef {
+	for _, m := range f.Mems {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// ComputeCFG recomputes predecessor and successor lists from terminators.
+func (f *Func) ComputeCFG() {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+		b.Succs = b.Succs[:0]
+	}
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil {
+			continue
+		}
+		for _, s := range t.Targets {
+			b.Succs = append(b.Succs, s)
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// RemoveUnreachable drops blocks not reachable from the entry and
+// recomputes the CFG. It returns the number of blocks removed.
+func (f *Func) RemoveUnreachable() int {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	f.ComputeCFG()
+	seen := map[*Block]bool{f.Blocks[0]: true}
+	work := []*Block{f.Blocks[0]}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	kept := f.Blocks[:0]
+	removed := 0
+	for _, b := range f.Blocks {
+		if seen[b] {
+			kept = append(kept, b)
+		} else {
+			removed++
+		}
+	}
+	f.Blocks = kept
+	f.ComputeCFG()
+	return removed
+}
+
+// Clone returns a deep copy of the function. MemRefs are shared (they
+// are identity objects naming storage, not mutable state).
+func (f *Func) Clone() *Func {
+	nf := &Func{
+		Name:    f.Name,
+		Params:  append([]Param(nil), f.Params...),
+		Mems:    append([]*MemRef(nil), f.Mems...),
+		nextReg: f.nextReg,
+		nextBlk: f.nextBlk,
+	}
+	bmap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name}
+		bmap[b] = nb
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := bmap[b]
+		for _, in := range b.Instrs {
+			cp := in.Clone()
+			for i, t := range cp.Targets {
+				cp.Targets[i] = bmap[t]
+			}
+			nb.Instrs = append(nb.Instrs, cp)
+		}
+	}
+	if f.Loop != nil {
+		nf.Loop = f.Loop.remap(bmap)
+	}
+	nf.ComputeCFG()
+	return nf
+}
+
+// NumInstrs returns the total instruction count across all blocks.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}

@@ -1,0 +1,369 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestElemTypeSizes(t *testing.T) {
+	cases := []struct {
+		t ElemType
+		n int
+	}{{ElemU8, 1}, {ElemI8, 1}, {ElemU16, 2}, {ElemI16, 2}, {ElemI32, 4}}
+	for _, c := range cases {
+		if got := c.t.Size(); got != c.n {
+			t.Errorf("%s.Size() = %d, want %d", c.t, got, c.n)
+		}
+	}
+}
+
+func TestElemTypeExtend(t *testing.T) {
+	cases := []struct {
+		t       ElemType
+		in, out int32
+	}{
+		{ElemU8, 0x1ff, 0xff},
+		{ElemU8, -1, 0xff},
+		{ElemI8, 0xff, -1},
+		{ElemI8, 0x7f, 127},
+		{ElemU16, -1, 0xffff},
+		{ElemI16, 0x8000, -32768},
+		{ElemI16, 0x7fff, 32767},
+		{ElemI32, -12345, -12345},
+	}
+	for _, c := range cases {
+		if got := c.t.Extend(c.in); got != c.out {
+			t.Errorf("%s.Extend(%#x) = %d, want %d", c.t, c.in, got, c.out)
+		}
+	}
+}
+
+func TestElemTypeExtendIdempotent(t *testing.T) {
+	// Property: Extend is idempotent for every element type.
+	for _, et := range []ElemType{ElemU8, ElemI8, ElemU16, ElemI16, ElemI32} {
+		et := et
+		f := func(v int32) bool { return et.Extend(et.Extend(v)) == et.Extend(v) }
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", et, err)
+		}
+	}
+}
+
+func TestOpEvalBasics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		args []int32
+		want int32
+	}{
+		{OpAdd, []int32{2, 3}, 5},
+		{OpSub, []int32{2, 3}, -1},
+		{OpMul, []int32{-4, 3}, -12},
+		{OpShl, []int32{1, 4}, 16},
+		{OpShrA, []int32{-16, 2}, -4},
+		{OpShrU, []int32{-16, 2}, int32(uint32(0xfffffff0) >> 2)},
+		{OpAnd, []int32{0xff, 0x0f}, 0x0f},
+		{OpOr, []int32{0xf0, 0x0f}, 0xff},
+		{OpXor, []int32{0xff, 0x0f}, 0xf0},
+		{OpCmpEQ, []int32{3, 3}, 1},
+		{OpCmpNE, []int32{3, 3}, 0},
+		{OpCmpLT, []int32{-1, 0}, 1},
+		{OpCmpLE, []int32{0, 0}, 1},
+		{OpCmpGT, []int32{1, 0}, 1},
+		{OpCmpGE, []int32{-1, 0}, 0},
+		{OpSelect, []int32{1, 10, 20}, 10},
+		{OpSelect, []int32{0, 10, 20}, 20},
+		{OpMov, []int32{7}, 7},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.args...); got != c.want {
+			t.Errorf("%s%v = %d, want %d", c.op, c.args, got, c.want)
+		}
+	}
+}
+
+func TestOpCommutativity(t *testing.T) {
+	// Property: ops claiming commutativity really commute.
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpCmpEQ, OpCmpNE, OpCmpLT, OpShl} {
+		op := op
+		f := func(a, b int32) bool {
+			if !op.IsCommutative() {
+				return true
+			}
+			return op.Eval(a, b) == op.Eval(b, a)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", op, err)
+		}
+	}
+}
+
+func TestOpShiftMasking(t *testing.T) {
+	// Shifts use only the low 5 bits of the count, like real hardware.
+	f := func(v int32, s int32) bool {
+		return OpShl.Eval(v, s) == OpShl.Eval(v, s&31) &&
+			OpShrA.Eval(v, s) == OpShrA.Eval(v, s&31) &&
+			OpShrU.Eval(v, s) == OpShrU.Eval(v, s&31)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildLoop constructs a small well-formed counting loop used by several tests:
+//
+//	entry: c = cmplt 0, n; cbr c, loop, exit
+//	loop:  s += i; i += 1; t = cmplt i, n; cbr t, loop, exit
+//	exit:  ret
+func buildLoop(t *testing.T) *Func {
+	t.Helper()
+	f := NewFunc("count")
+	n := f.AddScalarParam("n")
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+
+	i, s := f.NewReg(), f.NewReg()
+	c0 := f.NewReg()
+	entry.Append(NewInstr(OpMov, i, Imm(0)))
+	entry.Append(NewInstr(OpMov, s, Imm(0)))
+	entry.Append(NewInstr(OpCmpLT, c0, Imm(0), R(n.Reg)))
+	entry.Append(&Instr{Op: OpCBr, Dest: NoReg, Args: []Operand{R(c0)}, Targets: []*Block{loop, exit}})
+
+	s2, i2, tc := f.NewReg(), f.NewReg(), f.NewReg()
+	loop.Append(NewInstr(OpAdd, s2, R(s), R(i)))
+	loop.Append(NewInstr(OpAdd, i2, R(i), Imm(1)))
+	loop.Append(NewInstr(OpMov, s, R(s2)))
+	loop.Append(NewInstr(OpMov, i, R(i2)))
+	loop.Append(NewInstr(OpCmpLT, tc, R(i2), R(n.Reg)))
+	loop.Append(&Instr{Op: OpCBr, Dest: NoReg, Args: []Operand{R(tc)}, Targets: []*Block{loop, exit}})
+
+	exit.Append(&Instr{Op: OpRet, Dest: NoReg})
+	f.ComputeCFG()
+	return f
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	f := buildLoop(t)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyCatchesEmptyBlock(t *testing.T) {
+	f := buildLoop(t)
+	f.NewBlock("dangling")
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("Verify = %v, want empty-block error", err)
+	}
+}
+
+func TestVerifyCatchesMidBlockTerminator(t *testing.T) {
+	f := buildLoop(t)
+	b := f.Blocks[0]
+	// Swap terminator into the middle.
+	b.Instrs[1], b.Instrs[3] = b.Instrs[3], b.Instrs[1]
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "mid-block") {
+		t.Fatalf("Verify = %v, want mid-block terminator error", err)
+	}
+}
+
+func TestVerifyCatchesUndefinedUse(t *testing.T) {
+	f := buildLoop(t)
+	bogus := f.NewReg()
+	exit := f.Blocks[2]
+	exit.Instrs = append([]*Instr{NewInstr(OpAdd, f.NewReg(), R(bogus), Imm(1))}, exit.Instrs...)
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("Verify = %v, want undefined-register error", err)
+	}
+}
+
+func TestVerifyCatchesBadArgCount(t *testing.T) {
+	f := buildLoop(t)
+	f.Blocks[1].Instrs[0].Args = f.Blocks[1].Instrs[0].Args[:1]
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Fatalf("Verify = %v, want arg-count error", err)
+	}
+}
+
+func TestVerifyCatchesStoreToConst(t *testing.T) {
+	f := buildLoop(t)
+	m := f.AddMem(&MemRef{Name: "tbl", Space: L1, Elem: ElemI32, Size: 4, Const: true})
+	st := &Instr{Op: OpStore, Dest: NoReg, Args: []Operand{Imm(0), Imm(1)}, Mem: m, Elem: ElemI32}
+	b := f.Blocks[1]
+	b.Instrs = append([]*Instr{st}, b.Instrs...)
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "constant memory") {
+		t.Fatalf("Verify = %v, want constant-memory error", err)
+	}
+}
+
+func TestComputeCFG(t *testing.T) {
+	f := buildLoop(t)
+	entry, loop, exit := f.Blocks[0], f.Blocks[1], f.Blocks[2]
+	if len(entry.Succs) != 2 || entry.Succs[0] != loop || entry.Succs[1] != exit {
+		t.Errorf("entry.Succs wrong: %v", names(entry.Succs))
+	}
+	if len(loop.Preds) != 2 {
+		t.Errorf("loop.Preds = %v, want [entry loop]", names(loop.Preds))
+	}
+	if len(exit.Preds) != 2 {
+		t.Errorf("exit.Preds = %v, want [entry loop]", names(exit.Preds))
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	f := buildLoop(t)
+	dead := f.NewBlock("dead")
+	dead.Append(&Instr{Op: OpRet})
+	if n := f.RemoveUnreachable(); n != 1 {
+		t.Fatalf("RemoveUnreachable = %d, want 1", n)
+	}
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks after removal = %d, want 3", len(f.Blocks))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := buildLoop(t)
+	g := f.Clone()
+	if err := g.Verify(); err != nil {
+		t.Fatalf("clone does not verify: %v", err)
+	}
+	if f.String() != g.String() {
+		t.Errorf("clone prints differently:\n%s\nvs\n%s", f, g)
+	}
+	// Mutating the clone must not affect the original.
+	g.Blocks[1].Instrs[0].Op = OpSub
+	if f.Blocks[1].Instrs[0].Op != OpAdd {
+		t.Error("mutating clone changed original instruction")
+	}
+	if g.Blocks[1].Instrs[len(g.Blocks[1].Instrs)-1].Targets[0] == f.Blocks[1] {
+		t.Error("clone branch targets point into original function")
+	}
+}
+
+func TestPrintContainsStructure(t *testing.T) {
+	f := buildLoop(t)
+	s := f.String()
+	for _, want := range []string{"kernel count(n=v0)", "entry0:", "loop1:", "cbr", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInstrCloneIndependence(t *testing.T) {
+	in := NewInstr(OpAdd, 5, R(1), Imm(3))
+	cp := in.Clone()
+	cp.Args[0] = Imm(9)
+	if in.Args[0].Kind != OperReg {
+		t.Error("mutating cloned args changed original")
+	}
+}
+
+func TestUses(t *testing.T) {
+	in := NewInstr(OpSelect, 9, R(1), Imm(3), R(2))
+	us := in.Uses(nil)
+	if len(us) != 2 || us[0] != 1 || us[1] != 2 {
+		t.Errorf("Uses = %v, want [1 2]", us)
+	}
+}
+
+func names(bs []*Block) []string {
+	var out []string
+	for _, b := range bs {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+func TestInterpVisitCounting(t *testing.T) {
+	f := buildLoop(t)
+	env := NewEnv(5)
+	env.Visits = map[string]int64{}
+	if _, err := Interp(f, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Visits["entry0"] != 1 {
+		t.Errorf("entry visits = %d, want 1", env.Visits["entry0"])
+	}
+	if env.Visits["loop1"] != 5 {
+		t.Errorf("loop visits = %d, want 5", env.Visits["loop1"])
+	}
+	if env.Visits["exit2"] != 1 {
+		t.Errorf("exit visits = %d, want 1", env.Visits["exit2"])
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	f := buildLoop(t)
+	env := NewEnv(1000000)
+	env.MaxSteps = 100
+	if _, err := Interp(f, env); err == nil {
+		t.Error("step limit not enforced")
+	}
+}
+
+func TestInterpArgCountMismatch(t *testing.T) {
+	f := buildLoop(t)
+	if _, err := Interp(f, NewEnv(1, 2)); err == nil {
+		t.Error("arg count mismatch accepted")
+	}
+}
+
+func TestOperandHelpers(t *testing.T) {
+	r := R(5)
+	im := Imm(-3)
+	if !r.IsReg() || r.IsImm() || im.IsReg() || !im.IsImm() {
+		t.Error("operand kind predicates wrong")
+	}
+	if r.String() != "v5" || im.String() != "-3" {
+		t.Errorf("operand strings: %q %q", r, im)
+	}
+	if NoReg.String() != "_" {
+		t.Errorf("NoReg renders %q", NoReg)
+	}
+}
+
+func TestMemRefString(t *testing.T) {
+	m := &MemRef{Name: "buf", Space: L1, Elem: ElemI16, Size: 42}
+	if got := m.String(); got != "i16 buf[42]@L1" {
+		t.Errorf("MemRef.String = %q", got)
+	}
+	if L2.String() != "L2" {
+		t.Errorf("L2 renders %q", L2)
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	m := &MemRef{Name: "a", Space: L2, Elem: ElemU8, Size: 8}
+	cases := []struct {
+		in   *Instr
+		want string
+	}{
+		{NewInstr(OpAdd, 3, R(1), Imm(2)), "v3 = add v1, 2"},
+		{&Instr{Op: OpLoad, Dest: 4, Args: []Operand{R(1)}, Mem: m, Off: -2, Elem: ElemU8},
+			"v4 = load.u8 a[v1-2]"},
+		{&Instr{Op: OpStore, Dest: NoReg, Args: []Operand{Imm(0), R(2)}, Mem: m, Off: 3, Elem: ElemU8},
+			"store.u8 a[0+3] = v2"},
+		{&Instr{Op: OpRet, Dest: NoReg}, "ret"},
+		{&Instr{Op: OpNop, Dest: NoReg}, "nop"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Instr.String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLoopInfoSingleBlock(t *testing.T) {
+	f := buildLoop(t)
+	l := &LoopInfo{Header: f.Blocks[1], Latch: f.Blocks[1]}
+	if !l.SingleBlock() {
+		t.Error("same header/latch should be single-block")
+	}
+	l.Latch = f.Blocks[2]
+	if l.SingleBlock() {
+		t.Error("distinct latch should not be single-block")
+	}
+}

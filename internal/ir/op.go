@@ -1,0 +1,219 @@
+package ir
+
+import "fmt"
+
+// Op is an IR operation code. The repertoire follows the paper's
+// RISC/VLIW philosophy: simple integer operations only, with integer
+// multiply the single "expensive" ALU capability (only IMUL-capable
+// ALUs may execute it). There is no divide unit; the frontend strength-
+// reduces division by power-of-two constants.
+type Op uint8
+
+const (
+	OpNop Op = iota
+
+	// Integer ALU operations, latency 1.
+	OpAdd
+	OpSub
+	OpShl  // shift left logical
+	OpShrA // shift right arithmetic
+	OpShrU // shift right logical
+	OpAnd
+	OpOr
+	OpXor
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT  // signed <
+	OpCmpLE  // signed <=
+	OpCmpGT  // signed >
+	OpCmpGE  // signed >=
+	OpSelect // dest = arg0 != 0 ? arg1 : arg2
+	// OpMin/OpMax are single-cycle signed min/max, available only when
+	// the target's ALU repertoire includes them (machine.Arch.MinMax,
+	// the opcode-choice extension of paper §2.2's "ALU Repertoire").
+	// The backend fuses cmp+select pairs into them; they never appear
+	// in architecture-independent IR.
+	OpMin
+	OpMax
+	OpMov // dest = arg0
+	// OpXMov copies a value between clusters over the global
+	// connections: it reads arg0 in the source cluster's register file
+	// and writes the destination register in another cluster, occupying
+	// an ALU issue slot on the source cluster plus a global bus channel.
+	// Inserted by the cluster partitioner; never appears before it.
+	OpXMov
+
+	// Integer multiply: latency 2, pipelined, requires an IMUL-capable ALU.
+	OpMul
+
+	// Memory operations. The MemRef determines the address space, the
+	// index operand is in element units, Off is a constant element
+	// offset folded into the addressing mode.
+	OpLoad  // dest = Mem[arg0 + Off]
+	OpStore // Mem[arg0 + Off] = arg1
+
+	// Control transfer, executed by the single branch unit on cluster 0.
+	OpBr  // unconditional: Targets[0]
+	OpCBr // conditional on arg0 != 0: Targets[0] if true, Targets[1] if false
+	OpRet
+)
+
+var opNames = [...]string{
+	OpNop:    "nop",
+	OpAdd:    "add",
+	OpSub:    "sub",
+	OpShl:    "shl",
+	OpShrA:   "shra",
+	OpShrU:   "shru",
+	OpAnd:    "and",
+	OpOr:     "or",
+	OpXor:    "xor",
+	OpCmpEQ:  "cmpeq",
+	OpCmpNE:  "cmpne",
+	OpCmpLT:  "cmplt",
+	OpCmpLE:  "cmple",
+	OpCmpGT:  "cmpgt",
+	OpCmpGE:  "cmpge",
+	OpSelect: "select",
+	OpMin:    "min",
+	OpMax:    "max",
+	OpMov:    "mov",
+	OpXMov:   "xmov",
+	OpMul:    "mul",
+	OpLoad:   "load",
+	OpStore:  "store",
+	OpBr:     "br",
+	OpCBr:    "cbr",
+	OpRet:    "ret",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// IsALU reports whether op executes on an integer ALU (including the
+// multiply, which additionally requires IMUL capability).
+func (op Op) IsALU() bool {
+	switch op {
+	case OpAdd, OpSub, OpShl, OpShrA, OpShrU, OpAnd, OpOr, OpXor,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE,
+		OpSelect, OpMin, OpMax, OpMov, OpMul:
+		return true
+	}
+	return false
+}
+
+// IsCmp reports whether op is a comparison producing 0/1.
+func (op Op) IsCmp() bool {
+	switch op {
+	case OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { return op == OpLoad || op == OpStore }
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool { return op == OpBr || op == OpCBr || op == OpRet }
+
+// HasDest reports whether op defines a destination register.
+func (op Op) HasDest() bool {
+	switch op {
+	case OpStore, OpBr, OpCBr, OpRet, OpNop:
+		return false
+	}
+	return true
+}
+
+// IsCommutative reports whether arg0 and arg1 may be exchanged.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case OpAdd, OpAnd, OpOr, OpXor, OpCmpEQ, OpCmpNE, OpMin, OpMax, OpMul:
+		return true
+	}
+	return false
+}
+
+// NArgs returns the number of operands op expects.
+func (op Op) NArgs() int {
+	switch op {
+	case OpNop, OpBr, OpRet:
+		return 0
+	case OpMov, OpXMov, OpLoad, OpCBr:
+		return 1
+	case OpSelect:
+		return 3
+	case OpStore:
+		return 2
+	default:
+		return 2
+	}
+}
+
+// Eval computes the result of a pure (non-memory, non-control) operation
+// on concrete 32-bit values. It is shared by the constant folder and the
+// simulator so the two can never disagree.
+func (op Op) Eval(args ...int32) int32 {
+	switch op {
+	case OpAdd:
+		return args[0] + args[1]
+	case OpSub:
+		return args[0] - args[1]
+	case OpMul:
+		return args[0] * args[1]
+	case OpShl:
+		return args[0] << (uint32(args[1]) & 31)
+	case OpShrA:
+		return args[0] >> (uint32(args[1]) & 31)
+	case OpShrU:
+		return int32(uint32(args[0]) >> (uint32(args[1]) & 31))
+	case OpAnd:
+		return args[0] & args[1]
+	case OpOr:
+		return args[0] | args[1]
+	case OpXor:
+		return args[0] ^ args[1]
+	case OpCmpEQ:
+		return b2i(args[0] == args[1])
+	case OpCmpNE:
+		return b2i(args[0] != args[1])
+	case OpCmpLT:
+		return b2i(args[0] < args[1])
+	case OpCmpLE:
+		return b2i(args[0] <= args[1])
+	case OpCmpGT:
+		return b2i(args[0] > args[1])
+	case OpCmpGE:
+		return b2i(args[0] >= args[1])
+	case OpSelect:
+		if args[0] != 0 {
+			return args[1]
+		}
+		return args[2]
+	case OpMin:
+		if args[0] < args[1] {
+			return args[0]
+		}
+		return args[1]
+	case OpMax:
+		if args[0] > args[1] {
+			return args[0]
+		}
+		return args[1]
+	case OpMov, OpXMov:
+		return args[0]
+	}
+	panic(fmt.Sprintf("ir: Eval of non-pure op %s", op))
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

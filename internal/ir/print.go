@@ -1,0 +1,30 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function as readable IR assembly, used in tests,
+// golden files and the cfp-compile tool's -dump output.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kernel %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%s", p.Name, p.Reg)
+	}
+	sb.WriteString(")\n")
+	for _, m := range f.Mems {
+		fmt.Fprintf(&sb, "  mem %s\n", m)
+	}
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,109 @@
+// Package ir defines the intermediate representation used by the
+// custom-fit compiler pipeline.
+//
+// The IR is a typed three-address code over 32-bit integer virtual
+// registers, organized into basic blocks forming a control-flow graph.
+// Memory is addressed through named MemRefs (arrays) carrying an element
+// type and an address-space tag (Level-1 or Level-2 memory, following
+// the paper's terminology: L1 is the fixed 3-cycle single-port global
+// store, L2 is the configurable streaming store).
+//
+// All scalar computation is 32-bit; element types only affect the width
+// and extension behaviour of loads and stores, exactly as in the fixed-
+// point image kernels the paper evaluates.
+package ir
+
+import "fmt"
+
+// ElemType is the storage element type of a memory reference.
+type ElemType uint8
+
+const (
+	// ElemU8 is an unsigned byte; loads zero-extend, stores truncate.
+	ElemU8 ElemType = iota
+	// ElemI8 is a signed byte; loads sign-extend, stores truncate.
+	ElemI8
+	// ElemU16 is an unsigned halfword; loads zero-extend, stores truncate.
+	ElemU16
+	// ElemI16 is a signed halfword; loads sign-extend, stores truncate.
+	ElemI16
+	// ElemI32 is a full 32-bit word.
+	ElemI32
+)
+
+// Size returns the element size in bytes.
+func (t ElemType) Size() int {
+	switch t {
+	case ElemU8, ElemI8:
+		return 1
+	case ElemU16, ElemI16:
+		return 2
+	case ElemI32:
+		return 4
+	}
+	panic(fmt.Sprintf("ir: invalid ElemType %d", t))
+}
+
+func (t ElemType) String() string {
+	switch t {
+	case ElemU8:
+		return "u8"
+	case ElemI8:
+		return "i8"
+	case ElemU16:
+		return "u16"
+	case ElemI16:
+		return "i16"
+	case ElemI32:
+		return "i32"
+	}
+	return fmt.Sprintf("ElemType(%d)", uint8(t))
+}
+
+// Extend converts a raw stored value of type t into its 32-bit register
+// representation (zero- or sign-extension).
+func (t ElemType) Extend(v int32) int32 {
+	switch t {
+	case ElemU8:
+		return v & 0xff
+	case ElemI8:
+		return int32(int8(v))
+	case ElemU16:
+		return v & 0xffff
+	case ElemI16:
+		return int32(int16(v))
+	case ElemI32:
+		return v
+	}
+	panic(fmt.Sprintf("ir: invalid ElemType %d", t))
+}
+
+// Truncate converts a 32-bit register value into the canonical stored
+// representation for type t.
+func (t ElemType) Truncate(v int32) int32 {
+	return t.Extend(v)
+}
+
+// Space is a memory address space in the paper's two-level hierarchy.
+type Space uint8
+
+const (
+	// L1 is "Level 1 Memory": the system's global store, always a single
+	// port with a fixed 3-cycle non-pipelined latency. Local scratch
+	// arrays, constant tables and spill slots live here.
+	L1 Space = iota
+	// L2 is "Level 2 Memory": the configurable store whose port count
+	// (1..4) and latency (2..8 cycles, non-pipelined) are architecture
+	// parameters. Kernel parameter arrays (image rows) live here.
+	L2
+)
+
+func (s Space) String() string {
+	switch s {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	}
+	return fmt.Sprintf("Space(%d)", uint8(s))
+}

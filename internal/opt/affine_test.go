@@ -1,0 +1,111 @@
+package opt
+
+import (
+	"testing"
+
+	"customfit/internal/cc"
+	"customfit/internal/ir"
+)
+
+// TestAffineAddressCanonicalization checks that unrolled copies'
+// strided accesses all share one base register with distinct constant
+// offsets — the property the memory disambiguator needs to prove the
+// copies independent.
+func TestAffineAddressCanonicalization(t *testing.T) {
+	src := `
+		kernel strided(byte in[], byte out[], int n) {
+			int i;
+			for (i = 0; i < n; i++) {
+				out[i * 3]     = in[i * 3];
+				out[i * 3 + 1] = in[i * 3 + 1];
+				out[i * 3 + 2] = in[i * 3 + 2];
+			}
+		}`
+	fn, err := cc.CompileKernel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Prepare(fn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every in/out access in the unrolled body must use the same index
+	// register (per array) and offsets 0..11.
+	bases := map[string]map[ir.Reg]bool{}
+	offs := map[string]map[int32]bool{}
+	for _, in := range g.Loop.Header.Instrs {
+		if !in.Op.IsMem() || in.Mem.IsParam == false {
+			continue
+		}
+		name := in.Mem.Name
+		if bases[name] == nil {
+			bases[name] = map[ir.Reg]bool{}
+			offs[name] = map[int32]bool{}
+		}
+		if in.Args[0].IsReg() {
+			bases[name][in.Args[0].Reg] = true
+		}
+		offs[name][in.Off] = true
+	}
+	for _, name := range []string{"in", "out"} {
+		if len(bases[name]) != 1 {
+			t.Errorf("%s accesses use %d base registers, want 1", name, len(bases[name]))
+		}
+		if len(offs[name]) != 12 {
+			t.Errorf("%s accesses use %d distinct offsets, want 12", name, len(offs[name]))
+		}
+	}
+}
+
+// TestAffineExactUnderWraparound: the canonical rewrite must be exact
+// two's-complement arithmetic, including deliberately overflowing
+// scales.
+func TestAffineExactUnderWraparound(t *testing.T) {
+	src := `
+		kernel w(int in[], int out[], int n) {
+			int i;
+			for (i = 0; i < n; i++) {
+				int k;
+				k = (i + 1) * 3 - 3;
+				out[i] = in[k] + in[k + 3] - in[(i + 2) * 3 - 6];
+			}
+		}`
+	fn, err := cc.CompileKernel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Prepare(fn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int32(6)
+	in := make([]int32, 3*int(n)+8)
+	for i := range in {
+		in[i] = int32(i*i - 7)
+	}
+	ref := make([]int32, n)
+	got := make([]int32, n)
+	if _, err := ir.Interp(fn, ir.NewEnv(n).Bind("in", in).Bind("out", ref)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Interp(g, ir.NewEnv(n).Bind("in", in).Bind("out", got)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], ref[i])
+		}
+	}
+	// All three loads hit the same element chain: in[3i], in[3i+3],
+	// in[3i] — the first and third must CSE to one load per index.
+	loads := 0
+	for _, in := range g.Loop.Header.Instrs {
+		if in.Op == ir.OpLoad {
+			loads++
+		}
+	}
+	// Unroll 2: addresses 3i, 3i+3, 3i+3, 3i+6 -> 3 distinct loads.
+	if loads > 3 {
+		t.Errorf("loads in unrolled body = %d, want <= 3 (affine CSE)", loads)
+	}
+}

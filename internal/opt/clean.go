@@ -1,0 +1,543 @@
+package opt
+
+import (
+	"math/bits"
+	"sort"
+
+	"customfit/internal/ir"
+)
+
+// Clean runs the per-block cleanup pipeline over every block of f:
+// regional renaming to single-assignment form, copy propagation,
+// constant folding, algebraic simplification, multiply strength
+// reduction, value-numbering CSE (including load CSE across non-aliased
+// stores), addressing-offset folding, and dead-code elimination.
+//
+// After Clean, each block defines only fresh temporaries, with "home"
+// registers (live across blocks) written exactly once by a final move
+// group just before the terminator. Clean is idempotent and is re-run
+// after every structural pass.
+func Clean(f *ir.Func) {
+	lv := ComputeLiveness(f)
+	for _, b := range f.Blocks {
+		cleanBlock(f, b, lv)
+	}
+}
+
+// vnKey identifies a computed value for CSE. Operands are flattened
+// into (kind, value) pairs; loads additionally carry their memory
+// reference, offset and the store epoch they observed.
+type vnKey struct {
+	op         ir.Op
+	n          int
+	k0, k1, k2 ir.OperandKind
+	v0, v1, v2 int32
+	mem        *ir.MemRef
+	epoch      int
+	off        int32
+	elem       ir.ElemType
+}
+
+func operandVal(o ir.Operand) int32 {
+	if o.IsImm() {
+		return o.Imm
+	}
+	return int32(o.Reg)
+}
+
+func makeKey(op ir.Op, args []ir.Operand) vnKey {
+	k := vnKey{op: op, n: len(args)}
+	if op.IsCommutative() && len(args) == 2 {
+		a, b := args[0], args[1]
+		if a.Kind > b.Kind || (a.Kind == b.Kind && operandVal(a) > operandVal(b)) {
+			args = []ir.Operand{b, a}
+		}
+	}
+	if len(args) > 0 {
+		k.k0, k.v0 = args[0].Kind, operandVal(args[0])
+	}
+	if len(args) > 1 {
+		k.k1, k.v1 = args[1].Kind, operandVal(args[1])
+	}
+	if len(args) > 2 {
+		k.k2, k.v2 = args[2].Kind, operandVal(args[2])
+	}
+	return k
+}
+
+// affineForm expresses a register's value as scale*base + off (exact
+// two's-complement arithmetic), the canonical shape of unrolled address
+// computations like (i+k)*3+c.
+type affineForm struct {
+	base       ir.Reg // live-in register the value is linear in
+	scale, off int32
+}
+
+type blockCleaner struct {
+	f       *ir.Func
+	bind    map[ir.Reg]ir.Operand // original reg -> current value
+	defined []ir.Reg              // original dest regs in definition order
+	wasDef  map[ir.Reg]bool
+	cse     map[vnKey]ir.Operand
+	epoch   map[*ir.MemRef]int
+	defOf   map[ir.Reg]*ir.Instr // fresh temp -> defining emitted instr
+	out     []*ir.Instr
+
+	// affine tracks linear forms of emitted temps; canonAddr maps
+	// (base, scale) to the first register computing that linear form,
+	// so every address with the same slope shares one base register and
+	// differs only in the constant offset. This is what lets the memory
+	// disambiguator prove unrolled copies' accesses disjoint.
+	affine    map[ir.Reg]affineForm
+	canonAddr map[affineKey]canonEntry
+}
+
+type affineKey struct {
+	base  ir.Reg
+	scale int32
+}
+
+type canonEntry struct {
+	reg ir.Reg
+	off int32
+}
+
+func cleanBlock(f *ir.Func, b *ir.Block, lv *Liveness) {
+	term := b.Terminator()
+	if term == nil {
+		return // malformed; let Verify report it
+	}
+	c := &blockCleaner{
+		f:         f,
+		bind:      map[ir.Reg]ir.Operand{},
+		wasDef:    map[ir.Reg]bool{},
+		cse:       map[vnKey]ir.Operand{},
+		epoch:     map[*ir.MemRef]int{},
+		defOf:     map[ir.Reg]*ir.Instr{},
+		affine:    map[ir.Reg]affineForm{},
+		canonAddr: map[affineKey]canonEntry{},
+	}
+	for _, in := range b.Body() {
+		c.process(in)
+	}
+
+	// Final move group: restore home registers that are live out.
+	var homes []ir.Reg
+	inSet := map[ir.Reg]bool{}
+	for _, r := range c.defined {
+		if lv.LiveOut(b, r) && !inSet[r] {
+			homes = append(homes, r)
+			inSet[r] = true
+		}
+	}
+	sort.Slice(homes, func(i, j int) bool { return homes[i] < homes[j] })
+	// The final moves are a parallel assignment: if one home's value is
+	// another home register's live-in value, copy it to a temp first.
+	tempOf := map[ir.Reg]ir.Reg{}
+	var pre, movs []*ir.Instr
+	for _, r := range homes {
+		v := c.bind[r]
+		if v.IsReg() && inSet[v.Reg] && v.Reg != r {
+			t, ok := tempOf[v.Reg]
+			if !ok {
+				t = f.NewReg()
+				tempOf[v.Reg] = t
+				pre = append(pre, ir.NewInstr(ir.OpMov, t, ir.R(v.Reg)))
+			}
+			v = ir.R(t)
+		}
+		if v.IsReg() && v.Reg == r {
+			continue // mov r, r
+		}
+		movs = append(movs, ir.NewInstr(ir.OpMov, r, v))
+	}
+
+	// Rewrite the terminator's uses.
+	for i, a := range term.Args {
+		term.Args[i] = c.subst(a)
+	}
+
+	// DCE over the body: keep stores; keep defs transitively needed by
+	// the final moves, the pre-copies, and the terminator.
+	needed := newRegset(f.NumRegs())
+	markUses := func(ins []*ir.Instr) {
+		for _, in := range ins {
+			for _, a := range in.Args {
+				if a.IsReg() {
+					needed.set(a.Reg)
+				}
+			}
+		}
+	}
+	markUses(pre)
+	markUses(movs)
+	markUses([]*ir.Instr{term})
+	kept := make([]*ir.Instr, 0, len(c.out))
+	for i := len(c.out) - 1; i >= 0; i-- {
+		in := c.out[i]
+		if in.Op.HasDest() && !needed.get(in.Dest) {
+			continue // dead pure op or load
+		}
+		for _, a := range in.Args {
+			if a.IsReg() {
+				needed.set(a.Reg)
+			}
+		}
+		kept = append(kept, in)
+	}
+	// Reverse kept.
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+
+	instrs := kept
+	instrs = append(instrs, pre...)
+	instrs = append(instrs, movs...)
+	instrs = append(instrs, term)
+	b.Instrs = instrs
+}
+
+func (c *blockCleaner) subst(a ir.Operand) ir.Operand {
+	if a.IsReg() {
+		if v, ok := c.bind[a.Reg]; ok {
+			return v
+		}
+	}
+	return a
+}
+
+func (c *blockCleaner) process(in *ir.Instr) {
+	switch {
+	case in.Op == ir.OpNop:
+		return
+	case in.Op == ir.OpMov:
+		c.define(in.Dest, c.subst(in.Args[0]))
+	case in.Op == ir.OpLoad:
+		idx := c.subst(in.Args[0])
+		off := in.Off
+		idx, off = c.foldAddress(idx, off)
+		key := vnKey{op: ir.OpLoad, n: 1, k0: idx.Kind, v0: operandVal(idx),
+			mem: in.Mem, epoch: c.epoch[in.Mem], off: off, elem: in.Elem}
+		if v, ok := c.cse[key]; ok {
+			c.define(in.Dest, v)
+			return
+		}
+		d := c.f.NewReg()
+		ni := &ir.Instr{Op: ir.OpLoad, Dest: d, Args: []ir.Operand{idx}, Mem: in.Mem, Off: off, Elem: in.Elem}
+		c.out = append(c.out, ni)
+		c.defOf[d] = ni
+		c.cse[key] = ir.R(d)
+		c.define(in.Dest, ir.R(d))
+	case in.Op == ir.OpStore:
+		idx := c.subst(in.Args[0])
+		val := c.subst(in.Args[1])
+		off := in.Off
+		idx, off = c.foldAddress(idx, off)
+		c.out = append(c.out, &ir.Instr{Op: ir.OpStore, Dest: ir.NoReg,
+			Args: []ir.Operand{idx, val}, Mem: in.Mem, Off: off, Elem: in.Elem})
+		c.epoch[in.Mem]++
+	default: // pure ALU op
+		args := make([]ir.Operand, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = c.subst(a)
+		}
+		c.define(in.Dest, c.emitPure(in.Op, args))
+	}
+}
+
+// define records that original register r now holds value v.
+func (c *blockCleaner) define(r ir.Reg, v ir.Operand) {
+	if !c.wasDef[r] {
+		c.wasDef[r] = true
+		c.defined = append(c.defined, r)
+	}
+	c.bind[r] = v
+}
+
+// emitPure folds, simplifies, strength-reduces and CSEs a pure
+// operation, emitting at most a couple of instructions and returning
+// the value operand.
+func (c *blockCleaner) emitPure(op ir.Op, args []ir.Operand) ir.Operand {
+	// Full constant folding.
+	allImm := true
+	for _, a := range args {
+		if !a.IsImm() {
+			allImm = false
+			break
+		}
+	}
+	if allImm {
+		vals := make([]int32, len(args))
+		for i, a := range args {
+			vals[i] = a.Imm
+		}
+		return ir.Imm(op.Eval(vals...))
+	}
+	// Canonicalize: immediate on the right for commutative ops; a-imm
+	// becomes a+(-imm) so addressing folds see a single shape.
+	if op.IsCommutative() && len(args) == 2 && args[0].IsImm() {
+		args[0], args[1] = args[1], args[0]
+	}
+	if op == ir.OpSub && args[1].IsImm() && args[1].Imm != -2147483648 {
+		op = ir.OpAdd
+		args = []ir.Operand{args[0], ir.Imm(-args[1].Imm)}
+	}
+	if v, ok := simplify(op, args); ok {
+		return v
+	}
+	// Multiply strength reduction: x*C in <= 2 cheap ops.
+	if op == ir.OpMul && args[1].IsImm() {
+		if v, ok := c.mulByConst(args[0], args[1].Imm); ok {
+			return v
+		}
+	}
+	key := makeKey(op, args)
+	if v, ok := c.cse[key]; ok {
+		if v.IsReg() {
+			c.recordAffine(v.Reg, op, args)
+		}
+		return v
+	}
+	d := c.f.NewReg()
+	ni := ir.NewInstr(op, d, args...)
+	c.out = append(c.out, ni)
+	c.defOf[d] = ni
+	c.cse[key] = ir.R(d)
+	c.recordAffine(d, op, args)
+	return ir.R(d)
+}
+
+// affineOf returns the linear form of an operand, if known: immediates
+// are pure offsets; live-in registers are themselves; emitted temps use
+// the recorded form.
+func (c *blockCleaner) affineOf(o ir.Operand) (affineForm, bool) {
+	if o.IsImm() {
+		return affineForm{base: ir.NoReg, scale: 0, off: o.Imm}, true
+	}
+	if af, ok := c.affine[o.Reg]; ok {
+		return af, true
+	}
+	if _, fresh := c.defOf[o.Reg]; fresh {
+		// An emitted temp with no recorded linear form (a load result,
+		// a compare, ...) is opaque.
+		return affineForm{}, false
+	}
+	// Any other register is an original (live-in-valued) register:
+	// after regional renaming, substituted uses of original registers
+	// always read the block's entry value, so it is a stable base.
+	return affineForm{base: o.Reg, scale: 1, off: 0}, true
+}
+
+// recordAffine derives the linear form of d = op(args) when possible.
+func (c *blockCleaner) recordAffine(d ir.Reg, op ir.Op, args []ir.Operand) {
+	if _, done := c.affine[d]; done {
+		return
+	}
+	combine := func(x, y affineForm, sub bool) (affineForm, bool) {
+		if sub {
+			y.scale, y.off = -y.scale, -y.off
+		}
+		switch {
+		case x.base == ir.NoReg:
+			y.off += x.off
+			return y, true
+		case y.base == ir.NoReg:
+			x.off += y.off
+			return x, true
+		case x.base == y.base:
+			return affineForm{base: x.base, scale: x.scale + y.scale, off: x.off + y.off}, true
+		}
+		return affineForm{}, false
+	}
+	var out affineForm
+	ok := false
+	switch op {
+	case ir.OpAdd, ir.OpSub:
+		x, ok1 := c.affineOf(args[0])
+		y, ok2 := c.affineOf(args[1])
+		if ok1 && ok2 {
+			out, ok = combine(x, y, op == ir.OpSub)
+		}
+	case ir.OpShl:
+		if args[1].IsImm() {
+			if x, ok1 := c.affineOf(args[0]); ok1 {
+				sh := uint32(args[1].Imm) & 31
+				out = affineForm{base: x.base, scale: x.scale << sh, off: x.off << sh}
+				ok = true
+			}
+		}
+	case ir.OpMul:
+		if args[1].IsImm() {
+			if x, ok1 := c.affineOf(args[0]); ok1 {
+				out = affineForm{base: x.base, scale: x.scale * args[1].Imm, off: x.off * args[1].Imm}
+				ok = true
+			}
+		}
+	case ir.OpMov:
+		if x, ok1 := c.affineOf(args[0]); ok1 {
+			out, ok = x, true
+		}
+	}
+	if ok && out.base != ir.NoReg {
+		c.affine[d] = out
+	}
+}
+
+// simplify applies algebraic identities. args are already substituted
+// and canonicalized.
+func simplify(op ir.Op, args []ir.Operand) (ir.Operand, bool) {
+	imm1 := func() (int32, bool) {
+		if len(args) == 2 && args[1].IsImm() {
+			return args[1].Imm, true
+		}
+		return 0, false
+	}
+	sameRegs := len(args) == 2 && args[0].IsReg() && args[1].IsReg() && args[0].Reg == args[1].Reg
+	switch op {
+	case ir.OpAdd:
+		if v, ok := imm1(); ok && v == 0 {
+			return args[0], true
+		}
+	case ir.OpSub:
+		if sameRegs {
+			return ir.Imm(0), true
+		}
+	case ir.OpMul:
+		if v, ok := imm1(); ok {
+			switch v {
+			case 0:
+				return ir.Imm(0), true
+			case 1:
+				return args[0], true
+			}
+		}
+	case ir.OpShl, ir.OpShrA, ir.OpShrU:
+		if v, ok := imm1(); ok && v&31 == 0 {
+			return args[0], true
+		}
+		if args[0].IsImm() && args[0].Imm == 0 {
+			return ir.Imm(0), true
+		}
+	case ir.OpAnd:
+		if sameRegs {
+			return args[0], true
+		}
+		if v, ok := imm1(); ok {
+			if v == 0 {
+				return ir.Imm(0), true
+			}
+			if v == -1 {
+				return args[0], true
+			}
+		}
+	case ir.OpOr:
+		if sameRegs {
+			return args[0], true
+		}
+		if v, ok := imm1(); ok {
+			if v == 0 {
+				return args[0], true
+			}
+			if v == -1 {
+				return ir.Imm(-1), true
+			}
+		}
+	case ir.OpXor:
+		if sameRegs {
+			return ir.Imm(0), true
+		}
+		if v, ok := imm1(); ok && v == 0 {
+			return args[0], true
+		}
+	case ir.OpCmpEQ, ir.OpCmpLE, ir.OpCmpGE:
+		if sameRegs {
+			return ir.Imm(1), true
+		}
+	case ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpGT:
+		if sameRegs {
+			return ir.Imm(0), true
+		}
+	case ir.OpSelect:
+		if args[0].IsImm() {
+			if args[0].Imm != 0 {
+				return args[1], true
+			}
+			return args[2], true
+		}
+		if len(args) == 3 && args[1] == args[2] {
+			return args[1], true
+		}
+	}
+	return ir.Operand{}, false
+}
+
+// mulByConst rewrites x*C as shifts and adds when it fits in at most
+// two single-cycle operations — the fixed policy a production VLIW
+// compiler would apply regardless of how many multipliers the target
+// has.
+func (c *blockCleaner) mulByConst(x ir.Operand, v int32) (ir.Operand, bool) {
+	switch v {
+	case 0:
+		return ir.Imm(0), true
+	case 1:
+		return x, true
+	case -1:
+		return c.emitPure(ir.OpSub, []ir.Operand{ir.Imm(0), x}), true
+	}
+	abs := v
+	if abs < 0 {
+		abs = -abs
+		if abs < 0 {
+			return ir.Operand{}, false // -2^31
+		}
+	}
+	if abs&(abs-1) == 0 { // power of two
+		k := int32(bits.TrailingZeros32(uint32(abs)))
+		sh := c.emitPure(ir.OpShl, []ir.Operand{x, ir.Imm(k)})
+		if v < 0 {
+			return c.emitPure(ir.OpSub, []ir.Operand{ir.Imm(0), sh}), true
+		}
+		return sh, true
+	}
+	if v > 0 {
+		if p := v - 1; p&(p-1) == 0 { // 2^k + 1
+			k := int32(bits.TrailingZeros32(uint32(p)))
+			sh := c.emitPure(ir.OpShl, []ir.Operand{x, ir.Imm(k)})
+			return c.emitPure(ir.OpAdd, []ir.Operand{sh, x}), true
+		}
+		if p := v + 1; p&(p-1) == 0 { // 2^k - 1
+			k := int32(bits.TrailingZeros32(uint32(p)))
+			sh := c.emitPure(ir.OpShl, []ir.Operand{x, ir.Imm(k)})
+			return c.emitPure(ir.OpSub, []ir.Operand{sh, x}), true
+		}
+	}
+	return ir.Operand{}, false
+}
+
+// foldAddress chases `t = add x, imm` chains feeding an address index,
+// folding the constants into the access's element offset (the template
+// has base+offset addressing, so these adds are free).
+func (c *blockCleaner) foldAddress(idx ir.Operand, off int32) (ir.Operand, int32) {
+	for idx.IsReg() {
+		def, ok := c.defOf[idx.Reg]
+		if !ok || def.Op != ir.OpAdd || !def.Args[1].IsImm() {
+			break
+		}
+		off += def.Args[1].Imm
+		idx = def.Args[0]
+	}
+	if idx.IsImm() { // fully constant address
+		return ir.Imm(idx.Imm + off), 0
+	}
+	// Affine canonicalization: rewrite s*b+o indices onto the first
+	// register seen with the same (base, slope), moving the delta into
+	// the constant offset. Exact under two's-complement arithmetic.
+	if af, ok := c.affineOf(idx); ok && af.base != ir.NoReg {
+		key := affineKey{af.base, af.scale}
+		if ce, seen := c.canonAddr[key]; seen {
+			return ir.R(ce.reg), off + af.off - ce.off
+		}
+		c.canonAddr[key] = canonEntry{reg: idx.Reg, off: af.off}
+	}
+	return idx, off
+}

@@ -1,0 +1,177 @@
+package opt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"customfit/internal/cc"
+	"customfit/internal/ir"
+)
+
+func TestSimplifyIdentities(t *testing.T) {
+	r1 := ir.R(1)
+	cases := []struct {
+		op   ir.Op
+		args []ir.Operand
+		want ir.Operand
+		ok   bool
+	}{
+		{ir.OpAdd, []ir.Operand{r1, ir.Imm(0)}, r1, true},
+		{ir.OpMul, []ir.Operand{r1, ir.Imm(1)}, r1, true},
+		{ir.OpMul, []ir.Operand{r1, ir.Imm(0)}, ir.Imm(0), true},
+		{ir.OpShl, []ir.Operand{r1, ir.Imm(0)}, r1, true},
+		{ir.OpShl, []ir.Operand{ir.Imm(0), r1}, ir.Imm(0), true},
+		{ir.OpAnd, []ir.Operand{r1, ir.Imm(0)}, ir.Imm(0), true},
+		{ir.OpAnd, []ir.Operand{r1, ir.Imm(-1)}, r1, true},
+		{ir.OpAnd, []ir.Operand{r1, r1}, r1, true},
+		{ir.OpOr, []ir.Operand{r1, ir.Imm(0)}, r1, true},
+		{ir.OpOr, []ir.Operand{r1, ir.Imm(-1)}, ir.Imm(-1), true},
+		{ir.OpXor, []ir.Operand{r1, r1}, ir.Imm(0), true},
+		{ir.OpSub, []ir.Operand{r1, r1}, ir.Imm(0), true},
+		{ir.OpCmpEQ, []ir.Operand{r1, r1}, ir.Imm(1), true},
+		{ir.OpCmpNE, []ir.Operand{r1, r1}, ir.Imm(0), true},
+		{ir.OpCmpLT, []ir.Operand{r1, r1}, ir.Imm(0), true},
+		{ir.OpSelect, []ir.Operand{ir.Imm(1), r1, ir.Imm(5)}, r1, true},
+		{ir.OpSelect, []ir.Operand{ir.Imm(0), r1, ir.Imm(5)}, ir.Imm(5), true},
+		{ir.OpSelect, []ir.Operand{ir.R(2), r1, r1}, r1, true},
+		{ir.OpAdd, []ir.Operand{r1, ir.Imm(3)}, ir.Operand{}, false}, // no identity
+		{ir.OpAdd, []ir.Operand{r1, ir.R(2)}, ir.Operand{}, false},
+	}
+	for _, c := range cases {
+		got, ok := simplify(c.op, c.args)
+		if ok != c.ok {
+			t.Errorf("simplify(%s, %v) ok=%v, want %v", c.op, c.args, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("simplify(%s, %v) = %v, want %v", c.op, c.args, got, c.want)
+		}
+	}
+}
+
+// TestMulByConstSemantics compiles `out[i] = in[i] * C` for a spread of
+// constants and checks against Go multiplication. Shapes covered:
+// powers of two, 2^k±1 (strength-reduced), and irreducible constants.
+func TestMulByConstSemantics(t *testing.T) {
+	consts := []int32{0, 1, -1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33,
+		255, 256, 257, -2, -8, -16, 10, 100, 362, 473, -473}
+	for _, cst := range consts {
+		src := `
+			kernel m(int in[], int out[], int n) {
+				int i;
+				for (i = 0; i < n; i++) { out[i] = in[i] * ` + itoa(cst) + `; }
+			}`
+		fn, err := cc.CompileKernel(src)
+		if err != nil {
+			t.Fatalf("C=%d: %v", cst, err)
+		}
+		if err := Optimize(fn); err != nil {
+			t.Fatalf("C=%d: %v", cst, err)
+		}
+		in := []int32{0, 1, -1, 12345, -9876, 2147483647, -2147483648}
+		out := make([]int32, len(in))
+		env := ir.NewEnv(int32(len(in))).Bind("in", in).Bind("out", out)
+		if _, err := ir.Interp(fn, env); err != nil {
+			t.Fatalf("C=%d: %v", cst, err)
+		}
+		for i, v := range in {
+			if out[i] != v*cst {
+				t.Errorf("C=%d: %d*%d = %d, want %d", cst, v, cst, out[i], v*cst)
+			}
+		}
+	}
+}
+
+func itoa(v int32) string {
+	if v < 0 {
+		return "(0 - " + itoa(-v) + ")"
+	}
+	digits := ""
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return digits
+}
+
+// TestCleanLoadCSEWithStores checks epoch-based load CSE: loads of the
+// same address merge only when no intervening store may alias.
+func TestCleanLoadCSEWithStores(t *testing.T) {
+	src := `
+		kernel l(int a[], int b[], int out[], int n) {
+			int i;
+			for (i = 0; i < n; i++) {
+				int x; int y; int z;
+				x = a[i];
+				b[i] = x + 1;
+				y = a[i];
+				a[i] = y + 2;
+				z = a[i];
+				out[i] = x + y + z;
+			}
+		}`
+	fn, err := cc.CompileKernel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Optimize(fn); err != nil {
+		t.Fatal(err)
+	}
+	loads := 0
+	for _, in := range fn.Loop.Header.Instrs {
+		if in.Op == ir.OpLoad && in.Mem.Name == "a" {
+			loads++
+		}
+	}
+	// x and y merge (store to b cannot alias a); z must reload after
+	// the store to a.
+	if loads != 2 {
+		t.Errorf("loads of a[] = %d, want 2 (CSE across b-store, reload after a-store)\n%s", loads, fn)
+	}
+	// Semantics check.
+	a := []int32{10, 20}
+	b := make([]int32, 2)
+	out := make([]int32, 2)
+	if _, err := ir.Interp(fn, ir.NewEnv(2).Bind("a", a).Bind("b", b).Bind("out", out)); err != nil {
+		t.Fatal(err)
+	}
+	// x=y=10, z=12 -> out=32; a becomes 12.
+	if out[0] != 32 || a[0] != 12 || b[0] != 11 {
+		t.Errorf("semantics: out=%d a=%d b=%d, want 32 12 11", out[0], a[0], b[0])
+	}
+}
+
+// Property: Clean preserves the semantics of random single-expression
+// kernels (complements the cc fuzz tests by running the whole
+// optimizer).
+func TestCleanPreservesRandomArithmetic(t *testing.T) {
+	f := func(x, y int32, sh uint8) bool {
+		src := `
+			kernel p(int out[], int a, int b) {
+				out[0] = ((a * 3 - b) << ` + itoa(int32(sh%5)) + `) ^ (a & b);
+				out[1] = (a + b) * (a - b);
+			}`
+		fn, err := cc.CompileKernel(src)
+		if err != nil {
+			return false
+		}
+		ref := make([]int32, 2)
+		if _, err := ir.Interp(fn, ir.NewEnv(x, y).Bind("out", ref)); err != nil {
+			return false
+		}
+		if err := Optimize(fn); err != nil {
+			return false
+		}
+		got := make([]int32, 2)
+		if _, err := ir.Interp(fn, ir.NewEnv(x, y).Bind("out", got)); err != nil {
+			return false
+		}
+		return ref[0] == got[0] && ref[1] == got[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,219 @@
+package opt
+
+import "customfit/internal/ir"
+
+// MaxIfConvertOps bounds the number of instructions speculated per arm
+// during if-conversion.
+const MaxIfConvertOps = 64
+
+// IfConvert converts if-then-else diamonds and if-then triangles whose
+// arms are straight-line pure code into select sequences, then merges
+// the resulting straight-line block chains. This is what collapses a
+// kernel's pixel-loop body into the single basic block the unroller and
+// scheduler need: both arms execute unconditionally and conditional
+// writes become selects — the paper's "if-conversion" source
+// transformation, applied automatically.
+func IfConvert(f *ir.Func) {
+	lv := ComputeLiveness(f)
+	for changed := true; changed; {
+		changed = false
+		f.ComputeCFG()
+		for _, b := range f.Blocks {
+			if convertAt(f, b, lv) {
+				changed = true
+				f.RemoveUnreachable()
+				lv = ComputeLiveness(f)
+				break
+			}
+		}
+	}
+	mergeChains(f)
+	Clean(f)
+}
+
+// convertAt tries to if-convert the branch terminating b.
+func convertAt(f *ir.Func, b *ir.Block, lv *Liveness) bool {
+	term := b.Terminator()
+	if term == nil || term.Op != ir.OpCBr {
+		return false
+	}
+	t, e := term.Targets[0], term.Targets[1]
+	var join *ir.Block
+	var arms []*ir.Block
+	switch {
+	case t != e && isConvertibleArm(t, b) && isConvertibleArm(e, b) &&
+		armTarget(t) == armTarget(e):
+		join = armTarget(t)
+		arms = []*ir.Block{t, e}
+	case isConvertibleArm(t, b) && armTarget(t) == e:
+		// Triangle: cbr c, t, join.
+		join = e
+		arms = []*ir.Block{t, nil}
+	case isConvertibleArm(e, b) && armTarget(e) == t:
+		// Mirrored triangle: cbr c, join, e.
+		join = t
+		arms = []*ir.Block{nil, e}
+	default:
+		return false
+	}
+	if join == t && join == e {
+		return false // degenerate
+	}
+	cond := term.Args[0]
+
+	// Drop the cbr; speculate both arms with renamed definitions; then
+	// select the surviving values.
+	b.Instrs = b.Instrs[:len(b.Instrs)-1]
+	finals := make([]map[ir.Reg]ir.Reg, 2)
+	for i, arm := range arms {
+		finals[i] = map[ir.Reg]ir.Reg{}
+		if arm == nil {
+			continue
+		}
+		rename := map[ir.Reg]ir.Reg{}
+		for _, in := range arm.Body() {
+			cp := in.Clone()
+			for j, a := range cp.Args {
+				if a.IsReg() {
+					if nr, ok := rename[a.Reg]; ok {
+						cp.Args[j] = ir.R(nr)
+					}
+				}
+			}
+			if cp.Op.HasDest() {
+				nr := f.NewReg()
+				rename[cp.Dest] = nr
+				finals[i][cp.Dest] = nr
+				cp.Dest = nr
+			}
+			b.Append(cp)
+		}
+	}
+	// Emit selects for registers defined by either arm and live into the
+	// join (expression temps die inside their arm and need none).
+	written := map[ir.Reg]bool{}
+	for i := range finals {
+		for r := range finals[i] {
+			written[r] = true
+		}
+	}
+	var order []ir.Reg
+	for r := ir.Reg(0); int(r) < f.NumRegs(); r++ {
+		if written[r] {
+			order = append(order, r)
+		}
+	}
+	for _, r := range order {
+		if !lv.LiveIn(join, r) && !usedBelow(join, r) {
+			continue
+		}
+		tv, fv := ir.R(r), ir.R(r)
+		if nr, ok := finals[0][r]; ok {
+			tv = ir.R(nr)
+		}
+		if nr, ok := finals[1][r]; ok {
+			fv = ir.R(nr)
+		}
+		b.Append(ir.NewInstr(ir.OpSelect, r, cond, tv, fv))
+	}
+	b.Append(&ir.Instr{Op: ir.OpBr, Dest: ir.NoReg, Targets: []*ir.Block{join}})
+	return true
+}
+
+// usedBelow conservatively reports whether r might be read starting at
+// block j; LiveIn already answers this, so this is belt-and-braces for
+// stale liveness.
+func usedBelow(j *ir.Block, r ir.Reg) bool {
+	for _, in := range j.Instrs {
+		for _, a := range in.Args {
+			if a.IsReg() && a.Reg == r {
+				return true
+			}
+		}
+		if in.Op.HasDest() && in.Dest == r {
+			return false
+		}
+	}
+	return false
+}
+
+// isConvertibleArm reports whether blk is a straight-line, side-effect-
+// free arm of a branch from pred: single predecessor, ends in an
+// unconditional branch, and contains only pure ALU operations small
+// enough to speculate.
+func isConvertibleArm(blk, pred *ir.Block) bool {
+	if blk == nil || len(blk.Preds) != 1 || blk.Preds[0] != pred {
+		return false
+	}
+	term := blk.Terminator()
+	if term == nil || term.Op != ir.OpBr {
+		return false
+	}
+	body := blk.Body()
+	if len(body) > MaxIfConvertOps {
+		return false
+	}
+	for _, in := range body {
+		if !in.Op.IsALU() {
+			return false
+		}
+	}
+	return true
+}
+
+func armTarget(blk *ir.Block) *ir.Block {
+	if t := blk.Terminator(); t != nil && t.Op == ir.OpBr {
+		return t.Targets[0]
+	}
+	return nil
+}
+
+// mergeChains splices each block ending in an unconditional branch to a
+// single-predecessor block together with that block, rewiring loop
+// metadata when the latch is absorbed.
+func mergeChains(f *ir.Func) {
+	for {
+		f.ComputeCFG()
+		merged := false
+		for _, b := range f.Blocks {
+			term := b.Terminator()
+			if term == nil || term.Op != ir.OpBr {
+				continue
+			}
+			next := term.Targets[0]
+			if next == b || len(next.Preds) != 1 {
+				continue
+			}
+			if next == f.Entry() {
+				continue
+			}
+			// Splice next into b.
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1], next.Instrs...)
+			next.Instrs = nil
+			if f.Loop != nil {
+				if f.Loop.Latch == next {
+					f.Loop.Latch = b
+				}
+				if f.Loop.Header == next {
+					f.Loop.Header = b
+				}
+				if f.Loop.Preheader == next {
+					f.Loop.Preheader = b
+				}
+			}
+			// Remove next from Blocks.
+			kept := f.Blocks[:0]
+			for _, blk := range f.Blocks {
+				if blk != next {
+					kept = append(kept, blk)
+				}
+			}
+			f.Blocks = kept
+			merged = true
+			break
+		}
+		if !merged {
+			return
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package opt
+
+import "customfit/internal/ir"
+
+// LICM hoists loop-invariant computations out of the kernel's
+// single-block pixel loop into its preheader: pure ALU operations whose
+// inputs are loop-invariant, and loads from constant tables with
+// invariant addresses.
+//
+// Hoisted constant-table loads are the paper's register-pressure story:
+// a 7x7 convolution keeps its 49 coefficients live across the loop,
+// which is why benchmark A wants a large register file — and why it
+// collapses on the 16-ALU 128-register machine, where the coefficients
+// no longer fit and get respilled.
+func LICM(f *ir.Func) {
+	l := f.Loop
+	if l == nil || !l.SingleBlock() || l.Preheader == nil {
+		return
+	}
+	h := l.Header
+	// Registers defined inside the loop body.
+	definedIn := map[ir.Reg]bool{}
+	defCount := map[ir.Reg]int{}
+	for _, in := range h.Instrs {
+		if in.Op.HasDest() {
+			definedIn[in.Dest] = true
+			defCount[in.Dest]++
+		}
+	}
+	lv := ComputeLiveness(f)
+
+	hoisted := map[ir.Reg]bool{}
+	invariantArg := func(a ir.Operand) bool {
+		if a.IsImm() {
+			return true
+		}
+		return !definedIn[a.Reg] || hoisted[a.Reg]
+	}
+	canHoist := func(in *ir.Instr) bool {
+		switch {
+		case in.Op == ir.OpLoad:
+			// Only constant tables, and only provably in-bounds constant
+			// addresses: hoisting makes the load execute even when the
+			// loop runs zero times, so it must be unconditionally safe.
+			if !in.Mem.Const || !in.Args[0].IsImm() {
+				return false
+			}
+			if e := int(in.Args[0].Imm) + int(in.Off); e < 0 || e >= in.Mem.Size {
+				return false
+			}
+		case in.Op.IsALU():
+		default:
+			return false
+		}
+		if in.Dest == ir.NoReg || defCount[in.Dest] != 1 {
+			return false
+		}
+		// Home registers carry a value into the loop; redefining them
+		// before the loop would clobber it.
+		if lv.LiveIn(h, in.Dest) {
+			return false
+		}
+		for _, a := range in.Args {
+			if !invariantArg(a) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var moved []*ir.Instr
+	for changed := true; changed; {
+		changed = false
+		var stay []*ir.Instr
+		for _, in := range h.Instrs {
+			if !in.Op.IsTerminator() && canHoist(in) && !hoisted[in.Dest] {
+				hoisted[in.Dest] = true
+				moved = append(moved, in)
+				changed = true
+				continue
+			}
+			stay = append(stay, in)
+		}
+		h.Instrs = stay
+	}
+	if len(moved) == 0 {
+		return
+	}
+	// Insert before the preheader's terminator. Hoisted operations are
+	// safe to execute even when the loop runs zero times: pure ops
+	// cannot fault and constant-table loads have verified bounds.
+	pre := l.Preheader
+	term := pre.Instrs[len(pre.Instrs)-1]
+	pre.Instrs = append(pre.Instrs[:len(pre.Instrs)-1], append(moved, term)...)
+}

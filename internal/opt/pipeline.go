@@ -1,0 +1,61 @@
+package opt
+
+import "customfit/internal/ir"
+
+// Ablation switches. Production defaults are all false; the ablation
+// experiments (see EXPERIMENTS.md and bench_test.go) flip them to
+// measure how much each design choice contributes. Not safe to toggle
+// concurrently with compilation.
+var (
+	// AblateReassociation skips reduction-tree rebalancing.
+	AblateReassociation bool
+	// AblateLICM skips loop-invariant code motion.
+	AblateLICM bool
+	// AblateIfConversion skips if-conversion (pixel loops with control
+	// flow then cannot be unrolled).
+	AblateIfConversion bool
+)
+
+// Optimize runs the architecture-independent pass pipeline:
+//
+//  1. Clean       — renaming, folding, CSE, strength reduction, DCE
+//  2. Scalarize   — promote constant-indexed local arrays to registers
+//  3. IfConvert   — collapse branchy pixel-loop bodies into selects
+//  4. LICM        — hoist invariants (notably constant-table loads)
+//  5. Clean       — tidy after motion
+//  6. Reassociate — rebalance reduction chains into trees
+//
+// The result is the canonical pre-scheduling form: a single-block pixel
+// loop when the kernel's control flow allows it.
+func Optimize(f *ir.Func) error {
+	Clean(f)
+	Scalarize(f)
+	if !AblateIfConversion {
+		IfConvert(f)
+	}
+	if !AblateLICM {
+		LICM(f)
+	}
+	Clean(f)
+	if !AblateReassociation {
+		Reassociate(f)
+	}
+	f.RemoveUnreachable()
+	return f.Verify()
+}
+
+// Prepare clones f, optimizes it, and unrolls the pixel loop by u —
+// the per-(architecture, unroll-factor) compilation entry point used by
+// the explorer. The original function is never mutated.
+func Prepare(f *ir.Func, u int) (*ir.Func, error) {
+	g := f.Clone()
+	if err := Optimize(g); err != nil {
+		return nil, err
+	}
+	if u > 1 && g.Loop != nil {
+		if err := Unroll(g, u); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,125 @@
+package opt
+
+import "customfit/internal/ir"
+
+// Reassociate rebalances chains of integer additions inside each block
+// into binary trees. Two's-complement addition is exactly associative,
+// so the transformation is semantics-preserving bit-for-bit.
+//
+// This is the classic trace-scheduling-compiler treatment of unrolled
+// reductions: `acc += in[i+k]*w[k]` unrolled by U produces a serial
+// chain of U·taps additions whose operands (the multiplies) would
+// otherwise all sit live waiting for their slot in the chain. Balancing
+// the chain turns an O(n) critical path into O(log n) and lets each
+// product be consumed promptly — both the ILP the paper's speedups
+// require and register pressure a real machine can afford.
+func Reassociate(f *ir.Func) {
+	lv := ComputeLiveness(f)
+	for _, b := range f.Blocks {
+		reassociateBlock(f, b, lv)
+	}
+	Clean(f) // removes the now-dead original chain instructions
+}
+
+// MinReassocLeaves is the chain length worth rebalancing.
+const MinReassocLeaves = 4
+
+func reassociateBlock(f *ir.Func, b *ir.Block, lv *Liveness) {
+	useCount := map[ir.Reg]int{}
+	defInstr := map[ir.Reg]*ir.Instr{}
+	defCount := map[ir.Reg]int{}
+	for _, in := range b.Instrs {
+		for _, a := range in.Args {
+			if a.IsReg() {
+				useCount[a.Reg]++
+			}
+		}
+		if in.Op.HasDest() {
+			defInstr[in.Dest] = in
+			defCount[in.Dest]++
+		}
+	}
+	// chainLink returns the defining add when value r can be absorbed
+	// into a chain: defined once in this block by a register-register
+	// add, consumed exactly once, and dead outside the block.
+	chainLink := func(r ir.Reg) (*ir.Instr, bool) {
+		if defCount[r] != 1 || useCount[r] != 1 || lv.LiveOut(b, r) {
+			return nil, false
+		}
+		in := defInstr[r]
+		if in == nil || in.Op != ir.OpAdd || !in.Args[0].IsReg() || !in.Args[1].IsReg() {
+			return nil, false
+		}
+		return in, true
+	}
+	// Single-consumer map for link detection.
+	consumer := map[ir.Reg]*ir.Instr{}
+	for _, in := range b.Instrs {
+		for _, a := range in.Args {
+			if a.IsReg() && useCount[a.Reg] == 1 {
+				consumer[a.Reg] = in
+			}
+		}
+	}
+	isLink := func(in *ir.Instr) bool {
+		if in.Op != ir.OpAdd || in.Dest == ir.NoReg {
+			return false
+		}
+		if link, ok := chainLink(in.Dest); ok && link == in {
+			// The single consumer must itself be an add for the value
+			// to be part of a larger chain.
+			c := consumer[in.Dest]
+			return c != nil && c.Op == ir.OpAdd
+		}
+		return false
+	}
+
+	var out []*ir.Instr
+	for _, in := range b.Instrs {
+		// Chain roots: adds that are not themselves links.
+		if in.Op != ir.OpAdd || isLink(in) {
+			out = append(out, in)
+			continue
+		}
+		var leaves []ir.Operand
+		var gather func(a ir.Operand)
+		gather = func(a ir.Operand) {
+			if a.IsReg() {
+				if link, ok := chainLink(a.Reg); ok {
+					gather(link.Args[0])
+					gather(link.Args[1])
+					return
+				}
+			}
+			leaves = append(leaves, a)
+		}
+		gather(in.Args[0])
+		gather(in.Args[1])
+		if len(leaves) < MinReassocLeaves {
+			out = append(out, in)
+			continue
+		}
+		// Balanced pairwise reduction; the final sum keeps the root's
+		// destination register. The absorbed link adds stay in place
+		// and die (their only consumer is gone); Clean removes them.
+		level := leaves
+		for len(level) > 1 {
+			var next []ir.Operand
+			for i := 0; i+1 < len(level); i += 2 {
+				var dst ir.Reg
+				if len(level) == 2 {
+					dst = in.Dest
+				} else {
+					dst = f.NewReg()
+				}
+				out = append(out, ir.NewInstr(ir.OpAdd, dst, level[i], level[i+1]))
+				next = append(next, ir.R(dst))
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+	}
+	b.Instrs = out
+}

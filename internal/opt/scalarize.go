@@ -1,0 +1,130 @@
+package opt
+
+import "customfit/internal/ir"
+
+// MaxScalarizeElems bounds the size of local arrays promoted to
+// registers. 64 covers an 8x8 DCT workspace: on machines with large
+// register files the whole block stays register-resident (which is why
+// the paper's IDCT wants 512 registers), while small machines pay spill
+// traffic.
+const MaxScalarizeElems = 64
+
+// Scalarize promotes small kernel-local arrays whose every access uses
+// a constant index into per-element registers. After the frontend fully
+// unrolls constant-trip loops, scratch arrays indexed by unrolled
+// counters (Floyd-Steinberg's Err[3], out[3]) become constant-indexed
+// and turn into plain scalars, which is what frees the scheduler to
+// software-overlap iterations.
+//
+// Parameter arrays and file-level globals are never scalarized: they
+// are externally visible storage. Run Clean first so constant indices
+// are immediates.
+func Scalarize(f *ir.Func) {
+	// Snapshot: scalarizeMem removes entries from f.Mems in place.
+	mems := append([]*ir.MemRef(nil), f.Mems...)
+	for _, m := range mems {
+		if m.IsParam || m.Global || m.Size <= 0 || m.Size > MaxScalarizeElems {
+			continue
+		}
+		if !allAccessesConstant(f, m) {
+			continue
+		}
+		scalarizeMem(f, m)
+	}
+	Clean(f)
+}
+
+func allAccessesConstant(f *ir.Func, m *ir.MemRef) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Mem != m {
+				continue
+			}
+			idx := in.Args[0]
+			if !idx.IsImm() {
+				return false
+			}
+			e := int(idx.Imm) + int(in.Off)
+			if e < 0 || e >= m.Size {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func scalarizeMem(f *ir.Func, m *ir.MemRef) {
+	elems := make([]ir.Reg, m.Size)
+	for i := range elems {
+		elems[i] = f.NewReg()
+	}
+	// Initialize elements at function entry (locals start zeroed, with
+	// declared initializers applied).
+	entry := f.Entry()
+	var inits []*ir.Instr
+	for i, r := range elems {
+		v := int32(0)
+		if i < len(m.Init) {
+			v = m.Init[i]
+		}
+		inits = append(inits, ir.NewInstr(ir.OpMov, r, ir.Imm(v)))
+	}
+	entry.Instrs = append(inits, entry.Instrs...)
+
+	for _, b := range f.Blocks {
+		var out []*ir.Instr
+		for _, in := range b.Instrs {
+			if in.Mem != m {
+				out = append(out, in)
+				continue
+			}
+			e := int(in.Args[0].Imm) + int(in.Off)
+			switch in.Op {
+			case ir.OpLoad:
+				// Stored values are kept in canonical (truncated) form,
+				// so a load is a plain copy.
+				out = append(out, ir.NewInstr(ir.OpMov, in.Dest, ir.R(elems[e])))
+			case ir.OpStore:
+				out = append(out, truncateTo(f, m.Elem, in.Args[1], elems[e], &out)...)
+			}
+		}
+		b.Instrs = out
+	}
+	// Drop the MemRef.
+	kept := f.Mems[:0]
+	for _, mm := range f.Mems {
+		if mm != m {
+			kept = append(kept, mm)
+		}
+	}
+	f.Mems = kept
+}
+
+// truncateTo emits the operations storing val into the element register
+// dst with the narrowing semantics of the element type.
+func truncateTo(f *ir.Func, elem ir.ElemType, val ir.Operand, dst ir.Reg, out *[]*ir.Instr) []*ir.Instr {
+	if val.IsImm() {
+		return []*ir.Instr{ir.NewInstr(ir.OpMov, dst, ir.Imm(elem.Truncate(val.Imm)))}
+	}
+	switch elem {
+	case ir.ElemI32:
+		return []*ir.Instr{ir.NewInstr(ir.OpMov, dst, val)}
+	case ir.ElemU8:
+		return []*ir.Instr{ir.NewInstr(ir.OpAnd, dst, val, ir.Imm(0xff))}
+	case ir.ElemU16:
+		return []*ir.Instr{ir.NewInstr(ir.OpAnd, dst, val, ir.Imm(0xffff))}
+	case ir.ElemI8:
+		t := f.NewReg()
+		return []*ir.Instr{
+			ir.NewInstr(ir.OpShl, t, val, ir.Imm(24)),
+			ir.NewInstr(ir.OpShrA, dst, ir.R(t), ir.Imm(24)),
+		}
+	case ir.ElemI16:
+		t := f.NewReg()
+		return []*ir.Instr{
+			ir.NewInstr(ir.OpShl, t, val, ir.Imm(16)),
+			ir.NewInstr(ir.OpShrA, dst, ir.R(t), ir.Imm(16)),
+		}
+	}
+	panic("opt: bad element type")
+}

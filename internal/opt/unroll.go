@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"fmt"
+
+	"customfit/internal/ir"
+)
+
+// MaxUnrolledOps caps the size of an unrolled loop body; unroll factors
+// that would exceed it are rejected, as a production compiler's
+// unrolling heuristics would.
+const MaxUnrolledOps = 4096
+
+// Unroll rewrites the kernel's pixel loop with unroll factor u:
+//
+//	pre:  g  = i+(u-1) < limit            ; cbr g, main, rempre
+//	main: body×u ...; g' = i+(u-1) < limit; cbr g', main, rempre
+//	rem:  original rotated loop handling the leftover iterations
+//
+// Each body copy is a verbatim clone: the induction variable's home
+// register chains the copies together, and the intermediate increment
+// and test operations of the inner copies become dead after Clean. The
+// explorer raises u until the register allocator reports spilling —
+// the paper's "when the compiler started spilling register contents for
+// a given unrolling, we stopped considering that unrolling factor".
+func Unroll(f *ir.Func, u int) error {
+	if u < 1 {
+		return fmt.Errorf("opt: unroll factor %d", u)
+	}
+	if u == 1 {
+		return nil
+	}
+	l := f.Loop
+	if l == nil {
+		return fmt.Errorf("opt: %s has no pixel loop", f.Name)
+	}
+	if !l.SingleBlock() {
+		return fmt.Errorf("opt: %s pixel loop body is not a single block (if-conversion failed?)", f.Name)
+	}
+	h := l.Header
+	body := h.Body()
+	if len(body)*u > MaxUnrolledOps {
+		return fmt.Errorf("opt: unroll %d×%d ops exceeds budget %d", u, len(body), MaxUnrolledOps)
+	}
+	term := h.Terminator()
+	if term.Op != ir.OpCBr || term.Targets[0] != h {
+		return fmt.Errorf("opt: %s pixel loop is not in rotated form", f.Name)
+	}
+
+	main := f.NewBlock("unroll")
+	remPre := f.NewBlock("rempre")
+
+	// Guard helper: g = (i + u-1) < limit, evaluated on the given block.
+	emitGuard := func(b *ir.Block) ir.Operand {
+		t := f.NewReg()
+		b.Append(ir.NewInstr(ir.OpAdd, t, ir.R(l.IndVar), ir.Imm(int32(u-1))))
+		g := f.NewReg()
+		b.Append(ir.NewInstr(ir.OpCmpLT, g, ir.R(t), l.Limit))
+		return ir.R(g)
+	}
+
+	// Rewire the preheader: replace its old guard branch with the
+	// stronger "at least u iterations left" test.
+	pre := l.Preheader
+	preTerm := pre.Terminator()
+	if preTerm == nil || preTerm.Op != ir.OpCBr {
+		return fmt.Errorf("opt: %s preheader lacks a guard branch", f.Name)
+	}
+	pre.Instrs = pre.Instrs[:len(pre.Instrs)-1]
+	g0 := emitGuard(pre)
+	pre.Append(&ir.Instr{Op: ir.OpCBr, Dest: ir.NoReg, Args: []ir.Operand{g0},
+		Targets: []*ir.Block{main, remPre}})
+
+	// Main block: u copies of the body (including each copy's increment
+	// and now-dead test), then the back-edge guard.
+	for k := 0; k < u; k++ {
+		for _, in := range body {
+			main.Append(in.Clone())
+		}
+	}
+	gb := emitGuard(main)
+	main.Append(&ir.Instr{Op: ir.OpCBr, Dest: ir.NoReg, Args: []ir.Operand{gb},
+		Targets: []*ir.Block{main, remPre}})
+
+	// Remainder: re-test, then run the original rotated loop.
+	rem := f.NewBlock("rem")
+	gr := f.NewReg()
+	remPre.Append(ir.NewInstr(ir.OpCmpLT, gr, ir.R(l.IndVar), l.Limit))
+	remPre.Append(&ir.Instr{Op: ir.OpCBr, Dest: ir.NoReg, Args: []ir.Operand{ir.R(gr)},
+		Targets: []*ir.Block{rem, l.Exit}})
+	for _, in := range body {
+		rem.Append(in.Clone())
+	}
+	rt := f.NewReg()
+	rem.Append(ir.NewInstr(ir.OpCmpLT, rt, ir.R(l.IndVar), l.Limit))
+	rem.Append(&ir.Instr{Op: ir.OpCBr, Dest: ir.NoReg, Args: []ir.Operand{ir.R(rt)},
+		Targets: []*ir.Block{rem, l.Exit}})
+
+	f.Loop = &ir.LoopInfo{
+		Preheader: pre,
+		Header:    main,
+		Latch:     main,
+		Exit:      remPre,
+		IndVar:    l.IndVar,
+		Limit:     l.Limit,
+		Step:      l.Step * int32(u),
+	}
+	f.RemoveUnreachable()
+	Clean(f)
+	// Unrolling concatenates the per-copy reduction chains into one long
+	// serial chain; rebalance it so the copies can actually overlap.
+	if !AblateReassociation {
+		Reassociate(f)
+	}
+	return f.Verify()
+}

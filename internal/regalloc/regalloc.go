@@ -1,0 +1,322 @@
+// Package regalloc performs per-cluster register allocation over
+// scheduled VLIW programs. It computes exact per-cycle liveness from
+// the schedule (matching the scheduler's pressure throttle), measures
+// peak pressure, colors live-range segment unions onto physical
+// registers, and suggests spill candidates when a cluster's register
+// file is exceeded. The paper's central compiler feedback — "when the
+// compiler started spilling register contents for a given unrolling, we
+// stopped considering that unrolling factor" — comes from this
+// package's Fits verdict.
+package regalloc
+
+import (
+	"sort"
+
+	"customfit/internal/ir"
+	"customfit/internal/opt"
+	"customfit/internal/vliw"
+)
+
+// Segment is one contiguous live span in linearized schedule
+// coordinates (inclusive).
+type Segment struct {
+	Start, End int
+}
+
+// Range is a virtual register's full live range: a union of segments.
+type Range struct {
+	Reg      ir.Reg
+	Cluster  int
+	Segments []Segment
+}
+
+// Span returns the distance from first birth to last death — the spill
+// heuristic's "length".
+func (rg *Range) Span() int {
+	if len(rg.Segments) == 0 {
+		return 0
+	}
+	return rg.Segments[len(rg.Segments)-1].End - rg.Segments[0].Start
+}
+
+// Covers reports whether the range is live at linear position p.
+func (rg *Range) Covers(p int) bool {
+	for _, s := range rg.Segments {
+		if s.Start <= p && p <= s.End {
+			return true
+		}
+	}
+	return false
+}
+
+// Result reports allocation for one program.
+type Result struct {
+	// MaxLive is peak simultaneous pressure per cluster (exact).
+	MaxLive []int
+	// Capacity is registers per cluster.
+	Capacity int
+	// Fits is true when every cluster both stays within capacity and
+	// colors successfully.
+	Fits bool
+	// Overflow is max(0, MaxLive-Capacity) per cluster.
+	Overflow []int
+	// Victims lists spill candidates, best first (longest spans in
+	// overflowing clusters). The compile driver filters and applies.
+	Victims []ir.Reg
+	// Assign maps vreg -> physical register within its cluster, or -1.
+	Assign []int
+}
+
+// Allocate computes exact liveness, pressure and physical registers for
+// a scheduled program.
+func Allocate(prog *vliw.Program) *Result {
+	f := prog.F
+	nregs := f.NumRegs()
+	nclusters := prog.Arch.Clusters
+	rc := prog.Arch.RegsPC()
+
+	res := &Result{
+		MaxLive:  make([]int, nclusters),
+		Overflow: make([]int, nclusters),
+		Capacity: rc,
+		Assign:   make([]int, nregs),
+	}
+	for i := range res.Assign {
+		res.Assign[i] = -1
+	}
+	clusterOf := func(r ir.Reg) int {
+		if int(r) < len(prog.RegCluster) {
+			return prog.RegCluster[r]
+		}
+		return 0
+	}
+
+	// Linearize blocks.
+	base := map[*ir.Block]int{}
+	pos := 0
+	for _, sb := range prog.Blocks {
+		base[sb.IR] = pos
+		pos += sb.Len + 1
+	}
+
+	lv := opt.ComputeLiveness(f)
+	segments := make([][]Segment, nregs) // collected back-to-front
+	segEnd := make([]int, nregs)
+	isLive := make([]bool, nregs)
+	liveCnt := make([]int, nclusters)
+
+	peakAt := make([]int, nclusters) // linear position of each cluster's pressure peak
+	addLive := func(r ir.Reg, at int) {
+		if !isLive[r] {
+			isLive[r] = true
+			segEnd[r] = at
+			liveCnt[clusterOf(r)]++
+		}
+	}
+	dropLive := func(r ir.Reg, at int) {
+		if isLive[r] {
+			isLive[r] = false
+			segments[r] = append(segments[r], Segment{Start: at, End: segEnd[r]})
+			liveCnt[clusterOf(r)]--
+		}
+	}
+
+	for _, sb := range prog.Blocks {
+		b0 := base[sb.IR]
+		// Group ops by cycle.
+		byCycle := make([][]*ir.Instr, sb.Len)
+		for _, op := range sb.Ops {
+			byCycle[op.Cycle] = append(byCycle[op.Cycle], op.Instr)
+		}
+		// Backward sweep seeded with the block's live-out set.
+		for r := ir.Reg(0); int(r) < nregs; r++ {
+			if lv.LiveOut(sb.IR, r) {
+				addLive(r, b0+sb.Len)
+			}
+		}
+		for t := sb.Len - 1; t >= 0; t-- {
+			at := b0 + t
+			for _, in := range byCycle[t] {
+				for _, a := range in.Args {
+					if a.IsReg() {
+						addLive(a.Reg, at)
+					}
+				}
+				if in.Op.HasDest() {
+					addLive(in.Dest, at)
+				}
+			}
+			for c := 0; c < nclusters; c++ {
+				if liveCnt[c] > res.MaxLive[c] {
+					res.MaxLive[c] = liveCnt[c]
+					peakAt[c] = at
+				}
+			}
+			// A register defined here stops being live below this cycle
+			// unless this cycle also reads its old value.
+			for _, in := range byCycle[t] {
+				if !in.Op.HasDest() {
+					continue
+				}
+				d := in.Dest
+				usedHere := false
+				for _, other := range byCycle[t] {
+					for _, a := range other.Args {
+						if a.IsReg() && a.Reg == d {
+							usedHere = true
+						}
+					}
+				}
+				if !usedHere {
+					dropLive(d, at)
+				}
+			}
+		}
+		// Anything still live at block start is live-in; close its
+		// segment at the block's first cycle.
+		for r := ir.Reg(0); int(r) < nregs; r++ {
+			if isLive[r] {
+				dropLive(r, b0)
+			}
+		}
+	}
+
+	// Build ranges. Segments are collected back-to-front within each
+	// block but front-to-back across blocks, so sort by start and
+	// coalesce overlaps — the overlap and coloring routines require
+	// sorted, disjoint segment lists.
+	byCluster := make([][]*Range, nclusters)
+	var ranges []*Range
+	for r := 0; r < nregs; r++ {
+		if len(segments[r]) == 0 {
+			continue
+		}
+		segs := segments[r]
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		merged := segs[:1]
+		for _, sg := range segs[1:] {
+			last := &merged[len(merged)-1]
+			if sg.Start <= last.End+1 {
+				if sg.End > last.End {
+					last.End = sg.End
+				}
+				continue
+			}
+			merged = append(merged, sg)
+		}
+		rg := &Range{Reg: ir.Reg(r), Cluster: clusterOf(ir.Reg(r)), Segments: merged}
+		byCluster[rg.Cluster] = append(byCluster[rg.Cluster], rg)
+		ranges = append(ranges, rg)
+	}
+
+	res.Fits = true
+	var atPeak, others []*Range
+	for c := 0; c < nclusters; c++ {
+		if res.MaxLive[c] > rc {
+			res.Fits = false
+			res.Overflow[c] = res.MaxLive[c] - rc
+			// Ranges alive at the cluster's peak are the victims that
+			// provably lower it; everything else is fallback.
+			for _, rg := range byCluster[c] {
+				if rg.Covers(peakAt[c]) {
+					atPeak = append(atPeak, rg)
+				} else {
+					others = append(others, rg)
+				}
+			}
+		}
+	}
+	victims := atPeak
+	sort.Slice(victims, func(i, j int) bool { return victims[i].Span() > victims[j].Span() })
+	sort.Slice(others, func(i, j int) bool { return others[i].Span() > others[j].Span() })
+	victims = append(victims, others...)
+	if res.Fits {
+		// Color each cluster; pressure fitting does not guarantee
+		// colorability of segment-union graphs, so a failure here
+		// reports the uncolorable range as the spill victim.
+		for c := 0; c < nclusters; c++ {
+			if bad := colorCluster(byCluster[c], rc, res.Assign); bad != nil {
+				res.Fits = false
+				res.Overflow[c]++
+				victims = append([]*Range{bad}, victims...)
+			}
+		}
+	}
+	if !res.Fits {
+		seen := map[ir.Reg]bool{}
+		for _, rg := range victims {
+			if !seen[rg.Reg] {
+				seen[rg.Reg] = true
+				res.Victims = append(res.Victims, rg.Reg)
+			}
+		}
+		for i := range res.Assign {
+			res.Assign[i] = -1
+		}
+	}
+	return res
+}
+
+// colorCluster assigns physical registers to ranges, first-birth first,
+// choosing the lowest physical register whose busy segments do not
+// overlap the range. Returns the first uncolorable range, or nil.
+func colorCluster(ranges []*Range, rc int, assign []int) *Range {
+	sort.Slice(ranges, func(i, j int) bool {
+		return ranges[i].Segments[0].Start < ranges[j].Segments[0].Start
+	})
+	busy := make([][]Segment, rc)
+	for _, rg := range ranges {
+		placed := false
+		for p := 0; p < rc && !placed; p++ {
+			if overlapsAny(busy[p], rg.Segments) {
+				continue
+			}
+			busy[p] = mergeSegments(busy[p], rg.Segments)
+			assign[rg.Reg] = p
+			placed = true
+		}
+		if !placed {
+			return rg
+		}
+	}
+	return nil
+}
+
+// overlapsAny reports whether any segment in b overlaps any in s (both
+// sorted by Start).
+func overlapsAny(b, s []Segment) bool {
+	i, j := 0, 0
+	for i < len(b) && j < len(s) {
+		if b[i].End < s[j].Start {
+			i++
+		} else if s[j].End < b[i].Start {
+			j++
+		} else {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeSegments merges two sorted segment lists into one sorted list.
+func mergeSegments(a, b []Segment) []Segment {
+	out := make([]Segment, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i == len(a):
+			out = append(out, b[j])
+			j++
+		case j == len(b):
+			out = append(out, a[i])
+			i++
+		case a[i].Start <= b[j].Start:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}

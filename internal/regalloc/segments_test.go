@@ -1,0 +1,43 @@
+package regalloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentHelpers(t *testing.T) {
+	rg := &Range{Segments: []Segment{{2, 5}, {9, 12}}}
+	if rg.Span() != 10 {
+		t.Errorf("Span = %d, want 10", rg.Span())
+	}
+	for _, c := range []struct {
+		p    int
+		want bool
+	}{{1, false}, {2, true}, {5, true}, {7, false}, {12, true}, {13, false}} {
+		if got := rg.Covers(c.p); got != c.want {
+			t.Errorf("Covers(%d) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestOverlapsAny(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint8) bool {
+		s1 := Segment{int(a0 % 50), int(a0%50) + int(a1%10)}
+		s2 := Segment{int(b0 % 50), int(b0%50) + int(b1%10)}
+		got := overlapsAny([]Segment{s1}, []Segment{s2})
+		want := s1.Start <= s2.End && s2.Start <= s1.End
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeSegmentsSorted(t *testing.T) {
+	a := []Segment{{1, 2}, {8, 9}}
+	b := []Segment{{4, 5}}
+	out := mergeSegments(a, b)
+	if len(out) != 3 || out[0].Start != 1 || out[1].Start != 4 || out[2].Start != 8 {
+		t.Errorf("merge = %v", out)
+	}
+}

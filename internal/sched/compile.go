@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/regalloc"
+	"customfit/internal/vliw"
+)
+
+// MaxSpillIterations bounds the schedule → allocate → spill loop.
+const MaxSpillIterations = 32
+
+// ErrNoFit reports that register pressure could not be brought within
+// the target's register files at this unroll factor. The explorer
+// treats it exactly like the paper treats the first spill: stop
+// considering this unroll factor and all larger ones.
+var ErrNoFit = errors.New("register pressure does not fit")
+
+// DebugCompileLog, when set, receives per-iteration compile diagnostics
+// (test instrumentation).
+var DebugCompileLog func(format string, args ...interface{})
+
+// Result is a completed compilation for one architecture.
+type Result struct {
+	Prog *vliw.Program
+	// Spilled is the number of virtual registers spilled or
+	// rematerialized to make the program fit the register files — the
+	// explorer's unroll-until-spill signal.
+	Spilled int
+	// Iterations is how many schedule/allocate rounds were needed.
+	Iterations int
+}
+
+// Compile runs the backend on a prepared (optimized, unrolled) kernel:
+// cluster partitioning, list scheduling, register allocation, and the
+// spill iteration until the program fits the target's register files.
+// The input function is not mutated.
+func Compile(prepared *ir.Func, arch machine.Arch) (*Result, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	work := prepared.Clone()
+	if arch.MinMax {
+		FuseMinMax(work)
+	}
+	spilled := 0
+	alreadySpilled := map[ir.Reg]bool{}
+	cap := arch.RegsPC() - 2
+	for iter := 1; iter <= MaxSpillIterations; iter++ {
+		g := work.Clone()
+		pl := Partition(g, arch)
+		// After two failed greedy rounds, fall back to program-order
+		// priority: a valid execution order whose pressure tracks the
+		// source's depth-first evaluation, trading ILP for fit.
+		inOrder := iter >= 3
+		prog, err := ScheduleMode(g, arch, pl, cap, inOrder)
+		if err != nil {
+			return nil, err
+		}
+		ra := regalloc.Allocate(prog)
+		if DebugCompileLog != nil {
+			DebugCompileLog("iter %d inorder=%v cap=%d maxlive=%v fits=%v bundles=%d", iter, inOrder, cap, ra.MaxLive, ra.Fits, prog.BundleCount())
+		}
+		if ra.Fits {
+			prog.Spills = spilled
+			prog.MaxLive = ra.MaxLive
+			prog.PhysAssign = ra.Assign
+			return &Result{Prog: prog, Spilled: spilled, Iterations: iter}, nil
+		}
+		// Spill candidates must exist in the pre-partition IR (ids
+		// below work's register count; partitioning appends copies).
+		// Prefer the registers the scheduler blamed for its pressure
+		// stalls; fall back to the allocator's longest live ranges.
+		var victims []ir.Reg
+		limit := ir.Reg(work.NumRegs())
+		// Spill decisively: re-partitioning between rounds adds ±2-3 of
+		// placement noise per cluster, so small batches just oscillate.
+		// Scale with the total overflow across clusters.
+		want := 4
+		total := 0
+		for _, o := range ra.Overflow {
+			total += o
+		}
+		if 2*total+4 > want {
+			want = 2*total + 4
+		}
+		for _, v := range ra.Victims {
+			if len(victims) >= want {
+				break
+			}
+			if v < limit && !alreadySpilled[v] {
+				victims = append(victims, v)
+				alreadySpilled[v] = true
+			}
+		}
+		overflowing := map[int]bool{}
+		for c, o := range ra.Overflow {
+			if o > 0 {
+				overflowing[c] = true
+			}
+		}
+		type blamed struct {
+			r ir.Reg
+			n int
+		}
+		var byBlame []blamed
+		for r, n := range prog.Blame {
+			if n > 0 && ir.Reg(r) < limit && !alreadySpilled[ir.Reg(r)] &&
+				r < len(prog.RegCluster) && overflowing[prog.RegCluster[r]] {
+				byBlame = append(byBlame, blamed{ir.Reg(r), n})
+			}
+		}
+		sort.Slice(byBlame, func(i, j int) bool { return byBlame[i].n > byBlame[j].n })
+		for _, bl := range byBlame {
+			victims = append(victims, bl.r)
+			alreadySpilled[bl.r] = true
+			if len(victims) >= want {
+				break
+			}
+		}
+		if len(victims) == 0 {
+			return nil, fmt.Errorf("sched %s on %s: pressure %v exceeds %d regs/cluster with no spillable candidates",
+				prepared.Name, arch, ra.MaxLive, ra.Capacity)
+		}
+		n := SpillRewrite(work, victims)
+		if n == 0 {
+			return nil, fmt.Errorf("sched %s on %s: spill made no progress (pressure %v)",
+				prepared.Name, arch, ra.MaxLive)
+		}
+		spilled += n
+		// The cap stays fixed: shrinking it only multiplies forced
+		// placements. In-order mode plus spilling is what converges.
+		// Deliberately no Clean here: CSE would merge the per-use
+		// reloads back into one long-lived value and undo the spill.
+	}
+	return nil, fmt.Errorf("sched %s on %s after %d spill rounds: %w",
+		prepared.Name, arch, MaxSpillIterations, ErrNoFit)
+}

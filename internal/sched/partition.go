@@ -1,0 +1,337 @@
+// Package sched implements the architecture-dependent backend: cluster
+// partitioning with explicit inter-cluster moves, cycle-driven list
+// scheduling against the machine's resource model, and the
+// schedule/allocate/spill iteration driver.
+package sched
+
+import (
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+)
+
+// Placement is the result of cluster partitioning: a home cluster for
+// every virtual register. Instructions carry their executing cluster in
+// ir.Instr.Cluster (set by Partition). For an OpXMov, that is the
+// destination cluster and the issue slot is charged to the source.
+type Placement struct {
+	RegCluster []int
+}
+
+// Cluster returns the executing (destination) cluster of in.
+func (pl *Placement) Cluster(in *ir.Instr) int {
+	return int(in.Cluster)
+}
+
+// SrcCluster returns the cluster whose ALU issue slot in occupies: the
+// source cluster for inter-cluster moves, the executing cluster
+// otherwise.
+func (pl *Placement) SrcCluster(in *ir.Instr) int {
+	if in.Op == ir.OpXMov && in.Args[0].IsReg() {
+		return pl.RegCluster[in.Args[0].Reg]
+	}
+	return int(in.Cluster)
+}
+
+// balanceWeight prices an inter-cluster copy against load imbalance: a
+// cluster must be ahead by this many operations before moving an op
+// away from its operands wins. High enough that dependence chains stay
+// cluster-local (each hop costs LatMove plus a bus slot) while
+// independent chains — unrolled iterations, color channels — still
+// spread; the scatter diagrams are very sensitive to this constant.
+const balanceWeight = 8
+
+// Partition assigns every virtual register and instruction to a cluster
+// and inserts explicit OpXMov copies wherever an operation consumes a
+// value homed in another cluster, mutating f in place.
+//
+// The policy is a bottom-up greedy in the spirit of the BUG family:
+// walk each block in program (dependence) order; place each value on
+// the cluster minimizing inter-cluster copies, with a load-balance term
+// so wide expression trees spread across clusters instead of clumping
+// where their first operands happen to live. Registers live across
+// blocks get a fixed home cluster at their first definition; scalar
+// parameters arrive on cluster 0; the branch unit (and so every branch
+// condition) lives on cluster 0.
+func Partition(f *ir.Func, arch machine.Arch) *Placement {
+	p := &partitioner{
+		f:     f,
+		nc:    arch.Clusters,
+		pl:    &Placement{},
+		homed: map[ir.Reg]bool{},
+		fixed: map[ir.Reg]bool{},
+	}
+	p.pl.RegCluster = make([]int, f.NumRegs())
+	if p.nc <= 1 {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				in.Cluster = 0
+			}
+		}
+		return p.pl
+	}
+	lv := opt.ComputeLiveness(f)
+	for _, b := range f.Blocks {
+		for r := ir.Reg(0); int(r) < f.NumRegs(); r++ {
+			if lv.LiveIn(b, r) {
+				p.fixed[r] = true
+			}
+		}
+	}
+	for _, prm := range f.Params {
+		p.setHome(prm.Reg, 0)
+	}
+	for _, b := range f.Blocks {
+		p.block(b)
+	}
+	return p.pl
+}
+
+type partitioner struct {
+	f     *ir.Func
+	nc    int
+	pl    *Placement
+	homed map[ir.Reg]bool
+	fixed map[ir.Reg]bool
+}
+
+func (p *partitioner) setHome(r ir.Reg, c int) {
+	for int(r) >= len(p.pl.RegCluster) {
+		p.pl.RegCluster = append(p.pl.RegCluster, 0)
+	}
+	p.pl.RegCluster[r] = c
+	p.homed[r] = true
+}
+
+func (p *partitioner) homeOf(r ir.Reg) (int, bool) {
+	if !p.homed[r] {
+		return 0, false
+	}
+	return p.pl.RegCluster[r], true
+}
+
+type copyKey struct {
+	r ir.Reg
+	c int
+}
+
+func (p *partitioner) block(b *ir.Block) {
+	load := make([]int, p.nc)
+	memLoad := make([]int, p.nc)
+	copies := map[copyKey]ir.Reg{}
+	var out []*ir.Instr
+
+	// Live-value estimate per cluster, maintained in program order, so
+	// placement balances register pressure as well as issue slots.
+	liveCnt := make([]int, p.nc)
+	remaining := map[ir.Reg]int{}
+	isLive := map[ir.Reg]bool{}
+	for _, in := range b.Instrs {
+		for _, a := range in.Args {
+			if a.IsReg() {
+				remaining[a.Reg]++
+			}
+		}
+	}
+	noteUse := func(a ir.Operand) {
+		if !a.IsReg() {
+			return
+		}
+		remaining[a.Reg]--
+		if remaining[a.Reg] <= 0 && isLive[a.Reg] {
+			isLive[a.Reg] = false
+			if home, ok := p.homeOf(a.Reg); ok {
+				liveCnt[home]--
+			}
+		}
+	}
+	noteDef := func(r ir.Reg, c int) {
+		if r == ir.NoReg || isLive[r] {
+			return
+		}
+		isLive[r] = true
+		liveCnt[c]++
+	}
+
+	// Loads with immediate addresses (spill reloads, rematerialized
+	// constants) have no operand anchoring them to a cluster, so their
+	// placement is deferred until the first consumer: landing them in
+	// the consumer's cluster avoids a long-lived cross-cluster copy —
+	// critical under register pressure, when these loads are exactly
+	// the values being staged through memory.
+	pending := map[ir.Reg]*ir.Instr{}
+	var pendingOrder []ir.Reg // deterministic end-of-block resolution
+	resolvePending := func(r ir.Reg, c int) {
+		ld, ok := pending[r]
+		if !ok {
+			return
+		}
+		delete(pending, r)
+		p.setHome(r, c)
+		ld.Cluster = int16(c)
+		memLoad[c]++
+	}
+
+	localize := func(a ir.Operand, c int) ir.Operand {
+		if !a.IsReg() {
+			return a
+		}
+		src, ok := p.homeOf(a.Reg)
+		if !ok {
+			p.setHome(a.Reg, c) // defensive adoption
+			return a
+		}
+		if src == c {
+			return a
+		}
+		if cp, ok := copies[copyKey{a.Reg, c}]; ok {
+			return ir.R(cp)
+		}
+		nr := p.f.NewReg()
+		p.setHome(nr, c)
+		mv := ir.NewInstr(ir.OpXMov, nr, ir.R(a.Reg))
+		mv.Cluster = int16(c)
+		out = append(out, mv)
+		copies[copyKey{a.Reg, c}] = nr
+		load[src]++ // the move occupies an issue slot on the source cluster
+		noteDef(nr, c)
+		return ir.R(nr)
+	}
+
+	chooseCluster := func(args []ir.Operand, isMem bool) int {
+		best, bestCost := 0, int(^uint(0)>>1)
+		for c := 0; c < p.nc; c++ {
+			cost := 0
+			for _, a := range args {
+				if !a.IsReg() {
+					continue
+				}
+				if home, ok := p.homeOf(a.Reg); ok && home != c {
+					if _, cached := copies[copyKey{a.Reg, c}]; !cached {
+						cost += balanceWeight
+					}
+				}
+			}
+			if isMem {
+				cost += memLoad[c]
+			} else {
+				cost += load[c]
+			}
+			cost += liveCnt[c]
+			if cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		return best
+	}
+
+	invalidate := func(r ir.Reg) {
+		for c := 0; c < p.nc; c++ {
+			delete(copies, copyKey{r, c})
+		}
+	}
+
+	resolveArgs := func(in *ir.Instr, c int) {
+		for _, a := range in.Args {
+			if a.IsReg() {
+				resolvePending(a.Reg, c)
+			}
+		}
+	}
+
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case ir.OpBr, ir.OpRet:
+			in.Cluster = 0
+			out = append(out, in)
+		case ir.OpCBr:
+			resolveArgs(in, 0)
+			orig := in.Args[0]
+			in.Args[0] = localize(in.Args[0], 0)
+			noteUse(orig)
+			in.Cluster = 0
+			out = append(out, in)
+		case ir.OpStore:
+			c := chooseCluster(in.Args, true)
+			resolveArgs(in, c)
+			for i := range in.Args {
+				orig := in.Args[i]
+				in.Args[i] = localize(in.Args[i], c)
+				noteUse(orig)
+			}
+			in.Cluster = int16(c)
+			memLoad[c]++
+			out = append(out, in)
+		default:
+			// Immediate-address loads wait for their first consumer.
+			if in.Op == ir.OpLoad && in.Args[0].IsImm() && in.Dest != ir.NoReg &&
+				!p.fixed[in.Dest] {
+				pending[in.Dest] = in
+				pendingOrder = append(pendingOrder, in.Dest)
+				out = append(out, in)
+				continue
+			}
+			// Value-producing operation.
+			c, forced := 0, false
+			if in.Dest != ir.NoReg && p.fixed[in.Dest] {
+				if home, ok := p.homeOf(in.Dest); ok {
+					c, forced = home, true
+				}
+			}
+			if !forced {
+				c = chooseCluster(in.Args, in.Op == ir.OpLoad)
+			}
+			resolveArgs(in, c)
+			if in.Op == ir.OpMov && in.Args[0].IsReg() {
+				if home, ok := p.homeOf(in.Args[0].Reg); ok && home != c {
+					// A move whose source lives elsewhere IS an
+					// inter-cluster move.
+					in.Op = ir.OpXMov
+					in.Cluster = int16(c)
+					load[home]++
+					noteUse(in.Args[0])
+					noteDef(in.Dest, c)
+					p.define(in, c, invalidate)
+					out = append(out, in)
+					continue
+				}
+			}
+			for i := range in.Args {
+				orig := in.Args[i]
+				in.Args[i] = localize(in.Args[i], c)
+				noteUse(orig)
+			}
+			in.Cluster = int16(c)
+			if in.Op == ir.OpLoad {
+				memLoad[c]++
+			} else {
+				load[c]++
+			}
+			noteDef(in.Dest, c)
+			p.define(in, c, invalidate)
+			out = append(out, in)
+		}
+	}
+	// Loads never consumed inside this block take the balanced default,
+	// resolved in program order for deterministic code generation.
+	for _, r := range pendingOrder {
+		ld, ok := pending[r]
+		if !ok {
+			continue // already resolved at a use
+		}
+		c := chooseCluster(ld.Args, true)
+		delete(pending, r)
+		p.setHome(r, c)
+		ld.Cluster = int16(c)
+		memLoad[c]++
+	}
+	b.Instrs = out
+}
+
+func (p *partitioner) define(in *ir.Instr, c int, invalidate func(ir.Reg)) {
+	if in.Dest == ir.NoReg {
+		return
+	}
+	p.setHome(in.Dest, c)
+	invalidate(in.Dest)
+}

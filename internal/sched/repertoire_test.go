@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"testing"
+
+	"customfit/internal/bench"
+	"customfit/internal/cc"
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+	"customfit/internal/sim"
+)
+
+func TestFuseMinMaxPatterns(t *testing.T) {
+	src := `
+		kernel m(int in[], int out[], int n) {
+			int i;
+			for (i = 0; i < n; i++) {
+				int a; int b;
+				a = in[i * 2];
+				b = in[i * 2 + 1];
+				out[i * 4]     = a < b ? a : b;
+				out[i * 4 + 1] = a < b ? b : a;
+				out[i * 4 + 2] = a > b ? a : b;
+				out[i * 4 + 3] = min(a, max(b, 7));
+			}
+		}`
+	kfn, err := cc.CompileKernel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := opt.Prepare(kfn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := prepared.Clone()
+	fused := FuseMinMax(work)
+	if fused < 4 {
+		t.Errorf("fused %d selects, want >= 4\n%s", fused, work)
+	}
+	mins, maxs, selects := 0, 0, 0
+	for _, b := range work.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpMin:
+				mins++
+			case ir.OpMax:
+				maxs++
+			case ir.OpSelect:
+				selects++
+			}
+		}
+	}
+	if mins == 0 || maxs == 0 {
+		t.Errorf("min=%d max=%d after fusion", mins, maxs)
+	}
+
+	// Correctness end-to-end on a MinMax machine.
+	arch := machine.Arch{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 2, L2Lat: 4, Clusters: 1, MinMax: true}
+	res, err := Compile(prepared, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res.Prog); err != nil {
+		t.Fatal(err)
+	}
+	n := int32(9)
+	in := make([]int32, 2*n)
+	for i := range in {
+		in[i] = int32((i*37)%19 - 9)
+	}
+	ref := make([]int32, 4*n)
+	got := make([]int32, 4*n)
+	if _, err := ir.Interp(kfn, ir.NewEnv(n).Bind("in", in).Bind("out", ref)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(res.Prog, ir.NewEnv(n).Bind("in", in).Bind("out", got)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestMinMaxSpeedsUpMedian(t *testing.T) {
+	// The 3x3 median is pure compare/select; a min/max repertoire must
+	// shrink its schedule at identical cost parameters.
+	fn, err := bench.ByName("H").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := opt.Prepare(fn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := machine.Arch{ALUs: 8, MULs: 2, Regs: 256, L2Ports: 4, L2Lat: 2, Clusters: 2}
+	withMM := plain.WithMinMax()
+	rp, err := Compile(prepared, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := Compile(prepared, withMM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := rp.Prog.BlockFor(rp.Prog.F.Loop.Header).Len
+	lm := rm.Prog.BlockFor(rm.Prog.F.Loop.Header).Len
+	if lm >= lp {
+		t.Errorf("min/max repertoire did not shrink H's loop: %d vs %d", lm, lp)
+	}
+	t.Logf("H loop length: %d plain, %d with min/max (%.0f%% shorter)",
+		lp, lm, 100*(1-float64(lm)/float64(lp)))
+}

@@ -1,0 +1,480 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"customfit/internal/ddg"
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+	"customfit/internal/vliw"
+)
+
+// Schedule list-schedules every block of a partitioned function against
+// the architecture's resource model, producing a vliw.Program (without
+// register allocation; see Compile for the full driver).
+//
+// The resource model per cycle:
+//
+//   - each cluster issues at most ALUsPC ALU-class operations, of which
+//     at most MULsPC may be multiplies; inter-cluster moves charge their
+//     source cluster's ALU issue;
+//   - each cluster has 1 L1 access path and L2PathsPC L2 access paths;
+//   - globally, the single L1 port is busy LatL1 cycles per access and
+//     each of the p2 L2 ports is busy l2 cycles per access
+//     (non-pipelined memories, paper Table 4);
+//   - at most Buses() inter-cluster moves issue per cycle;
+//   - the single branch unit lives on cluster 0.
+//
+// Priority is latency-weighted critical-path height. Issue is
+// register-pressure throttled: an operation that would push its
+// cluster's live-value count past the register file (minus a small
+// reserve) is deferred while anything else can make progress, which is
+// how schedules degrade gracefully on register-starved machines instead
+// of demanding impossible allocations. Pressure the throttle cannot
+// avoid (long-lived loop invariants) is the spill iteration's job.
+func Schedule(f *ir.Func, arch machine.Arch, pl *Placement) (*vliw.Program, error) {
+	cap := arch.RegsPC() - pressureReserve
+	if AblatePressureThrottle {
+		cap = 1 << 20 // effectively unlimited: classic pressure-blind greedy
+	}
+	return ScheduleWithCap(f, arch, pl, cap)
+}
+
+// AblatePressureThrottle disables the scheduler's live-value budget,
+// reverting to the classic pressure-blind greedy list scheduler (an
+// ablation switch; see EXPERIMENTS.md).
+var AblatePressureThrottle bool
+
+// ScheduleWithCap schedules with an explicit per-cluster live-value
+// budget. The compile driver tightens the cap across failing spill
+// iterations: a lower cap serializes the schedule, trading ILP for
+// register pressure exactly the way a production compiler degrades on
+// register-starved machines.
+func ScheduleWithCap(f *ir.Func, arch machine.Arch, pl *Placement, cap int) (*vliw.Program, error) {
+	return ScheduleMode(f, arch, pl, cap, false)
+}
+
+// ScheduleMode additionally selects in-order priority, the
+// pressure-safe fallback used after repeated allocation failures.
+func ScheduleMode(f *ir.Func, arch machine.Arch, pl *Placement, cap int, inOrder bool) (*vliw.Program, error) {
+	prog := &vliw.Program{
+		Arch:       arch,
+		F:          f,
+		RegCluster: pl.RegCluster,
+	}
+	lv := opt.ComputeLiveness(f)
+	prog.Blame = make([]int, f.NumRegs())
+	for _, b := range f.Blocks {
+		sb, err := scheduleBlock(f, b, arch, pl, lv, cap, prog.Blame, inOrder)
+		if err != nil {
+			return nil, fmt.Errorf("sched %s/%s: %w", f.Name, b.Name, err)
+		}
+		prog.Blocks = append(prog.Blocks, sb)
+	}
+	return prog, nil
+}
+
+// pressureReserve is how many registers per cluster the throttle keeps
+// in hand for allocation conservatism (live intervals are coarser than
+// the scheduler's exact liveness).
+const pressureReserve = 2
+
+// readyQueue is a max-heap on (Height, then earlier program order), or
+// pure program order when inOrder is set (the pressure-safe fallback:
+// program order is a valid execution order, so the front of the queue
+// is always placeable and pressure tracks the program-order peak).
+type readyQueue struct {
+	nodes   []*ddg.Node
+	inOrder bool
+}
+
+func (q readyQueue) Len() int { return len(q.nodes) }
+func (q readyQueue) Less(i, j int) bool {
+	a, b := q.nodes[i], q.nodes[j]
+	if q.inOrder {
+		return a.Index < b.Index
+	}
+	if a.Height != b.Height {
+		return a.Height > b.Height
+	}
+	return a.Index < b.Index
+}
+func (q readyQueue) Swap(i, j int) { q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i] }
+func (q *readyQueue) Push(x interface{}) {
+	q.nodes = append(q.nodes, x.(*ddg.Node))
+}
+func (q *readyQueue) Pop() interface{} {
+	old := q.nodes
+	n := len(old)
+	x := old[n-1]
+	q.nodes = old[:n-1]
+	return x
+}
+
+// resources tracks per-cycle slot usage and port occupancy.
+type resources struct {
+	arch machine.Arch
+	// per cycle, per cluster slot counters (grown on demand)
+	alu [][]int
+	mul [][]int
+	l1p [][]int
+	l2p [][]int
+	bus []int
+	br  []int
+	// global non-pipelined port free-times
+	l1FreeAt int
+	l2FreeAt []int
+}
+
+func newResources(arch machine.Arch) *resources {
+	return &resources{arch: arch, l2FreeAt: make([]int, arch.L2Ports)}
+}
+
+// growTo batch-extends per-cycle slot tracking.
+func (rs *resources) growTo(cycle int) {
+	nc := rs.arch.Clusters
+	for len(rs.bus) <= cycle {
+		target := cap(rs.bus)
+		if target <= cycle {
+			target = cycle + 256
+		}
+		for len(rs.bus) < target+1 {
+			rs.alu = append(rs.alu, make([]int, nc))
+			rs.mul = append(rs.mul, make([]int, nc))
+			rs.l1p = append(rs.l1p, make([]int, nc))
+			rs.l2p = append(rs.l2p, make([]int, nc))
+			rs.bus = append(rs.bus, 0)
+			rs.br = append(rs.br, 0)
+		}
+	}
+}
+
+// tryPlace checks and reserves machine resources for in at the cycle.
+func (rs *resources) tryPlace(in *ir.Instr, cycle int, pl *Placement) bool {
+	rs.growTo(cycle)
+	a := rs.arch
+	c := pl.Cluster(in)
+	switch in.Op {
+	case ir.OpXMov:
+		src := pl.SrcCluster(in)
+		if rs.alu[cycle][src] >= a.ALUsPC() || rs.bus[cycle] >= a.Buses() {
+			return false
+		}
+		rs.alu[cycle][src]++
+		rs.bus[cycle]++
+	case ir.OpMul:
+		if rs.alu[cycle][c] >= a.ALUsPC() || rs.mul[cycle][c] >= a.MULsPC() {
+			return false
+		}
+		rs.alu[cycle][c]++
+		rs.mul[cycle][c]++
+	case ir.OpLoad, ir.OpStore:
+		if in.Mem.Space == ir.L1 {
+			if rs.l1p[cycle][c] >= 1 || rs.l1FreeAt > cycle {
+				return false
+			}
+			rs.l1p[cycle][c]++
+			rs.l1FreeAt = cycle + machine.L1Occupancy
+		} else {
+			if rs.l2p[cycle][c] >= a.L2PathsPC() {
+				return false
+			}
+			port := -1
+			for i, free := range rs.l2FreeAt {
+				if free <= cycle {
+					port = i
+					break
+				}
+			}
+			if port < 0 {
+				return false
+			}
+			rs.l2p[cycle][c]++
+			rs.l2FreeAt[port] = cycle + a.L2Lat
+		}
+	case ir.OpBr, ir.OpCBr, ir.OpRet:
+		if rs.br[cycle] >= 1 {
+			return false
+		}
+		rs.br[cycle]++
+	case ir.OpNop:
+	default: // plain ALU op (incl. mov, select, compares)
+		if rs.alu[cycle][c] >= a.ALUsPC() {
+			return false
+		}
+		rs.alu[cycle][c]++
+	}
+	return true
+}
+
+// pressure tracks exact per-cluster live-value counts as the schedule
+// is built.
+type pressure struct {
+	cap        int // per-cluster live-value budget
+	live       []int
+	peak       []int
+	isLive     []bool
+	remaining  []int // uses left within the block
+	immortal   []bool
+	regCluster []int
+}
+
+func newPressure(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *opt.Liveness, cap int) *pressure {
+	n := f.NumRegs()
+	p := &pressure{
+		cap:        cap,
+		live:       make([]int, arch.Clusters),
+		peak:       make([]int, arch.Clusters),
+		isLive:     make([]bool, n),
+		remaining:  make([]int, n),
+		immortal:   make([]bool, n),
+		regCluster: pl.RegCluster,
+	}
+	if p.cap < 3 {
+		p.cap = 3
+	}
+	for _, in := range b.Instrs {
+		for _, a := range in.Args {
+			if a.IsReg() {
+				p.remaining[a.Reg]++
+			}
+		}
+	}
+	for r := ir.Reg(0); int(r) < n; r++ {
+		if lv.LiveOut(b, r) {
+			p.immortal[r] = true
+		}
+		if lv.LiveIn(b, r) && (p.remaining[r] > 0 || p.immortal[r]) {
+			p.isLive[r] = true
+			p.live[p.clusterOf(r)]++
+		}
+	}
+	return p
+}
+
+func (p *pressure) clusterOf(r ir.Reg) int {
+	if int(r) < len(p.regCluster) {
+		return p.regCluster[r]
+	}
+	return 0
+}
+
+// wouldExceed reports whether placing in now pushes its destination
+// cluster past the budget, accounting for argument deaths.
+func (p *pressure) wouldExceed(in *ir.Instr) bool {
+	if p.cap <= 0 || !in.Op.HasDest() {
+		return false
+	}
+	limit := p.cap
+	cd := p.clusterOf(in.Dest)
+	delta := 0
+	if !p.isLive[in.Dest] {
+		delta++
+	}
+	seen := map[ir.Reg]bool{}
+	for _, a := range in.Args {
+		if !a.IsReg() || seen[a.Reg] {
+			continue
+		}
+		seen[a.Reg] = true
+		if p.isLive[a.Reg] && !p.immortal[a.Reg] && p.remaining[a.Reg] == 1 &&
+			p.clusterOf(a.Reg) == cd && a.Reg != in.Dest {
+			delta--
+		}
+	}
+	return p.live[cd]+delta > limit
+}
+
+// place updates liveness state for a placed instruction.
+func (p *pressure) place(in *ir.Instr) {
+	seen := map[ir.Reg]bool{}
+	for _, a := range in.Args {
+		if !a.IsReg() {
+			continue
+		}
+		p.remaining[a.Reg]--
+		if seen[a.Reg] {
+			continue
+		}
+		seen[a.Reg] = true
+		if p.remaining[a.Reg] <= 0 && !p.immortal[a.Reg] && p.isLive[a.Reg] {
+			p.isLive[a.Reg] = false
+			p.live[p.clusterOf(a.Reg)]--
+		}
+	}
+	if in.Op.HasDest() && !p.isLive[in.Dest] {
+		p.isLive[in.Dest] = true
+		cd := p.clusterOf(in.Dest)
+		p.live[cd]++
+		if p.live[cd] > p.peak[cd] {
+			p.peak[cd] = p.live[cd]
+		}
+	}
+}
+
+func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *opt.Liveness, cap int, blame []int, inOrder bool) (*vliw.Block, error) {
+	g := ddg.Build(b, arch)
+	n := len(g.Nodes)
+	sb := &vliw.Block{IR: b}
+	if n == 0 {
+		return sb, nil
+	}
+
+	unschedPreds := make([]int, n)
+	earliest := make([]int, n)
+	for i, nd := range g.Nodes {
+		unschedPreds[i] = len(nd.Preds)
+	}
+	ready := readyQueue{inOrder: inOrder}
+	for i, nd := range g.Nodes {
+		if unschedPreds[i] == 0 {
+			heap.Push(&ready, nd)
+		}
+	}
+	rs := newResources(arch)
+	pr := newPressure(f, b, arch, pl, lv, cap)
+	placed := 0
+	cycle := 0
+	cycles := make([]int, n)
+	var deferred []*ddg.Node
+	cooloff := 0 // cycles to wait after a forced placement before forcing again
+	maxCycles := 64*n + 4096
+
+	for placed < n {
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("schedule did not converge after %d cycles (%d/%d ops placed)", cycle, placed, n)
+		}
+		deferred = deferred[:0]
+		placedThisCycle := 0
+		pressureDeferrals := 0
+		// Scanning the whole ready set every cycle is quadratic; after
+		// enough candidates fail, the rest of the heap almost certainly
+		// cannot issue this cycle either.
+		scanBudget := 8 * (arch.ALUs + arch.L2Ports + arch.Clusters + 4)
+		for ready.Len() > 0 && scanBudget > 0 {
+			scanBudget--
+			nd := heap.Pop(&ready).(*ddg.Node)
+			if earliest[nd.Index] > cycle {
+				deferred = append(deferred, nd)
+				continue
+			}
+			if pr.wouldExceed(nd.Instr) {
+				pressureDeferrals++
+				deferred = append(deferred, nd)
+				continue
+			}
+			if !rs.tryPlace(nd.Instr, cycle, pl) {
+				deferred = append(deferred, nd)
+				continue
+			}
+			pr.place(nd.Instr)
+			cycles[nd.Index] = cycle
+			sb.Ops = append(sb.Ops, vliw.Op{
+				Instr:      nd.Instr,
+				Cycle:      cycle,
+				Cluster:    pl.Cluster(nd.Instr),
+				SrcCluster: pl.SrcCluster(nd.Instr),
+			})
+			placed++
+			placedThisCycle++
+			for _, e := range nd.Succs {
+				if t := cycle + e.MinDelta; t > earliest[e.To.Index] {
+					earliest[e.To.Index] = t
+				}
+				unschedPreds[e.To.Index]--
+				if unschedPreds[e.To.Index] == 0 {
+					heap.Push(&ready, e.To)
+				}
+			}
+		}
+		// Pressure deadlock: every issuable candidate would overflow the
+		// budget, and the consumers that would relieve it are not ready
+		// because these very candidates block them. Force exactly one
+		// through, preferring the operation that completes some
+		// successor's operand set (so a pressure-reducing consumer
+		// becomes ready soonest), then critical-path height.
+		if cooloff > 0 {
+			cooloff--
+		}
+		if placedThisCycle == 0 && pressureDeferrals > 0 && cooloff == 0 {
+			// Blame the values occupying the saturated clusters: they
+			// are what a pressure-aware compiler would spill.
+			stuck := map[int]bool{}
+			for _, nd := range deferred {
+				if earliest[nd.Index] <= cycle && nd.Instr.Op.HasDest() {
+					stuck[pr.clusterOf(nd.Instr.Dest)] = true
+				}
+			}
+			for r := 0; r < len(pr.isLive) && r < len(blame); r++ {
+				if pr.isLive[r] && stuck[pr.clusterOf(ir.Reg(r))] {
+					blame[r]++
+				}
+			}
+			var best *ddg.Node
+			bestKey := [2]int{-1, -1 << 30}
+			for _, nd := range deferred {
+				if earliest[nd.Index] > cycle {
+					continue
+				}
+				enables := 0
+				for _, e := range nd.Succs {
+					if unschedPreds[e.To.Index] == 1 {
+						enables++ // nd is the successor's last unscheduled input
+					}
+				}
+				// Tie-break by PROGRAM order, not priority: the frontend
+				// emits expressions depth-first, so program order is the
+				// register-lean (Sethi-Ullman-like) evaluation order —
+				// exactly what a fully serialized machine should follow.
+				key := [2]int{enables, -nd.Index}
+				if key[0] > bestKey[0] || (key[0] == bestKey[0] && key[1] > bestKey[1]) {
+					best, bestKey = nd, key
+				}
+			}
+			if best != nil && rs.tryPlace(best.Instr, cycle, pl) {
+				sb.Forced++
+				// Let the admitted value's consumer catch up (producer
+				// latency) before forcing more pressure in.
+				cooloff = 1 + ddg.Latency(best.Instr, arch)
+				pr.place(best.Instr)
+				cycles[best.Index] = cycle
+				sb.Ops = append(sb.Ops, vliw.Op{
+					Instr:      best.Instr,
+					Cycle:      cycle,
+					Cluster:    pl.Cluster(best.Instr),
+					SrcCluster: pl.SrcCluster(best.Instr),
+				})
+				placed++
+				for _, e := range best.Succs {
+					if t := cycle + e.MinDelta; t > earliest[e.To.Index] {
+						earliest[e.To.Index] = t
+					}
+					unschedPreds[e.To.Index]--
+					if unschedPreds[e.To.Index] == 0 {
+						heap.Push(&ready, e.To)
+					}
+				}
+				for i, nd := range deferred {
+					if nd == best {
+						deferred = append(deferred[:i], deferred[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		ready.nodes = append(ready.nodes, deferred...)
+		heap.Init(&ready)
+		cycle++
+	}
+	last := 0
+	for _, c := range cycles {
+		if c > last {
+			last = c
+		}
+	}
+	sb.Len = last + 1
+	sb.SchedPeak = pr.peak
+	return sb, nil
+}

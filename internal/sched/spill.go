@@ -1,0 +1,157 @@
+package sched
+
+import (
+	"customfit/internal/ir"
+)
+
+// SpillMemName is the L1 array backing spilled registers.
+const SpillMemName = "spill$"
+
+// SpillRewrite inserts spill code for the given virtual registers into
+// f (the pre-partition IR): after every definition the value is stored
+// to a Level-1 spill slot and before every use it is reloaded into a
+// fresh temporary. Values defined by a single constant-table load are
+// rematerialized instead — the load is sunk back to its use sites,
+// undoing LICM's hoist (cheaper than store+reload, and exactly the
+// pressure/bandwidth trade the paper's pathological FIR case shows).
+//
+// Returns the number of registers actually rewritten.
+func SpillRewrite(f *ir.Func, regs []ir.Reg) int {
+	done := 0
+	for _, r := range regs {
+		if rewriteOne(f, r) {
+			done++
+		}
+	}
+	return done
+}
+
+func rewriteOne(f *ir.Func, r ir.Reg) bool {
+	// Collect definitions and uses.
+	type site struct {
+		b   *ir.Block
+		idx int
+	}
+	var defs, uses []site
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a.IsReg() && a.Reg == r {
+					uses = append(uses, site{b, i})
+					break
+				}
+			}
+			if in.Op.HasDest() && in.Dest == r {
+				defs = append(defs, site{b, i})
+			}
+		}
+	}
+	if len(uses) == 0 {
+		return false // nothing to relieve
+	}
+
+	// Rematerialization: single def by a constant-table load.
+	if len(defs) == 1 {
+		d := defs[0].b.Instrs[defs[0].idx]
+		if d.Op == ir.OpLoad && d.Mem.Const && d.Args[0].IsImm() {
+			rematerialize(f, r, d)
+			return true
+		}
+	}
+
+	isParam := false
+	for _, p := range f.Params {
+		if p.Reg == r {
+			isParam = true
+		}
+	}
+	if len(defs) == 0 && !isParam {
+		return false
+	}
+
+	spill := f.MemByName(SpillMemName)
+	if spill == nil {
+		spill = f.AddMem(&ir.MemRef{Name: SpillMemName, Space: ir.L1, Elem: ir.ElemI32})
+	}
+	slot := int32(spill.Size)
+	spill.Size++
+
+	// Insert per block, rebuilding instruction lists. Stores follow
+	// defs; loads into fresh temps precede uses.
+	for _, b := range f.Blocks {
+		var out []*ir.Instr
+		for _, in := range b.Instrs {
+			usesR := false
+			for _, a := range in.Args {
+				if a.IsReg() && a.Reg == r {
+					usesR = true
+				}
+			}
+			if usesR {
+				t := f.NewReg()
+				out = append(out, &ir.Instr{
+					Op: ir.OpLoad, Dest: t,
+					Args: []ir.Operand{ir.Imm(slot)},
+					Mem:  spill, Elem: ir.ElemI32,
+				})
+				for i, a := range in.Args {
+					if a.IsReg() && a.Reg == r {
+						in.Args[i] = ir.R(t)
+					}
+				}
+			}
+			out = append(out, in)
+			if in.Op.HasDest() && in.Dest == r {
+				out = append(out, &ir.Instr{
+					Op: ir.OpStore, Dest: ir.NoReg,
+					Args: []ir.Operand{ir.Imm(slot), ir.R(r)},
+					Mem:  spill, Elem: ir.ElemI32,
+				})
+			}
+		}
+		b.Instrs = out
+	}
+	if isParam {
+		// The incoming value must reach the slot before any reload.
+		entry := f.Entry()
+		st := &ir.Instr{
+			Op: ir.OpStore, Dest: ir.NoReg,
+			Args: []ir.Operand{ir.Imm(slot), ir.R(r)},
+			Mem:  spill, Elem: ir.ElemI32,
+		}
+		entry.Instrs = append([]*ir.Instr{st}, entry.Instrs...)
+	}
+	return true
+}
+
+// rematerialize deletes the hoisted constant load defining r and
+// replays it in front of every use.
+func rematerialize(f *ir.Func, r ir.Reg, def *ir.Instr) {
+	for _, b := range f.Blocks {
+		var out []*ir.Instr
+		for _, in := range b.Instrs {
+			if in == def {
+				continue // drop the hoisted load
+			}
+			usesR := false
+			for _, a := range in.Args {
+				if a.IsReg() && a.Reg == r {
+					usesR = true
+				}
+			}
+			if usesR {
+				t := f.NewReg()
+				cp := def.Clone()
+				cp.Dest = t
+				out = append(out, cp)
+				for i, a := range in.Args {
+					if a.IsReg() && a.Reg == r {
+						in.Args[i] = ir.R(t)
+					}
+				}
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+}

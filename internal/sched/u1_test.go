@@ -1,0 +1,36 @@
+package sched
+
+import (
+	"testing"
+
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+)
+
+func TestU1CompilesEverywhere(t *testing.T) {
+	archs := []machine.Arch{
+		machine.Baseline,
+		{ALUs: 16, MULs: 4, Regs: 128, L2Ports: 1, L2Lat: 4, Clusters: 8},
+		{ALUs: 16, MULs: 4, Regs: 256, L2Ports: 1, L2Lat: 4, Clusters: 16},
+		{ALUs: 16, MULs: 8, Regs: 512, L2Ports: 4, L2Lat: 8, Clusters: 1},
+	}
+	for _, b := range bench.All() {
+		fn, err := b.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepared, err := opt.Prepare(fn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, arch := range archs {
+			res, err := Compile(prepared, arch)
+			if err != nil {
+				t.Errorf("%s u=1 %s: %v", b.Name, arch, err)
+				continue
+			}
+			t.Logf("%s u=1 %s: spilled=%d iters=%d", b.Name, arch, res.Spilled, res.Iterations)
+		}
+	}
+}

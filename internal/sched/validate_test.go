@@ -1,0 +1,123 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"customfit/internal/cc"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+	"customfit/internal/vliw"
+)
+
+// compileValid returns a known-good program to corrupt.
+func compileValid(t *testing.T) *vliw.Program {
+	t.Helper()
+	fn, err := cc.CompileKernel(`
+		kernel v(int in[], int out[], int n) {
+			int i;
+			for (i = 0; i < n; i++) {
+				out[i] = in[i] * 5 + (in[i] >> 2);
+			}
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := opt.Prepare(fn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(prepared, machine.Arch{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 2, L2Lat: 4, Clusters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res.Prog); err != nil {
+		t.Fatalf("clean program invalid: %v", err)
+	}
+	return res.Prog
+}
+
+// loopBlock returns the largest scheduled block (the unrolled loop).
+func loopBlock(p *vliw.Program) *vliw.Block {
+	var best *vliw.Block
+	for _, sb := range p.Blocks {
+		if best == nil || len(sb.Ops) > len(best.Ops) {
+			best = sb
+		}
+	}
+	return best
+}
+
+func TestValidateCatchesDependenceViolation(t *testing.T) {
+	p := compileValid(t)
+	lb := loopBlock(p)
+	// Force a consumer to issue at cycle 0 (before its producers).
+	moved := false
+	for i := range lb.Ops {
+		if lb.Ops[i].Cycle > 2 && lb.Ops[i].Instr.Op.HasDest() {
+			lb.Ops[i].Cycle = 0
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Skip("no candidate op")
+	}
+	err := Validate(p)
+	if err == nil {
+		t.Fatal("corrupted schedule validated")
+	}
+	if !strings.Contains(err.Error(), "violated") && !strings.Contains(err.Error(), "issues") &&
+		!strings.Contains(err.Error(), "busy") {
+		t.Errorf("unexpected error kind: %v", err)
+	}
+}
+
+func TestValidateCatchesResourceOversubscription(t *testing.T) {
+	p := compileValid(t)
+	lb := loopBlock(p)
+	// Pile every ALU op of the block into cycle of the first op while
+	// keeping dependence order intact is hard; instead clone one op
+	// several times into the same cycle to blow the ALU limit.
+	var alu *vliw.Op
+	for i := range lb.Ops {
+		if lb.Ops[i].Instr.Op.IsALU() {
+			alu = &lb.Ops[i]
+			break
+		}
+	}
+	if alu == nil {
+		t.Skip("no ALU op")
+	}
+	for k := 0; k < 8; k++ {
+		dup := *alu
+		dup.Instr = dup.Instr.Clone()
+		lb.Ops = append(lb.Ops, dup)
+	}
+	if err := Validate(p); err == nil {
+		t.Fatal("oversubscribed schedule validated")
+	}
+}
+
+func TestValidateCatchesEarlyTerminator(t *testing.T) {
+	p := compileValid(t)
+	lb := loopBlock(p)
+	for i := range lb.Ops {
+		if lb.Ops[i].Instr.Op.IsTerminator() {
+			lb.Ops[i].Cycle = 0
+			break
+		}
+	}
+	if err := Validate(p); err == nil {
+		t.Fatal("early terminator validated")
+	}
+}
+
+func TestValidateCatchesMissingOp(t *testing.T) {
+	p := compileValid(t)
+	lb := loopBlock(p)
+	lb.Ops = lb.Ops[:len(lb.Ops)-1]
+	if err := Validate(p); err == nil {
+		t.Fatal("schedule with missing op validated")
+	}
+}

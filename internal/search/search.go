@@ -1,0 +1,334 @@
+// Package search implements design-space search strategies over the
+// architecture space and measures their effectiveness, answering the
+// paper's third question ("How effective are search methods aimed at
+// finding the appropriate architecture?"). The paper searched
+// exhaustively and conjectured that "any good search technique could
+// cut down significantly on processing time without greatly affecting
+// the results"; this package quantifies that: each strategy reports how
+// many evaluations it spent and how close it came to the exhaustive
+// optimum.
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"customfit/internal/machine"
+)
+
+// Objective scores an architecture; higher is better. Strategies
+// receive it wrapped in a counting evaluator. A typical objective is a
+// benchmark's speedup, or speedup under a cost cap (-Inf when over
+// budget).
+type Objective func(machine.Arch) float64
+
+// Result reports one strategy's outcome.
+type Result struct {
+	Strategy    string
+	Best        machine.Arch
+	BestScore   float64
+	Evaluations int
+	// Optimality is BestScore / exhaustive optimum (filled by Compare).
+	Optimality float64
+}
+
+// counter wraps an objective with memoized evaluation counting.
+type counter struct {
+	obj   Objective
+	seen  map[machine.Arch]float64
+	evals int
+}
+
+func newCounter(obj Objective) *counter {
+	return &counter{obj: obj, seen: map[machine.Arch]float64{}}
+}
+
+func (c *counter) eval(a machine.Arch) float64 {
+	if v, ok := c.seen[a]; ok {
+		return v
+	}
+	c.evals++
+	v := c.obj(a)
+	c.seen[a] = v
+	return v
+}
+
+// Exhaustive evaluates every point (the paper's method).
+func Exhaustive(space []machine.Arch, obj Objective) Result {
+	c := newCounter(obj)
+	best, bestScore := machine.Arch{}, math.Inf(-1)
+	for _, a := range space {
+		if v := c.eval(a); v > bestScore {
+			best, bestScore = a, v
+		}
+	}
+	return Result{Strategy: "exhaustive", Best: best, BestScore: bestScore, Evaluations: c.evals}
+}
+
+// neighbors returns the architectures one parameter step away from a,
+// restricted to points present in the space.
+func neighbors(a machine.Arch, inSpace map[machine.Arch]bool) []machine.Arch {
+	var out []machine.Arch
+	push := func(n machine.Arch) {
+		if inSpace[n] {
+			out = append(out, n)
+		}
+	}
+	for _, f := range []func(machine.Arch, int) machine.Arch{
+		func(x machine.Arch, d int) machine.Arch { x.ALUs = scale(x.ALUs, d); x.MULs = clampMul(x); return x },
+		func(x machine.Arch, d int) machine.Arch { x.MULs = scale(x.MULs, d); return x },
+		func(x machine.Arch, d int) machine.Arch { x.Regs = scale(x.Regs, d); return x },
+		func(x machine.Arch, d int) machine.Arch { x.L2Ports = scale(x.L2Ports, d); return x },
+		func(x machine.Arch, d int) machine.Arch { x.L2Lat = scale(x.L2Lat, d); return x },
+		func(x machine.Arch, d int) machine.Arch { x.Clusters = scale(x.Clusters, d); return x },
+		// Compound move: widen/narrow the machine at constant per-cluster
+		// shape (ALUs and clusters together). Single-axis ALU moves pay
+		// the quadratic cycle-time penalty before clustering can recoup
+		// it, leaving a ridge that traps ±1-axis local search.
+		func(x machine.Arch, d int) machine.Arch {
+			x.ALUs = scale(x.ALUs, d)
+			x.Clusters = scale(x.Clusters, d)
+			x.MULs = clampMul(x)
+			return x
+		},
+		// And the register-file analog: more clusters with the same
+		// per-cluster register count.
+		func(x machine.Arch, d int) machine.Arch {
+			x.ALUs = scale(x.ALUs, d)
+			x.Clusters = scale(x.Clusters, d)
+			x.Regs = scale(x.Regs, d)
+			x.MULs = clampMul(x)
+			return x
+		},
+	} {
+		push(f(a, +1))
+		push(f(a, -1))
+	}
+	return out
+}
+
+func scale(v, dir int) int {
+	if dir > 0 {
+		return v * 2
+	}
+	return v / 2
+}
+
+// clampMul snaps the multiplier count into the template's legal band
+// [a/4, a/2] (floor 1) after an ALU-count move, choosing the nearer
+// endpoint so moves stay inside the enumerated space.
+func clampMul(a machine.Arch) int {
+	lo, hi := a.ALUs/4, a.ALUs/2
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < 1 {
+		hi = 1
+	}
+	m := a.MULs
+	if m < lo {
+		return lo
+	}
+	if m > hi {
+		return hi
+	}
+	return m
+}
+
+// HillClimb runs steepest-ascent hill climbing with random restarts.
+func HillClimb(space []machine.Arch, obj Objective, restarts int, seed int64) Result {
+	c := newCounter(obj)
+	rng := rand.New(rand.NewSource(seed))
+	inSpace := spaceSet(space)
+	best, bestScore := machine.Arch{}, math.Inf(-1)
+	for r := 0; r < restarts; r++ {
+		cur := space[rng.Intn(len(space))]
+		curScore := c.eval(cur)
+		for {
+			improved := false
+			for _, n := range neighbors(cur, inSpace) {
+				if v := c.eval(n); v > curScore {
+					cur, curScore = n, v
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if curScore > bestScore {
+			best, bestScore = cur, curScore
+		}
+	}
+	return Result{Strategy: "hill-climb", Best: best, BestScore: bestScore, Evaluations: c.evals}
+}
+
+// Anneal runs simulated annealing.
+func Anneal(space []machine.Arch, obj Objective, steps int, seed int64) Result {
+	c := newCounter(obj)
+	rng := rand.New(rand.NewSource(seed))
+	inSpace := spaceSet(space)
+	pick := func() (machine.Arch, float64) {
+		// Resample until a feasible start (objectives return -Inf for
+		// over-budget points); give up after a bounded number of tries.
+		for i := 0; i < 64; i++ {
+			a := space[rng.Intn(len(space))]
+			if v := c.eval(a); !math.IsInf(v, -1) {
+				return a, v
+			}
+		}
+		a := space[rng.Intn(len(space))]
+		return a, c.eval(a)
+	}
+	cur, curScore := pick()
+	best, bestScore := cur, curScore
+	t0 := 2.0
+	for i := 0; i < steps; i++ {
+		temp := t0 * math.Exp(-3*float64(i)/float64(steps))
+		ns := neighbors(cur, inSpace)
+		if len(ns) == 0 || math.IsInf(curScore, -1) {
+			cur, curScore = pick()
+			continue
+		}
+		n := ns[rng.Intn(len(ns))]
+		v := c.eval(n)
+		if v > curScore || (!math.IsInf(v, -1) && rng.Float64() < math.Exp((v-curScore)/math.Max(temp, 1e-6))) {
+			cur, curScore = n, v
+		}
+		if curScore > bestScore {
+			best, bestScore = cur, curScore
+		}
+	}
+	return Result{Strategy: "anneal", Best: best, BestScore: bestScore, Evaluations: c.evals}
+}
+
+// Genetic runs a small generational GA with tournament selection,
+// parameter-wise crossover and step mutation.
+func Genetic(space []machine.Arch, obj Objective, generations, popSize int, seed int64) Result {
+	c := newCounter(obj)
+	rng := rand.New(rand.NewSource(seed))
+	inSpace := spaceSet(space)
+	pop := make([]machine.Arch, popSize)
+	for i := range pop {
+		pop[i] = space[rng.Intn(len(space))]
+	}
+	score := func(a machine.Arch) float64 { return c.eval(a) }
+	tournament := func() machine.Arch {
+		a, b := pop[rng.Intn(len(pop))], pop[rng.Intn(len(pop))]
+		if score(a) >= score(b) {
+			return a
+		}
+		return b
+	}
+	crossover := func(a, b machine.Arch) machine.Arch {
+		ch := a
+		if rng.Intn(2) == 0 {
+			ch.ALUs, ch.MULs = b.ALUs, b.MULs
+		}
+		if rng.Intn(2) == 0 {
+			ch.Regs = b.Regs
+		}
+		if rng.Intn(2) == 0 {
+			ch.L2Ports, ch.L2Lat = b.L2Ports, b.L2Lat
+		}
+		if rng.Intn(2) == 0 {
+			ch.Clusters = b.Clusters
+		}
+		return ch
+	}
+	repair := func(a machine.Arch) (machine.Arch, bool) {
+		if inSpace[a] {
+			return a, true
+		}
+		// Nudge toward validity via neighbors of a valid parent.
+		return a, false
+	}
+	best, bestScore := machine.Arch{}, math.Inf(-1)
+	for g := 0; g < generations; g++ {
+		next := make([]machine.Arch, 0, popSize)
+		for len(next) < popSize {
+			child := crossover(tournament(), tournament())
+			if rng.Float64() < 0.3 {
+				ns := neighbors(child, inSpace)
+				if len(ns) > 0 {
+					child = ns[rng.Intn(len(ns))]
+				}
+			}
+			if ok := inSpace[child]; !ok {
+				if rep, okRep := repair(child); okRep {
+					child = rep
+				} else {
+					child = space[rng.Intn(len(space))]
+				}
+			}
+			next = append(next, child)
+		}
+		pop = next
+		for _, a := range pop {
+			if v := score(a); v > bestScore {
+				best, bestScore = a, v
+			}
+		}
+	}
+	return Result{Strategy: "genetic", Best: best, BestScore: bestScore, Evaluations: c.evals}
+}
+
+func spaceSet(space []machine.Arch) map[machine.Arch]bool {
+	m := make(map[machine.Arch]bool, len(space))
+	for _, a := range space {
+		m[a] = true
+	}
+	return m
+}
+
+// Compare runs every strategy against the same objective and normalizes
+// scores to the exhaustive optimum.
+func Compare(space []machine.Arch, obj Objective, seed int64) []Result {
+	ex := Exhaustive(space, obj)
+	out := []Result{ex}
+	out = append(out, HillClimb(space, obj, 4, seed))
+	out = append(out, Anneal(space, obj, len(space)/3, seed))
+	out = append(out, Genetic(space, obj, 8, 12, seed))
+	for i := range out {
+		if ex.BestScore != 0 {
+			out[i].Optimality = out[i].BestScore / ex.BestScore
+		}
+	}
+	return out
+}
+
+// SubLattice returns a dense, neighbor-closed subset of the design
+// space for quick search experiments: every axis keeps a contiguous run
+// of its values, so the ±1-step neighborhood structure the local
+// strategies rely on is intact (a strided sample of the full space
+// leaves almost every neighbor missing and starves hill climbing and
+// annealing of moves).
+func SubLattice() []machine.Arch {
+	var out []machine.Arch
+	for _, a := range []int{2, 4, 8, 16} {
+		m := a / 4
+		if m < 1 {
+			m = 1
+		}
+		for _, r := range []int{128, 256, 512} {
+			if r < 8*a {
+				continue
+			}
+			for _, p2 := range []int{1, 2, 4} {
+				if p2 > a {
+					continue
+				}
+				for _, l2 := range []int{2, 4} {
+					for _, c := range []int{1, 2, 4} {
+						arch := machine.Arch{ALUs: a, MULs: m, Regs: r, L2Ports: p2, L2Lat: l2, Clusters: c}
+						if arch.Validate() != nil || arch.RegsPC() < 16 || c > a {
+							continue
+						}
+						out = append(out, arch)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

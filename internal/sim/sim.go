@@ -1,0 +1,235 @@
+// Package sim is the cycle-accurate simulator for scheduled VLIW
+// programs. It executes bundles with real latency semantics — operands
+// are read at issue, results commit after the producer's latency,
+// stores become visible to the next cycle — and verifies global memory
+// port occupancy across block boundaries. Running the same kernel
+// through sim and through the plain IR interpreter and comparing memory
+// images is the pipeline's end-to-end correctness oracle.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"customfit/internal/ddg"
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/vliw"
+)
+
+// Stats reports a simulation run.
+type Stats struct {
+	Cycles      int64
+	Ops         int64
+	Bundles     int64
+	BlockVisits map[string]int64
+	MemAccesses int64
+}
+
+type pendingWrite struct {
+	at  int64
+	reg ir.Reg
+	val int32
+}
+
+// Run executes prog against env (same binding conventions as
+// ir.Interp), mutating bound memories, and returns cycle-accurate
+// statistics.
+func Run(prog *vliw.Program, env *ir.Env) (*Stats, error) {
+	f := prog.F
+	if len(env.Args) != len(f.Params) {
+		return nil, fmt.Errorf("sim %s: %d args for %d params", f.Name, len(env.Args), len(f.Params))
+	}
+	regs := make([]int32, f.NumRegs())
+	for i, p := range f.Params {
+		regs[p.Reg] = env.Args[i]
+	}
+	mems := make(map[*ir.MemRef][]int32, len(f.Mems))
+	for _, m := range f.Mems {
+		data, ok := env.Mem[m.Name]
+		if !ok {
+			if m.IsParam {
+				return nil, fmt.Errorf("sim %s: parameter array %q not bound", f.Name, m.Name)
+			}
+			data = make([]int32, m.Size)
+			env.Mem[m.Name] = data
+		}
+		if m.Size > 0 && len(data) < m.Size {
+			return nil, fmt.Errorf("sim %s: memory %q has %d elements, needs %d", f.Name, m.Name, len(data), m.Size)
+		}
+		for i, v := range m.Init {
+			data[i] = v
+		}
+		mems[m] = data
+	}
+
+	// Pre-sort each block's ops by cycle.
+	type blockImage struct {
+		sb      *vliw.Block
+		byCycle [][]vliw.Op
+	}
+	images := map[*ir.Block]*blockImage{}
+	for _, sb := range prog.Blocks {
+		img := &blockImage{sb: sb, byCycle: make([][]vliw.Op, sb.Len)}
+		ops := append([]vliw.Op(nil), sb.Ops...)
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Cycle < ops[j].Cycle })
+		for _, op := range ops {
+			img.byCycle[op.Cycle] = append(img.byCycle[op.Cycle], op)
+		}
+		images[sb.IR] = img
+	}
+
+	st := &Stats{BlockVisits: map[string]int64{}}
+	var pend []pendingWrite
+	var now int64
+	l1FreeAt := int64(0)
+	l2FreeAt := make([]int64, prog.Arch.L2Ports)
+
+	commit := func(upto int64) {
+		kept := pend[:0]
+		for _, w := range pend {
+			if w.at <= upto {
+				regs[w.reg] = w.val
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		pend = kept
+	}
+	read := func(o ir.Operand) int32 {
+		if o.IsImm() {
+			return o.Imm
+		}
+		return regs[o.Reg]
+	}
+
+	blk := f.Entry()
+	maxCycles := int64(env.MaxSteps)
+	if maxCycles == 0 {
+		maxCycles = 200_000_000
+	}
+
+	for blk != nil {
+		img := images[blk]
+		if img == nil {
+			return nil, fmt.Errorf("sim %s: block %s has no schedule", f.Name, blk.Name)
+		}
+		st.BlockVisits[blk.Name]++
+		st.Bundles += int64(img.sb.Len)
+		var next *ir.Block
+		done := false
+		for t := 0; t < img.sb.Len; t++ {
+			commit(now)
+			// Phase 1: reads and load sampling (start of cycle).
+			type result struct {
+				op   vliw.Op
+				vals []int32
+			}
+			bundle := img.byCycle[t]
+			results := make([]result, 0, len(bundle))
+			for _, op := range bundle {
+				in := op.Instr
+				vals := make([]int32, len(in.Args))
+				for i, a := range in.Args {
+					vals[i] = read(a)
+				}
+				results = append(results, result{op, vals})
+			}
+			// Phase 2: effects. Loads sample memory before this cycle's
+			// stores commit (a same-cycle store is not yet visible),
+			// matching the dependence model's store→load distance of 1.
+			for pass := 0; pass < 2; pass++ {
+				for _, r := range results {
+					in := r.op.Instr
+					if (in.Op == ir.OpStore) != (pass == 1) {
+						continue
+					}
+					st.Ops++
+					switch in.Op {
+					case ir.OpNop:
+					case ir.OpLoad:
+						data := mems[in.Mem]
+						idx := int(r.vals[0]) + int(in.Off)
+						if idx < 0 || idx >= len(data) {
+							return nil, fmt.Errorf("sim %s/%s@%d: load %s[%d] out of bounds (len %d)",
+								f.Name, blk.Name, t, in.Mem.Name, idx, len(data))
+						}
+						if err := reservePort(in, now, &l1FreeAt, l2FreeAt, prog.Arch); err != nil {
+							return nil, fmt.Errorf("sim %s/%s@%d: %w", f.Name, blk.Name, t, err)
+						}
+						st.MemAccesses++
+						pend = append(pend, pendingWrite{
+							at:  now + int64(ddg.Latency(in, prog.Arch)),
+							reg: in.Dest,
+							val: in.Elem.Extend(data[idx]),
+						})
+					case ir.OpStore:
+						data := mems[in.Mem]
+						idx := int(r.vals[0]) + int(in.Off)
+						if idx < 0 || idx >= len(data) {
+							return nil, fmt.Errorf("sim %s/%s@%d: store %s[%d] out of bounds (len %d)",
+								f.Name, blk.Name, t, in.Mem.Name, idx, len(data))
+						}
+						if err := reservePort(in, now, &l1FreeAt, l2FreeAt, prog.Arch); err != nil {
+							return nil, fmt.Errorf("sim %s/%s@%d: %w", f.Name, blk.Name, t, err)
+						}
+						st.MemAccesses++
+						data[idx] = in.Elem.Truncate(r.vals[1])
+					case ir.OpBr:
+						next = in.Targets[0]
+					case ir.OpCBr:
+						if r.vals[0] != 0 {
+							next = in.Targets[0]
+						} else {
+							next = in.Targets[1]
+						}
+					case ir.OpRet:
+						done = true
+					default:
+						pend = append(pend, pendingWrite{
+							at:  now + int64(ddg.Latency(in, prog.Arch)),
+							reg: in.Dest,
+							val: in.Op.Eval(r.vals...),
+						})
+					}
+				}
+			}
+			now++
+			st.Cycles++
+			if st.Cycles > maxCycles {
+				return nil, fmt.Errorf("sim %s: exceeded %d cycles", f.Name, maxCycles)
+			}
+		}
+		if done {
+			break
+		}
+		if next == nil {
+			return nil, fmt.Errorf("sim %s: block %s fell through without a branch", f.Name, blk.Name)
+		}
+		blk = next
+	}
+	commit(now)
+	if len(pend) != 0 {
+		return nil, fmt.Errorf("sim %s: %d writes still in flight at exit", f.Name, len(pend))
+	}
+	return st, nil
+}
+
+// reservePort enforces non-pipelined memory port occupancy across the
+// whole run, including across block boundaries.
+func reservePort(in *ir.Instr, now int64, l1FreeAt *int64, l2FreeAt []int64, arch machine.Arch) error {
+	if in.Mem.Space == ir.L1 {
+		if *l1FreeAt > now {
+			return fmt.Errorf("L1 port busy until %d at cycle %d (scheduler bug)", *l1FreeAt, now)
+		}
+		*l1FreeAt = now + machine.L1Occupancy
+		return nil
+	}
+	for i := range l2FreeAt {
+		if l2FreeAt[i] <= now {
+			l2FreeAt[i] = now + int64(arch.L2Lat)
+			return nil
+		}
+	}
+	return fmt.Errorf("all %d L2 ports busy at cycle %d (scheduler bug)", len(l2FreeAt), now)
+}

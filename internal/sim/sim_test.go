@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"customfit/internal/cc"
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+	"customfit/internal/sched"
+	"customfit/internal/vliw"
+)
+
+const simSrc = `
+	kernel saxpyish(int x[], int y[], int out[], int n) {
+		int i;
+		for (i = 0; i < n; i++) {
+			out[i] = x[i] * 3 + y[i];
+		}
+	}`
+
+func compileKernel(t *testing.T, src string, arch machine.Arch, u int) *vliw.Program {
+	t.Helper()
+	fn, err := cc.CompileKernel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := opt.Prepare(fn, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.Compile(prepared, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Prog
+}
+
+func TestRunMatchesInterpreter(t *testing.T) {
+	prog := compileKernel(t, simSrc, machine.Arch{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 2, L2Lat: 4, Clusters: 2}, 2)
+	n := int32(13)
+	x := make([]int32, n)
+	y := make([]int32, n)
+	for i := range x {
+		x[i] = int32(i * 7)
+		y[i] = int32(100 - i)
+	}
+	out := make([]int32, n)
+	st, err := Run(prog, ir.NewEnv(n).Bind("x", x).Bind("y", y).Bind("out", out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < n; i++ {
+		if want := x[i]*3 + y[i]; out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if st.Cycles <= 0 || st.Ops <= 0 || st.Bundles <= 0 {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+	if st.MemAccesses != int64(3*n) {
+		t.Errorf("mem accesses = %d, want %d", st.MemAccesses, 3*n)
+	}
+}
+
+func TestStaticCyclesMatchesSimulatedEverywhere(t *testing.T) {
+	archs := []machine.Arch{
+		machine.Baseline,
+		{ALUs: 8, MULs: 2, Regs: 256, L2Ports: 4, L2Lat: 2, Clusters: 4},
+	}
+	for _, arch := range archs {
+		prog := compileKernel(t, simSrc, arch, 4)
+		n := int32(21)
+		env := ir.NewEnv(n).
+			Bind("x", make([]int32, n)).Bind("y", make([]int32, n)).Bind("out", make([]int32, n))
+		st, err := Run(prog, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := prog.StaticCycles(st.BlockVisits); got != st.Cycles {
+			t.Errorf("%s: static %d != simulated %d", arch, got, st.Cycles)
+		}
+	}
+}
+
+func TestRunRejectsUnboundParam(t *testing.T) {
+	prog := compileKernel(t, simSrc, machine.Baseline, 1)
+	_, err := Run(prog, ir.NewEnv(4))
+	if err == nil || !strings.Contains(err.Error(), "not bound") {
+		t.Errorf("err = %v, want unbound-parameter error", err)
+	}
+}
+
+func TestRunDetectsOutOfBounds(t *testing.T) {
+	prog := compileKernel(t, simSrc, machine.Baseline, 1)
+	n := int32(8)
+	_, err := Run(prog, ir.NewEnv(n).
+		Bind("x", make([]int32, 2)). // too small
+		Bind("y", make([]int32, n)).
+		Bind("out", make([]int32, n)))
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("err = %v, want bounds error", err)
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	prog := compileKernel(t, simSrc, machine.Baseline, 4)
+	out := []int32{77}
+	st, err := Run(prog, ir.NewEnv(0).
+		Bind("x", []int32{1}).Bind("y", []int32{2}).Bind("out", out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 77 {
+		t.Error("zero-trip run wrote memory")
+	}
+	if st.Cycles <= 0 {
+		t.Error("no cycles counted for prologue/exit")
+	}
+}
+
+func TestSimulatorAgreesWithInterpOnRecurrence(t *testing.T) {
+	src := `
+		kernel acc(int in[], int out[], int n) {
+			int i; int s;
+			s = 0;
+			for (i = 0; i < n; i++) {
+				s = (s >> 1) + in[i];
+				out[i] = s;
+			}
+		}`
+	fn, err := cc.CompileKernel(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := compileKernel(t, src, machine.Arch{ALUs: 8, MULs: 4, Regs: 256, L2Ports: 2, L2Lat: 2, Clusters: 2}, 4)
+	n := int32(29)
+	in := make([]int32, n)
+	for i := range in {
+		in[i] = int32(i*13%97 - 40)
+	}
+	ref := make([]int32, n)
+	got := make([]int32, n)
+	if _, err := ir.Interp(fn, ir.NewEnv(n).Bind("in", in).Bind("out", ref)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, ir.NewEnv(n).Bind("in", in).Bind("out", got)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestLatencySemanticsHandBuilt builds a schedule by hand that reads a
+// register in the same cycle an in-flight write would land later,
+// checking the reads-at-issue / commit-after-latency contract directly.
+func TestLatencySemanticsHandBuilt(t *testing.T) {
+	f := ir.NewFunc("lat")
+	m := f.AddMem(&ir.MemRef{Name: "out", Space: ir.L2, Elem: ir.ElemI32, Size: 4, IsParam: true})
+	b := f.NewBlock("entry")
+	r0, r1 := f.NewReg(), f.NewReg()
+	i0 := ir.NewInstr(ir.OpMov, r0, ir.Imm(1))            // cycle 0: r0 <- 1
+	i1 := ir.NewInstr(ir.OpMul, r1, ir.R(r0), ir.Imm(10)) // cycle 1: r1 <- 10 (lands at 3)
+	// cycle 2: read r1 BEFORE the mul commits? No: mul latency is 2, so
+	// a cycle-3 reader sees 10 and a same-cycle-as-commit reader at
+	// cycle 3 sees it too. Schedule an anti-dependent rewrite of r0 at
+	// cycle 1 (same cycle as the mul reads it): the mul must still see
+	// the old value 1.
+	i2 := ir.NewInstr(ir.OpMov, r0, ir.Imm(99)) // cycle 1: r0 <- 99 (anti, same cycle)
+	i3 := &ir.Instr{Op: ir.OpStore, Dest: ir.NoReg,
+		Args: []ir.Operand{ir.Imm(0), ir.R(r1)}, Mem: m, Elem: ir.ElemI32} // cycle 3: out[0] <- r1
+	i4 := &ir.Instr{Op: ir.OpStore, Dest: ir.NoReg,
+		Args: []ir.Operand{ir.Imm(1), ir.R(r0)}, Mem: m, Elem: ir.ElemI32} // cycle 3: out[1] <- r0
+	ret := &ir.Instr{Op: ir.OpRet, Dest: ir.NoReg}
+	for _, in := range []*ir.Instr{i0, i1, i2, i3, i4, ret} {
+		b.Append(in)
+	}
+	arch := machine.Arch{ALUs: 4, MULs: 2, Regs: 64, L2Ports: 2, L2Lat: 2, Clusters: 1}
+	prog := &vliw.Program{
+		Arch: arch,
+		F:    f,
+		Blocks: []*vliw.Block{{
+			IR:  b,
+			Len: 6,
+			Ops: []vliw.Op{
+				{Instr: i0, Cycle: 0},
+				{Instr: i1, Cycle: 1},
+				{Instr: i2, Cycle: 1},
+				{Instr: i3, Cycle: 3},
+				{Instr: i4, Cycle: 3},
+				{Instr: ret, Cycle: 5},
+			},
+		}},
+		RegCluster: make([]int, f.NumRegs()),
+	}
+	out := make([]int32, 4)
+	if _, err := Run(prog, ir.NewEnv().Bind("out", out)); err != nil {
+		t.Fatal(err)
+	}
+	// The mul read r0 at issue (cycle 1) before the same-cycle rewrite:
+	// r1 = 1*10 = 10 (not 990). The store at 3 sees the committed mul.
+	if out[0] != 10 {
+		t.Errorf("out[0] = %d, want 10 (mul must read pre-rewrite r0)", out[0])
+	}
+	if out[1] != 99 {
+		t.Errorf("out[1] = %d, want 99", out[1])
+	}
+}
+
+// TestLatencyViolationVisible: if a schedule reads a result before its
+// producer's latency has elapsed, the simulator exposes the stale value
+// (no interlocks) — this documents why sched.Validate exists.
+func TestLatencyViolationVisible(t *testing.T) {
+	f := ir.NewFunc("stale")
+	m := f.AddMem(&ir.MemRef{Name: "out", Space: ir.L2, Elem: ir.ElemI32, Size: 2, IsParam: true})
+	b := f.NewBlock("entry")
+	r0, r1 := f.NewReg(), f.NewReg()
+	i0 := ir.NewInstr(ir.OpMul, r0, ir.Imm(6), ir.Imm(7)) // lat 2: lands at cycle 2
+	i1 := ir.NewInstr(ir.OpMov, r1, ir.R(r0))             // scheduled too early (cycle 1)
+	i2 := &ir.Instr{Op: ir.OpStore, Dest: ir.NoReg,
+		Args: []ir.Operand{ir.Imm(0), ir.R(r1)}, Mem: m, Elem: ir.ElemI32}
+	ret := &ir.Instr{Op: ir.OpRet, Dest: ir.NoReg}
+	for _, in := range []*ir.Instr{i0, i1, i2, ret} {
+		b.Append(in)
+	}
+	arch := machine.Arch{ALUs: 2, MULs: 1, Regs: 64, L2Ports: 1, L2Lat: 2, Clusters: 1}
+	prog := &vliw.Program{
+		Arch: arch, F: f,
+		Blocks: []*vliw.Block{{
+			IR: b, Len: 5,
+			Ops: []vliw.Op{
+				{Instr: i0, Cycle: 0},
+				{Instr: i1, Cycle: 1}, // violates mul latency
+				{Instr: i2, Cycle: 3},
+				{Instr: ret, Cycle: 4},
+			},
+		}},
+		RegCluster: make([]int, f.NumRegs()),
+	}
+	out := make([]int32, 2)
+	if _, err := Run(prog, ir.NewEnv().Bind("out", out)); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] == 42 {
+		t.Error("stale read returned the completed value; exposed-latency semantics broken")
+	}
+}
+
+func TestRunPhysicalErrorPaths(t *testing.T) {
+	prog := compileKernel(t, simSrc, machine.Baseline, 1)
+	n := int32(4)
+	mkEnv := func() *ir.Env {
+		return ir.NewEnv(n).
+			Bind("x", make([]int32, n)).Bind("y", make([]int32, n)).Bind("out", make([]int32, n))
+	}
+	// Happy path first.
+	if _, err := RunPhysical(prog, mkEnv()); err != nil {
+		t.Fatalf("physical run failed: %v", err)
+	}
+	// Missing assignment.
+	saved := prog.PhysAssign
+	prog.PhysAssign = nil
+	if _, err := RunPhysical(prog, mkEnv()); err == nil {
+		t.Error("nil assignment accepted")
+	}
+	prog.PhysAssign = saved
+	// Unbound parameter array.
+	if _, err := RunPhysical(prog, ir.NewEnv(n)); err == nil {
+		t.Error("unbound parameter accepted")
+	}
+	// Argument count mismatch.
+	if _, err := RunPhysical(prog, ir.NewEnv()); err == nil {
+		t.Error("arg count mismatch accepted")
+	}
+}
+
+func TestRunPhysicalAcrossClusters(t *testing.T) {
+	// Exercise cross-cluster moves through physical register files.
+	prog := compileKernel(t, simSrc, machine.Arch{ALUs: 8, MULs: 2, Regs: 128, L2Ports: 2, L2Lat: 2, Clusters: 4}, 4)
+	n := int32(17)
+	x := make([]int32, n)
+	y := make([]int32, n)
+	for i := range x {
+		x[i] = int32(i)
+		y[i] = int32(1000 - i)
+	}
+	out := make([]int32, n)
+	if _, err := RunPhysical(prog, ir.NewEnv(n).Bind("x", x).Bind("y", y).Bind("out", out)); err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < n; i++ {
+		if want := x[i]*3 + y[i]; out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package tables
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"customfit/internal/dse"
+)
+
+// ScatterSVG renders one benchmark's cost/speedup scatter as a
+// standalone SVG document in the style of the paper's Figures 3/4:
+// logarithmic cost axis, linear speedup axis, hollow points for the
+// population and a line through the best cost/performance frontier.
+func ScatterSVG(res *dse.Results, benchName string, width, height int) string {
+	pts := res.Scatter(benchName)
+	if width <= 0 {
+		width = 440
+	}
+	if height <= 0 {
+		height = 300
+	}
+	const mL, mR, mT, mB = 54, 16, 30, 42
+	plotW := float64(width - mL - mR)
+	plotH := float64(height - mT - mB)
+
+	maxSu, minC, maxC := 0.0, math.Inf(1), 0.0
+	for _, p := range pts {
+		maxSu = math.Max(maxSu, p.Speedup)
+		minC = math.Min(minC, p.Cost)
+		maxC = math.Max(maxC, p.Cost)
+	}
+	if len(pts) == 0 || maxSu <= 0 {
+		return fmt.Sprintf("<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\"><text x=\"10\" y=\"20\">%s: no data</text></svg>\n", width, height, benchName)
+	}
+	maxSu = math.Ceil(maxSu)
+	lx := func(c float64) float64 {
+		f := (math.Log(c) - math.Log(minC)) / (math.Log(maxC) - math.Log(minC))
+		return float64(mL) + f*plotW
+	}
+	ly := func(su float64) float64 {
+		return float64(mT) + (1-su/maxSu)*plotH
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`+"\n", mL, benchName)
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		mL, height-mB, width-mR, height-mB)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		mL, mT, mL, height-mB)
+	// Y ticks at integer speedups (at most ~6 labels).
+	step := math.Max(1, math.Ceil(maxSu/6))
+	for v := 0.0; v <= maxSu+1e-9; v += step {
+		y := ly(v)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n", mL, y, width-mR, y)
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" text-anchor="end">%g</text>`+"\n", mL-6, y+4, v)
+	}
+	// X ticks at powers of two within range.
+	for c := 1.0; c <= maxC*1.01; c *= 2 {
+		if c < minC {
+			continue
+		}
+		x := lx(c)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee"/>`+"\n", x, mT, x, height-mB)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle">%g</text>`+"\n", x, height-mB+16, c)
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">cost (log)</text>`+"\n",
+		mL+int(plotW/2), height-8)
+	fmt.Fprintf(&sb, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">speedup</text>`+"\n",
+		mT+int(plotH/2), mT+int(plotH/2))
+
+	// Frontier polyline (staircase through the best points).
+	var frontier []string
+	for _, p := range pts {
+		if p.Best {
+			frontier = append(frontier, fmt.Sprintf("%.1f,%.1f", lx(p.Cost), ly(p.Speedup)))
+		}
+	}
+	if len(frontier) > 1 {
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="#1565c0" stroke-width="1.5"/>`+"\n",
+			strings.Join(frontier, " "))
+	}
+	// Points.
+	for _, p := range pts {
+		if p.Best {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3.2" fill="#1565c0"><title>%s: %.2fx at %.2f</title></circle>`+"\n",
+				lx(p.Cost), ly(p.Speedup), p.Arch, p.Speedup, p.Cost)
+		} else {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="none" stroke="#777"><title>%s: %.2fx at %.2f</title></circle>`+"\n",
+				lx(p.Cost), ly(p.Speedup), p.Arch, p.Speedup, p.Cost)
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

@@ -1,0 +1,122 @@
+package tables
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"customfit/internal/dse"
+	"customfit/internal/machine"
+)
+
+// fakeResults builds a small synthetic Results so rendering can be
+// tested without running the explorer.
+func fakeResults() *dse.Results {
+	archs := []machine.Arch{
+		machine.Baseline,
+		{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 1, L2Lat: 4, Clusters: 1},
+		{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 1, L2Lat: 4, Clusters: 2},
+		{ALUs: 8, MULs: 4, Regs: 256, L2Ports: 2, L2Lat: 4, Clusters: 2},
+	}
+	r := &dse.Results{Archs: archs}
+	for _, a := range archs {
+		r.Cost = append(r.Cost, machine.DefaultCostModel.Cost(a))
+	}
+	r.Eval = map[string][]dse.Evaluation{}
+	for bi, b := range dse.DisplayBenches {
+		evs := make([]dse.Evaluation, len(archs))
+		for i := range archs {
+			su := 1.0 + float64(i)*0.7 + float64(bi)*0.1
+			if i == 0 {
+				su = 1
+			}
+			evs[i] = dse.Evaluation{Arch: archs[i], Bench: b, Speedup: su, Unroll: 1, Cycles: 1000}
+		}
+		r.Eval[b] = evs
+	}
+	r.Benches = append([]string(nil), dse.DisplayBenches...)
+	return r
+}
+
+func TestTable6And7Render(t *testing.T) {
+	s6 := Table6(machine.DefaultCostModel)
+	if !strings.Contains(s6, "93.4") || !strings.Contains(s6, "worst-case") {
+		t.Errorf("Table6 incomplete:\n%s", s6)
+	}
+	s7 := Table7(machine.DefaultCycleModel)
+	if !strings.Contains(s7, "7.3") {
+		t.Errorf("Table7 incomplete:\n%s", s7)
+	}
+}
+
+func TestSelectionRender(t *testing.T) {
+	r := fakeResults()
+	s := Selection(r, 10, []float64{0, 0.10, math.Inf(1)})
+	for _, want := range []string{"Cost=10.0 Range=0%", "Range=10%", "Range=∞", "Arch Desc", "all("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Selection missing %q:\n%s", want, s)
+		}
+	}
+	// Every display bench appears as a column header.
+	for _, b := range dse.DisplayBenches {
+		if !strings.Contains(s, b) {
+			t.Errorf("missing column %s", b)
+		}
+	}
+}
+
+func TestScatterCSVAndASCII(t *testing.T) {
+	r := fakeResults()
+	csv := ScatterCSV(r, "A")
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) < 3 { // header + >=2 design points
+		t.Errorf("CSV too short:\n%s", csv)
+	}
+	art := ScatterASCII(r, "A", 40, 10)
+	if !strings.Contains(art, "*") {
+		t.Errorf("ASCII scatter has no frontier markers:\n%s", art)
+	}
+	if ScatterASCII(r, "nope", 40, 10) == "" {
+		t.Error("unknown benchmark should still render a message")
+	}
+}
+
+func TestStatsRender(t *testing.T) {
+	s := Stats(dse.Stats{Runs: 5730, Architectures: 191, Benchmarks: 11})
+	if !strings.Contains(s, "5730") || !strings.Contains(s, "191") {
+		t.Errorf("Stats incomplete:\n%s", s)
+	}
+}
+
+func TestFrontierSummary(t *testing.T) {
+	r := fakeResults()
+	s := FrontierSummary(r, []string{"A", "H"}, []float64{5, 15})
+	if !strings.Contains(s, "cost<5") || !strings.Contains(s, "cost<15") {
+		t.Errorf("FrontierSummary incomplete:\n%s", s)
+	}
+}
+
+func TestTable1And2(t *testing.T) {
+	s := Table1And2(
+		[]BenchDesc{{"A", "FIR"}, {"C", "IDCT"}},
+		[]BenchDesc{{"GF", "scale+halftone"}},
+	)
+	for _, want := range []string{"Table 1", "Table 2", "A", "GF", "IDCT"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1And2 missing %q", want)
+		}
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	r := fakeResults()
+	svg := ScatterSVG(r, "A", 0, 0)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "circle", "speedup"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if !strings.Contains(ScatterSVG(r, "nope", 100, 100), "no data") {
+		t.Error("unknown benchmark should render a message")
+	}
+}
