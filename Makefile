@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The telemetry subsystem and the parallel explorer are the two places
+# where data races could hide; run them under the race detector.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/dse/...
+
+# Extended verify: everything the tier-1 gate runs, plus vet and the
+# race pass (see ROADMAP.md).
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -7,6 +7,11 @@
 //	cfp-compile -arch "8 4 256 2 4 2" kernel.ck
 //	cfp-compile -bench A -arch "4 2 256 1 4 4" -unroll 2
 //	cfp-compile -bench F -ir            # dump lowered IR instead
+//
+// Telemetry: -trace FILE writes a Chrome trace of the compilation
+// phases (parse, opt passes, partition, schedule, regalloc, spill),
+// -metrics FILE writes the counter/span dump, -pprof ADDR serves live
+// profiles. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -28,7 +33,16 @@ func main() {
 		dumpIR    = flag.Bool("ir", false, "print the lowered IR and exit")
 		quiet     = flag.Bool("quiet", false, "print statistics only, not the assembly")
 	)
+	tel := cli.AddTelemetryFlags()
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := tel.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "cfp-compile: telemetry:", err)
+		}
+	}()
 
 	src, name, err := loadSource(*benchName, flag.Args())
 	if err != nil {

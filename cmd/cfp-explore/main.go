@@ -7,6 +7,17 @@
 //	cfp-explore -load results.json -table 8 # reprint Table 8 from a saved run
 //	cfp-explore -load results.json -figure 3 -ascii
 //	cfp-explore -table 6                    # cost model only, no exploration
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	cfp-explore -sample 8 -trace trace.json -metrics metrics.json
+//	  -trace FILE    Chrome trace_event JSON of every pipeline span
+//	                 (parse, opt passes, partition, schedule, regalloc,
+//	                 spill, reference sim) — open in chrome://tracing or
+//	                 Perfetto
+//	  -metrics FILE  flat JSON dump: compiles/sec, failures, per-worker
+//	                 busy/queue-wait time, per-phase span totals
+//	  -pprof ADDR    live net/http/pprof endpoint while exploring
 package main
 
 import (
@@ -14,8 +25,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"time"
 
 	"customfit/internal/bench"
+	"customfit/internal/cli"
 	"customfit/internal/dse"
 	"customfit/internal/machine"
 	"customfit/internal/tables"
@@ -38,7 +51,16 @@ func main() {
 		corr       = flag.Bool("correction", false, "run the cluster-correction validation study and exit")
 		repertoire = flag.Bool("repertoire", false, "run the min/max ALU repertoire study and exit")
 	)
+	tel := cli.AddTelemetryFlags()
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := tel.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "cfp-explore: telemetry:", err)
+		}
+	}()
 
 	if *ablation {
 		runAblation(*width)
@@ -113,10 +135,11 @@ func main() {
 			e.Archs = archs
 		}
 		if *progress {
-			e.Progress = func(done, total int) {
-				if done%25 == 0 || done == total {
-					fmt.Fprintf(os.Stderr, "\rexploring: %d/%d evaluations", done, total)
-					if done == total {
+			e.Progress = func(p dse.ProgressInfo) {
+				if p.Done%25 == 0 || p.Done == p.Total {
+					fmt.Fprintf(os.Stderr, "\rexploring: %d/%d evaluations  %.1f/s  ETA %-8v failures %d ",
+						p.Done, p.Total, p.RatePerSec, p.ETA.Round(time.Second), p.Failed)
+					if p.Done == p.Total {
 						fmt.Fprintln(os.Stderr)
 					}
 				}

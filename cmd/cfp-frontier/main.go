@@ -5,6 +5,10 @@
 // Usage:
 //
 //	cfp-frontier -load results.json -caps 5,10,15
+//
+// Telemetry: -trace FILE / -metrics FILE / -pprof ADDR enable the
+// standard observability flags (mostly useful here for -pprof; the
+// load path compiles nothing). See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 
+	"customfit/internal/cli"
 	"customfit/internal/dse"
 	"customfit/internal/tables"
 )
@@ -23,7 +28,17 @@ func main() {
 		load = flag.String("load", "results_full.json", "saved exploration results (cfp-explore -save)")
 		caps = flag.String("caps", "5,10,15,100", "comma-separated cost caps")
 	)
+	tel := cli.AddTelemetryFlags()
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "cfp-frontier:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := tel.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "cfp-frontier: telemetry:", err)
+		}
+	}()
 
 	res, err := dse.Load(*load)
 	if err != nil {

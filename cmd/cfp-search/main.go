@@ -10,6 +10,10 @@
 // Usage:
 //
 //	cfp-search -bench A -cost 10 -sample 4
+//
+// Telemetry: -trace FILE writes a Chrome trace of every candidate
+// compilation, -metrics FILE writes the counter/span dump, -pprof ADDR
+// serves live profiles. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 
 	"customfit/internal/bench"
+	"customfit/internal/cli"
 	"customfit/internal/dse"
 	"customfit/internal/machine"
 	"customfit/internal/search"
@@ -32,7 +37,17 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed for the stochastic strategies")
 		width     = flag.Int("width", 64, "reference workload width")
 	)
+	tel := cli.AddTelemetryFlags()
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "cfp-search:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := tel.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "cfp-search: telemetry:", err)
+		}
+	}()
 
 	b := bench.ByName(*benchName)
 	if b == nil {

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	cfp-sim -bench A -arch "8 4 256 1 4 2" -width 256 -unroll 2
+//
+// Telemetry: -trace FILE writes a Chrome trace of compile+simulate
+// spans, -metrics FILE writes the counter/span dump, -pprof ADDR serves
+// live profiles. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -27,7 +31,16 @@ func main() {
 		width     = flag.Int("width", 256, "workload width in pixels")
 		seed      = flag.Int64("seed", 1, "workload seed")
 	)
+	tel := cli.AddTelemetryFlags()
 	flag.Parse()
+	if err := tel.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := tel.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "cfp-sim: telemetry:", err)
+		}
+	}()
 
 	arch, err := cli.ParseArch(*archStr)
 	if err != nil {
@@ -82,6 +95,8 @@ func runOne(b *bench.Benchmark, arch machine.Arch, unroll, width int, seed int64
 	fmt.Printf("  time          %.0f (cycle derate %.2f)\n", st.Time, machine.DefaultCycleModel.Derate(arch))
 	fmt.Printf("  operations    %d  (IPC %.2f)\n", st.Ops, st.IPC)
 	fmt.Printf("  mem accesses  %d\n", st.MemAccesses)
+	fmt.Printf("  occupancy     ALU %.0f%%  MUL %.0f%%  L1 %.0f%%  L2 %.0f%%  (bound by %s, %d stall cycles)\n",
+		100*st.ALUOcc, 100*st.MULOcc, 100*st.L1Occ, 100*st.L2Occ, st.Bound, st.StallCycles)
 	fmt.Printf("  spilled regs  %d\n", c.Spilled)
 	fmt.Printf("  arch cost     %.2f\n", machine.DefaultCostModel.Cost(arch))
 	if errors == 0 {

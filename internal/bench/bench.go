@@ -14,6 +14,7 @@ import (
 
 	"customfit/internal/cc"
 	"customfit/internal/ir"
+	"customfit/internal/obs"
 )
 
 // Benchmark is one kernel of the suite.
@@ -68,7 +69,12 @@ func (c *Case) Env() *ir.Env {
 
 // Compile parses and lowers the benchmark's kernel to IR.
 func (b *Benchmark) Compile() (*ir.Func, error) {
-	fn, err := cc.CompileKernel(b.Source)
+	return b.CompileSpan(nil)
+}
+
+// CompileSpan is Compile with frontend telemetry spans under sp.
+func (b *Benchmark) CompileSpan(sp *obs.Span) (*ir.Func, error) {
+	fn, err := cc.CompileKernelSpan(sp, b.Source)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: %w", b.Name, err)
 	}

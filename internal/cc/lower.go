@@ -5,24 +5,45 @@ import (
 	"math/bits"
 
 	"customfit/internal/ir"
+	"customfit/internal/obs"
 )
 
 // Compile parses, checks and lowers CKC source, returning one ir.Func
 // per kernel.
 func Compile(src string) ([]*ir.Func, error) {
+	return CompileSpan(nil, src)
+}
+
+// CompileSpan is Compile with its frontend phases (parse, check, lower)
+// recorded as telemetry spans under sp (or as root spans when sp is
+// nil and a collector is installed).
+func CompileSpan(sp *obs.Span, src string) ([]*ir.Func, error) {
+	psp := obs.Under(sp, "parse").Int("source_bytes", int64(len(src)))
 	file, err := Parse(src)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
-	if err := Check(file); err != nil {
+	ksp := obs.Under(sp, "check")
+	err = Check(file)
+	ksp.End()
+	if err != nil {
 		return nil, err
 	}
-	return LowerFile(file)
+	lsp := obs.Under(sp, "lower")
+	fns, err := LowerFile(file)
+	lsp.Int("kernels", int64(len(fns))).End()
+	return fns, err
 }
 
 // CompileKernel is Compile for sources containing a single kernel.
 func CompileKernel(src string) (*ir.Func, error) {
-	fns, err := Compile(src)
+	return CompileKernelSpan(nil, src)
+}
+
+// CompileKernelSpan is CompileKernel with telemetry spans under sp.
+func CompileKernelSpan(sp *obs.Span, src string) (*ir.Func, error) {
+	fns, err := CompileSpan(sp, src)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,18 @@
 // Package cli holds small helpers shared by the cfp-* command-line
-// tools.
+// tools: architecture-tuple parsing and the standard telemetry flags
+// (-trace, -metrics, -pprof) that wire internal/obs into every tool.
 package cli
 
 import (
+	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
 
 	"customfit/internal/machine"
+	"customfit/internal/obs"
 )
 
 // ParseArch parses the paper's positional architecture tuple
@@ -21,4 +28,75 @@ func ParseArch(s string) (machine.Arch, error) {
 		return a, err
 	}
 	return a, nil
+}
+
+// Telemetry carries the standard observability flag values and the
+// collector they enable. Collection stays off (the obs nil-sink fast
+// path) unless -trace or -metrics is given.
+type Telemetry struct {
+	TracePath   string
+	MetricsPath string
+	PprofAddr   string
+
+	collector *obs.Collector
+}
+
+// AddTelemetryFlags registers -trace, -metrics and -pprof on the
+// default flag set. Call before flag.Parse; call Start after it and
+// Stop before exiting.
+func AddTelemetryFlags() *Telemetry {
+	return AddTelemetryFlagsTo(flag.CommandLine)
+}
+
+// AddTelemetryFlagsTo registers the telemetry flags on fs.
+func AddTelemetryFlagsTo(fs *flag.FlagSet) *Telemetry {
+	t := &Telemetry{}
+	fs.StringVar(&t.TracePath, "trace", "",
+		"write pipeline spans to FILE as Chrome trace_event JSON (open in chrome://tracing or https://ui.perfetto.dev)")
+	fs.StringVar(&t.MetricsPath, "metrics", "",
+		"write a JSON metrics dump (counters, gauges, histograms, per-phase span totals) to FILE on exit")
+	fs.StringVar(&t.PprofAddr, "pprof", "",
+		"serve Go net/http/pprof on ADDR (e.g. localhost:6060) for live CPU/heap profiling")
+	return t
+}
+
+// Start installs a collector if -trace or -metrics was given and starts
+// the pprof listener if -pprof was given.
+func (t *Telemetry) Start() error {
+	if t.TracePath != "" || t.MetricsPath != "" {
+		t.collector = obs.NewCollector()
+		obs.Install(t.collector)
+	}
+	if t.PprofAddr != "" {
+		ln, err := net.Listen("tcp", t.PprofAddr)
+		if err != nil {
+			return fmt.Errorf("cli: pprof listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof serving on http://%s/debug/pprof/\n", ln.Addr())
+		go func() {
+			// DefaultServeMux carries the pprof handlers (blank import).
+			_ = http.Serve(ln, nil)
+		}()
+	}
+	return nil
+}
+
+// Stop flushes the trace and metrics files (when requested) and
+// uninstalls the collector.
+func (t *Telemetry) Stop() error {
+	if t.collector == nil {
+		return nil
+	}
+	obs.Install(nil)
+	if t.TracePath != "" {
+		if err := t.collector.WriteTraceFile(t.TracePath); err != nil {
+			return err
+		}
+	}
+	if t.MetricsPath != "" {
+		if err := t.collector.WriteMetricsFile(t.MetricsPath); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"customfit/internal/dse"
 	"customfit/internal/ir"
 	"customfit/internal/machine"
+	"customfit/internal/obs"
 	"customfit/internal/opt"
 	"customfit/internal/sched"
 	"customfit/internal/sim"
@@ -27,7 +28,9 @@ type Kernel struct {
 
 // ParseKernel compiles CKC source containing exactly one kernel.
 func ParseKernel(src string) (*Kernel, error) {
-	fn, err := cc.CompileKernel(src)
+	sp := obs.StartSpan("frontend")
+	fn, err := cc.CompileKernelSpan(sp, src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -53,15 +56,23 @@ func (k *Kernel) Compile(arch machine.Arch, unroll int) (*Compiled, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
-	prepared, err := opt.Prepare(k.fn, unroll)
+	sp := obs.StartSpan("compile")
+	if sp != nil {
+		sp.Str("kernel", k.Name).Str("arch", arch.String()).Int("unroll", int64(unroll))
+	}
+	defer sp.End()
+	prepared, err := opt.PrepareSpan(sp, k.fn, unroll)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sched.Compile(prepared, arch)
+	res, err := sched.CompileSpan(sp, prepared, arch)
 	if err != nil {
 		return nil, err
 	}
-	if err := sched.Validate(res.Prog); err != nil {
+	vsp := sp.Child("sched.validate")
+	err = sched.Validate(res.Prog)
+	vsp.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: internal scheduling error: %w", err)
 	}
 	return &Compiled{
@@ -86,6 +97,34 @@ type RunStats struct {
 	// Time is Cycles scaled by the architecture's cycle-time derating —
 	// the paper's performance metric.
 	Time float64
+	// Dynamic, cycle-weighted resource occupancy (see sim.Stats):
+	// fractions of available ALU/MUL slot-cycles and L1/L2 port-cycles
+	// actually used, plus the resource that bounded the run.
+	ALUOcc, MULOcc, L1Occ, L2Occ float64
+	StallCycles                  int64
+	Bound                        string
+}
+
+// newRunStats converts simulator statistics to the facade's form.
+func newRunStats(st *sim.Stats, arch machine.Arch) *RunStats {
+	ipc := 0.0
+	if st.Cycles > 0 {
+		ipc = float64(st.Ops) / float64(st.Cycles)
+	}
+	return &RunStats{
+		Cycles:      st.Cycles,
+		Ops:         st.Ops,
+		Bundles:     st.Bundles,
+		MemAccesses: st.MemAccesses,
+		IPC:         ipc,
+		Time:        float64(st.Cycles) * machine.DefaultCycleModel.Derate(arch),
+		ALUOcc:      st.ALUOcc,
+		MULOcc:      st.MULOcc,
+		L1Occ:       st.L1Occ,
+		L2Occ:       st.L2Occ,
+		StallCycles: st.StallCycles,
+		Bound:       st.Bound,
+	}
 }
 
 // Run executes the compiled kernel on the cycle-accurate simulator.
@@ -100,18 +139,7 @@ func (c *Compiled) Run(args []int32, mem map[string][]int32) (*RunStats, error) 
 	if err != nil {
 		return nil, err
 	}
-	ipc := 0.0
-	if st.Cycles > 0 {
-		ipc = float64(st.Ops) / float64(st.Cycles)
-	}
-	return &RunStats{
-		Cycles:      st.Cycles,
-		Ops:         st.Ops,
-		Bundles:     st.Bundles,
-		MemAccesses: st.MemAccesses,
-		IPC:         ipc,
-		Time:        float64(st.Cycles) * machine.DefaultCycleModel.Derate(c.Arch),
-	}, nil
+	return newRunStats(st, c.Arch), nil
 }
 
 // RunPhysical is Run through the register allocator's physical
@@ -127,18 +155,7 @@ func (c *Compiled) RunPhysical(args []int32, mem map[string][]int32) (*RunStats,
 	if err != nil {
 		return nil, err
 	}
-	ipc := 0.0
-	if st.Cycles > 0 {
-		ipc = float64(st.Ops) / float64(st.Cycles)
-	}
-	return &RunStats{
-		Cycles:      st.Cycles,
-		Ops:         st.Ops,
-		Bundles:     st.Bundles,
-		MemAccesses: st.MemAccesses,
-		IPC:         ipc,
-		Time:        float64(st.Cycles) * machine.DefaultCycleModel.Derate(c.Arch),
-	}, nil
+	return newRunStats(st, c.Arch), nil
 }
 
 // Interpret runs the kernel's (unscheduled) IR directly — the semantic

@@ -10,10 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"customfit/internal/bench"
 	"customfit/internal/ir"
 	"customfit/internal/machine"
+	"customfit/internal/obs"
 	"customfit/internal/opt"
 	"customfit/internal/sched"
 )
@@ -58,6 +61,18 @@ type Evaluator struct {
 	fns   map[string]*ir.Func          // bench -> lowered IR
 	// Compilations counts backend runs (the paper's Table 3 "# runs").
 	Compilations int64
+
+	// Cumulative phase time (nanoseconds), attributing wall time to
+	// compile (backend runs) vs simulate (reference interpreter runs).
+	// Summed across workers, so totals can exceed wall time.
+	compileNS  atomic.Int64
+	simulateNS atomic.Int64
+}
+
+// PhaseTimes reports cumulative time spent compiling and simulating
+// (reference runs) across all evaluations so far.
+func (e *Evaluator) PhaseTimes() (compile, simulate time.Duration) {
+	return time.Duration(e.compileNS.Load()), time.Duration(e.simulateNS.Load())
 }
 
 // NewEvaluator returns an evaluator with the standard reference
@@ -72,8 +87,10 @@ func NewEvaluator() *Evaluator {
 	}
 }
 
-// prepare returns (cached) prepared IR and visit counts for b at unroll u.
-func (e *Evaluator) prepare(b *bench.Benchmark, u int) *prepared {
+// prepare returns (cached) prepared IR and visit counts for b at unroll
+// u, recording frontend/opt/reference-run telemetry under sp on a cache
+// miss.
+func (e *Evaluator) prepare(sp *obs.Span, b *bench.Benchmark, u int) *prepared {
 	e.mu.Lock()
 	byU, ok := e.cache[b.Name]
 	if !ok {
@@ -89,7 +106,7 @@ func (e *Evaluator) prepare(b *bench.Benchmark, u int) *prepared {
 
 	if fn == nil {
 		var err error
-		fn, err = b.Compile()
+		fn, err = b.CompileSpan(sp)
 		if err != nil {
 			p := &prepared{err: err}
 			e.mu.Lock()
@@ -103,12 +120,16 @@ func (e *Evaluator) prepare(b *bench.Benchmark, u int) *prepared {
 	}
 
 	p := &prepared{}
-	g, err := opt.Prepare(fn, u)
+	g, err := opt.PrepareSpan(sp, fn, u)
 	if err != nil {
 		p.err = err
 	} else {
 		p.fn = g
+		vsp := obs.Under(sp, "sim.reference").Str("bench", b.Name).Int("unroll", int64(u))
+		t0 := time.Now()
 		p.visits, p.err = e.countVisits(b, g)
+		e.simulateNS.Add(int64(time.Since(t0)))
+		vsp.End()
 	}
 	e.mu.Lock()
 	byU[u] = p
@@ -131,21 +152,31 @@ func (e *Evaluator) countVisits(b *bench.Benchmark, g *ir.Func) (map[string]int6
 // Evaluate compiles benchmark b for arch, sweeping unroll factors until
 // the compiler spills, and returns the best-performing compilation.
 func (e *Evaluator) Evaluate(b *bench.Benchmark, arch machine.Arch) Evaluation {
+	esp := obs.StartSpan("evaluate")
+	if esp != nil {
+		esp.Str("bench", b.Name).Str("arch", arch.String())
+		defer esp.End()
+	}
 	ev := Evaluation{Arch: arch, Bench: b.Name, Failed: true}
 	derate := e.Cycle.Derate(arch)
 	for _, u := range UnrollFactors {
-		p := e.prepare(b, u)
+		p := e.prepare(esp, b, u)
 		if p.err != nil {
 			break // unrollable limit reached (op budget etc.)
 		}
-		res, err := sched.Compile(p.fn, arch)
+		t0 := time.Now()
+		res, err := sched.CompileSpan(esp, p.fn, arch)
+		e.compileNS.Add(int64(time.Since(t0)))
 		e.mu.Lock()
 		e.Compilations++
 		e.mu.Unlock()
+		obs.GetCounter("dse.compiles").Inc()
 		if err != nil {
 			if errors.Is(err, sched.ErrNoFit) {
+				obs.GetCounter("dse.compile_nofit").Inc()
 				break // paper rule: stop at this unroll and all larger
 			}
+			obs.GetCounter("dse.compile_errors").Inc()
 			break
 		}
 		cycles := res.Prog.StaticCycles(p.visits)
@@ -160,6 +191,12 @@ func (e *Evaluator) Evaluate(b *bench.Benchmark, arch machine.Arch) Evaluation {
 		if res.Spilled > 0 {
 			break // spilled: stop considering larger unroll factors
 		}
+	}
+	if esp != nil {
+		esp.Int("unroll", int64(ev.Unroll)).Int("cycles", ev.Cycles)
+	}
+	if ev.Failed {
+		obs.GetCounter("dse.eval_failures").Inc()
 	}
 	return ev
 }

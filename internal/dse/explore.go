@@ -5,11 +5,27 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"customfit/internal/bench"
 	"customfit/internal/machine"
+	"customfit/internal/obs"
 )
+
+// ProgressInfo snapshots an in-flight exploration for progress
+// reporting.
+type ProgressInfo struct {
+	Done, Total int
+	// Failed counts evaluations where no unroll factor compiled.
+	Failed int64
+	// Elapsed is wall time since the exploration started.
+	Elapsed time.Duration
+	// RatePerSec is evaluations completed per second of wall time.
+	RatePerSec float64
+	// ETA estimates remaining wall time at the current rate.
+	ETA time.Duration
+}
 
 // Explorer runs the full experiment: every concrete machine in the
 // design space (design points × cluster arrangements) against every
@@ -21,7 +37,9 @@ type Explorer struct {
 	Archs      []machine.Arch // default: machine.FullSpace()
 	Workers    int            // default: GOMAXPROCS
 	Width      int            // reference workload width (default 96)
-	Progress   func(done, total int)
+	// Progress, if set, is called after every completed evaluation
+	// (serialized; keep it cheap).
+	Progress func(ProgressInfo)
 }
 
 // NewExplorer returns an explorer over the full space and benchmark
@@ -36,6 +54,18 @@ func NewExplorer() *Explorer {
 	}
 }
 
+// PhaseTimes breaks exploration wall time down by pipeline phase.
+// Times are cumulative across workers, so their sum can exceed the
+// single wall-clock duration on multi-worker runs.
+type PhaseTimes struct {
+	// Compile is time in the backend (partition/schedule/allocate/spill).
+	Compile time.Duration
+	// Simulate is time in reference-workload interpreter runs.
+	Simulate time.Duration
+	// CostModel is time computing datapath costs for the space.
+	CostModel time.Duration
+}
+
 // Stats summarizes an exploration run (the paper's Table 3).
 type Stats struct {
 	Runs          int64 // benchmark compilations
@@ -45,6 +75,13 @@ type Stats struct {
 	WallTime      time.Duration
 	PerArch       time.Duration // wall time / architectures
 	PerRun        time.Duration // wall time / runs
+	// Failures counts evaluations where no unroll factor compiled.
+	// Zero-valued in files saved before this field existed.
+	Failures int64
+	// Phases attributes cumulative time to compile vs simulate vs
+	// cost-model work. Zero-valued in files saved before this field
+	// existed.
+	Phases PhaseTimes
 }
 
 // Results holds every measurement from one exploration.
@@ -85,16 +122,18 @@ func (e *Explorer) Run() (*Results, error) {
 		res.Benches = append(res.Benches, b.Name)
 		res.Eval[b.Name] = make([]Evaluation, len(archs))
 	}
+	start := time.Now()
 	res.Cost = make([]float64, len(archs))
 	for i, a := range archs {
 		res.Cost[i] = e.Cost.Cost(a)
 	}
+	costTime := time.Since(start)
 
 	// Warm the per-benchmark caches serially (one prepare per unroll)
 	// so workers do not duplicate the work under the cache lock.
 	for _, b := range e.Benchmarks {
 		for _, u := range UnrollFactors {
-			ev.prepare(b, u)
+			ev.prepare(nil, b, u)
 		}
 	}
 
@@ -104,23 +143,51 @@ func (e *Explorer) Run() (*Results, error) {
 	jobs := make(chan job, workers*2)
 	var wg sync.WaitGroup
 	var done int64
+	var failed atomic.Int64
 	var doneMu sync.Mutex
 	total := len(e.Benchmarks) * len(archs)
-	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
+			var busy, wait time.Duration
+			for {
+				t0 := time.Now()
+				j, ok := <-jobs
+				wait += time.Since(t0)
+				if !ok {
+					break
+				}
 				b := e.Benchmarks[j.bi]
-				res.Eval[b.Name][j.ai] = ev.Evaluate(b, archs[j.ai])
+				t1 := time.Now()
+				evl := ev.Evaluate(b, archs[j.ai])
+				busy += time.Since(t1)
+				res.Eval[b.Name][j.ai] = evl
+				if evl.Failed {
+					failed.Add(1)
+				}
 				if e.Progress != nil {
 					doneMu.Lock()
 					done++
-					e.Progress(int(done), total)
+					elapsed := time.Since(start)
+					p := ProgressInfo{
+						Done:    int(done),
+						Total:   total,
+						Failed:  failed.Load(),
+						Elapsed: elapsed,
+					}
+					if elapsed > 0 {
+						p.RatePerSec = float64(done) / elapsed.Seconds()
+					}
+					if p.RatePerSec > 0 {
+						p.ETA = time.Duration(float64(total-int(done)) / p.RatePerSec * float64(time.Second))
+					}
+					e.Progress(p)
 					doneMu.Unlock()
 				}
 			}
+			obs.GetHistogram("dse.worker_busy_seconds").Observe(busy.Seconds())
+			obs.GetHistogram("dse.worker_queue_wait_seconds").Observe(wait.Seconds())
 		}()
 	}
 	for bi := range e.Benchmarks {
@@ -160,18 +227,30 @@ func (e *Explorer) Run() (*Results, error) {
 	}
 
 	wall := time.Since(start)
+	compileTime, simTime := ev.PhaseTimes()
 	res.Stats = Stats{
 		Runs:          ev.Compilations,
 		Architectures: len(archs),
 		DesignPoints:  len(machine.DesignSpace()),
 		Benchmarks:    len(e.Benchmarks),
 		WallTime:      wall,
+		Failures:      failed.Load(),
+		Phases: PhaseTimes{
+			Compile:   compileTime,
+			Simulate:  simTime,
+			CostModel: costTime,
+		},
 	}
 	if len(archs) > 0 {
 		res.Stats.PerArch = wall / time.Duration(len(archs))
 	}
 	if ev.Compilations > 0 {
 		res.Stats.PerRun = wall / time.Duration(ev.Compilations)
+	}
+	if obs.Enabled() && wall > 0 {
+		obs.SetGauge("dse.compiles_per_sec", float64(ev.Compilations)/wall.Seconds())
+		obs.SetGauge("dse.evals_per_sec", float64(total)/wall.Seconds())
+		obs.GetCounter("dse.evaluations").Add(int64(total))
 	}
 	return res, nil
 }

@@ -9,7 +9,10 @@ import (
 )
 
 // resultsJSON is the serialized form of Results (Stats durations encode
-// as nanoseconds via time.Duration's integer representation).
+// as nanoseconds via time.Duration's integer representation). The
+// schema only grows: files saved before Stats gained Failures and the
+// per-phase time breakdown (Phases) still load, with those fields
+// zero-valued.
 type resultsJSON struct {
 	Archs   []archJSON              `json:"archs"`
 	Benches []string                `json:"benches"`

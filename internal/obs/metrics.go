@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+)
+
+// histJSON is the exported summary of one histogram.
+type histJSON struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// spanJSON aggregates all completed spans sharing one name — the
+// per-phase totals of the metrics dump.
+type spanJSON struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// metricsJSON is the flat metrics dump: everything a headless run needs
+// to answer "where did the time go" without opening the trace.
+type metricsJSON struct {
+	ElapsedSeconds float64             `json:"elapsed_seconds"`
+	Counters       map[string]int64    `json:"counters"`
+	Gauges         map[string]float64  `json:"gauges"`
+	Histograms     map[string]histJSON `json:"histograms"`
+	Spans          map[string]spanJSON `json:"spans"`
+}
+
+// WriteMetrics emits counters, gauges, histogram summaries and
+// per-span-name totals as indented JSON.
+func (c *Collector) WriteMetrics(w io.Writer) error {
+	out := metricsJSON{
+		ElapsedSeconds: c.now().Seconds(),
+		Counters:       map[string]int64{},
+		Gauges:         map[string]float64{},
+		Histograms:     map[string]histJSON{},
+		Spans:          map[string]spanJSON{},
+	}
+	c.cmu.Lock()
+	for name, ct := range c.counters {
+		out.Counters[name] = ct.Value()
+	}
+	c.cmu.Unlock()
+	c.gmu.Lock()
+	for name, v := range c.gauges {
+		out.Gauges[name] = v
+	}
+	c.gmu.Unlock()
+	c.hmu.Lock()
+	for name, h := range c.hists {
+		count, sum, min, max := h.Summary()
+		hj := histJSON{Count: count, Sum: sum, Min: min, Max: max}
+		if count > 0 {
+			hj.Mean = sum / float64(count)
+		}
+		out.Histograms[name] = hj
+	}
+	c.hmu.Unlock()
+	for _, e := range c.Events() {
+		sj := out.Spans[e.Name]
+		sj.Count++
+		sj.TotalMS += float64(e.Dur.Nanoseconds()) / 1e6
+		out.Spans[e.Name] = sj
+	}
+	for name, sj := range out.Spans {
+		sj.MeanMS = sj.TotalMS / float64(sj.Count)
+		out.Spans[name] = sj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteMetricsFile writes the metrics dump to path.
+func (c *Collector) WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteMetrics(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

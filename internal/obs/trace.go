@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// traceEvent is the Chrome trace_event wire format for one complete
+// ("ph":"X") event, loadable in chrome://tracing and Perfetto.
+// Timestamps and durations are microseconds since collector start.
+type traceEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur"`
+	PID  int                    `json:"pid"`
+	TID  int64                  `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// traceFile is the JSON Object Format variant of the trace format (an
+// object with a traceEvents array), which both viewers accept.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace emits every recorded span as Chrome trace_event JSON.
+// Events are ordered by (track, start, longest-first) so nested spans
+// serialize parents before children deterministically.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	evs := c.Events()
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].TID != evs[j].TID {
+			return evs[i].TID < evs[j].TID
+		}
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].Dur > evs[j].Dur
+	})
+	out := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	for _, e := range evs {
+		te := traceEvent{
+			Name: e.Name,
+			Ph:   "X",
+			TS:   float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  e.TID,
+		}
+		if len(e.Attrs) > 0 {
+			te.Args = make(map[string]interface{}, len(e.Attrs))
+			for _, a := range e.Attrs {
+				te.Args[a.Key] = a.Value()
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, te)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteTraceFile writes the Chrome trace to path.
+func (c *Collector) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

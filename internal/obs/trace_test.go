@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCollector records a fixed little pipeline trace under a
+// deterministic clock (each now() call advances exactly 1ms).
+func goldenCollector() *Collector {
+	c := NewCollector()
+	fakeClock(c, time.Millisecond)
+	Install(c)
+	defer Install(nil)
+
+	root := StartSpan("compile").Str("kernel", "A").Str("arch", "4 2 256 1 4 2")
+	opt := root.Child("opt")
+	clean := opt.Child("opt.clean").Int("instrs_before", 12).Int("instrs_after", 9)
+	clean.End()
+	opt.End()
+	sim := StartSpan("sim").Int("cycles", 640)
+	sim.End()
+	root.End()
+	return c
+}
+
+// TestTraceGolden pins the exact Chrome trace_event JSON we emit, so an
+// accidental format change (field rename, ordering, indentation) shows
+// up as a readable diff. Regenerate with: go test ./internal/obs -update
+func TestTraceGolden(t *testing.T) {
+	c := goldenCollector()
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace JSON drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceShape checks the structural invariants any trace viewer
+// relies on, independent of the exact golden bytes.
+func TestTraceShape(t *testing.T) {
+	c := goldenCollector()
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			TS   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			PID  int                    `json:"pid"`
+			TID  int64                  `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want \"ms\"", out.DisplayTimeUnit)
+	}
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4", len(out.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, e := range out.TraceEvents {
+		byName[e.Name] = i
+		if e.Ph != "X" {
+			t.Errorf("%s: ph = %q, want \"X\" (complete event)", e.Name, e.Ph)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			t.Errorf("%s: negative ts/dur: %v/%v", e.Name, e.TS, e.Dur)
+		}
+		if e.PID != 1 {
+			t.Errorf("%s: pid = %d, want 1", e.Name, e.PID)
+		}
+	}
+	// Within a track, events are sorted by start time with parents
+	// (longer spans) before their children, so viewers nest correctly.
+	comp := out.TraceEvents[byName["compile"]]
+	clean := out.TraceEvents[byName["opt.clean"]]
+	if byName["compile"] > byName["opt"] || byName["opt"] > byName["opt.clean"] {
+		t.Error("parent spans must serialize before their children")
+	}
+	if clean.TS < comp.TS || clean.TS+clean.Dur > comp.TS+comp.Dur {
+		t.Error("child span not contained in parent on the trace timeline")
+	}
+	// Attributes come through as args with native JSON types.
+	if comp.Args["kernel"] != "A" {
+		t.Errorf("compile args = %v, want kernel:A", comp.Args)
+	}
+	if v, ok := clean.Args["instrs_after"].(float64); !ok || v != 9 {
+		t.Errorf("opt.clean args = %v, want instrs_after:9", clean.Args)
+	}
+}

@@ -1,6 +1,9 @@
 package opt
 
-import "customfit/internal/ir"
+import (
+	"customfit/internal/ir"
+	"customfit/internal/obs"
+)
 
 // Ablation switches. Production defaults are all false; the ablation
 // experiments (see EXPERIMENTS.md and bench_test.go) flip them to
@@ -16,6 +19,28 @@ var (
 	AblateIfConversion bool
 )
 
+// irSize measures a function for span attributes: basic blocks and
+// instructions.
+func irSize(f *ir.Func) (blocks, instrs int64) {
+	return int64(len(f.Blocks)), int64(f.NumInstrs())
+}
+
+// tracedPass runs one pass under a span carrying the IR-size delta
+// (blocks/instrs before→after), so pass cost and pass benefit are both
+// visible in a trace. With no collector installed this is a plain call.
+func tracedPass(parent *obs.Span, name string, f *ir.Func, pass func(*ir.Func)) {
+	if parent == nil {
+		pass(f)
+		return
+	}
+	sp := parent.Child(name)
+	b0, i0 := irSize(f)
+	pass(f)
+	b1, i1 := irSize(f)
+	sp.Int("blocks_before", b0).Int("blocks_after", b1).
+		Int("instrs_before", i0).Int("instrs_after", i1).End()
+}
+
 // Optimize runs the architecture-independent pass pipeline:
 //
 //  1. Clean       — renaming, folding, CSE, strength reduction, DCE
@@ -28,17 +53,26 @@ var (
 // The result is the canonical pre-scheduling form: a single-block pixel
 // loop when the kernel's control flow allows it.
 func Optimize(f *ir.Func) error {
-	Clean(f)
-	Scalarize(f)
+	return OptimizeSpan(nil, f)
+}
+
+// OptimizeSpan is Optimize with per-pass telemetry spans nested under
+// sp (or under a fresh root span when sp is nil and a collector is
+// installed).
+func OptimizeSpan(sp *obs.Span, f *ir.Func) error {
+	osp := obs.Under(sp, "opt")
+	defer osp.End()
+	tracedPass(osp, "opt.clean", f, Clean)
+	tracedPass(osp, "opt.scalarize", f, Scalarize)
 	if !AblateIfConversion {
-		IfConvert(f)
+		tracedPass(osp, "opt.ifconvert", f, IfConvert)
 	}
 	if !AblateLICM {
-		LICM(f)
+		tracedPass(osp, "opt.licm", f, LICM)
 	}
-	Clean(f)
+	tracedPass(osp, "opt.clean", f, Clean)
 	if !AblateReassociation {
-		Reassociate(f)
+		tracedPass(osp, "opt.reassoc", f, Reassociate)
 	}
 	f.RemoveUnreachable()
 	return f.Verify()
@@ -48,12 +82,23 @@ func Optimize(f *ir.Func) error {
 // the per-(architecture, unroll-factor) compilation entry point used by
 // the explorer. The original function is never mutated.
 func Prepare(f *ir.Func, u int) (*ir.Func, error) {
+	return PrepareSpan(nil, f, u)
+}
+
+// PrepareSpan is Prepare with telemetry spans under sp.
+func PrepareSpan(sp *obs.Span, f *ir.Func, u int) (*ir.Func, error) {
 	g := f.Clone()
-	if err := Optimize(g); err != nil {
+	if err := OptimizeSpan(sp, g); err != nil {
 		return nil, err
 	}
 	if u > 1 && g.Loop != nil {
-		if err := Unroll(g, u); err != nil {
+		usp := obs.Under(sp, "opt.unroll").Int("factor", int64(u))
+		b0, i0 := irSize(g)
+		err := Unroll(g, u)
+		b1, i1 := irSize(g)
+		usp.Int("blocks_before", b0).Int("blocks_after", b1).
+			Int("instrs_before", i0).Int("instrs_after", i1).End()
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"customfit/internal/ir"
+	"customfit/internal/obs"
 	"customfit/internal/opt"
 	"customfit/internal/vliw"
 )
@@ -70,6 +71,32 @@ type Result struct {
 // Allocate computes exact liveness, pressure and physical registers for
 // a scheduled program.
 func Allocate(prog *vliw.Program) *Result {
+	return AllocateSpan(nil, prog)
+}
+
+// AllocateSpan is Allocate recorded as a telemetry span under sp,
+// carrying the allocation verdict (capacity, peak pressure, fit).
+func AllocateSpan(sp *obs.Span, prog *vliw.Program) *Result {
+	asp := obs.Under(sp, "regalloc")
+	res := allocate(prog)
+	if asp != nil {
+		maxLive := 0
+		for _, m := range res.MaxLive {
+			if m > maxLive {
+				maxLive = m
+			}
+		}
+		fits := int64(0)
+		if res.Fits {
+			fits = 1
+		}
+		asp.Int("capacity", int64(res.Capacity)).Int("max_live", int64(maxLive)).
+			Int("fits", fits).Int("victims", int64(len(res.Victims))).End()
+	}
+	return res
+}
+
+func allocate(prog *vliw.Program) *Result {
 	f := prog.F
 	nregs := f.NumRegs()
 	nclusters := prog.Arch.Clusters

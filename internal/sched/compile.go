@@ -7,6 +7,7 @@ import (
 
 	"customfit/internal/ir"
 	"customfit/internal/machine"
+	"customfit/internal/obs"
 	"customfit/internal/regalloc"
 	"customfit/internal/vliw"
 )
@@ -40,9 +41,20 @@ type Result struct {
 // spill iteration until the program fits the target's register files.
 // The input function is not mutated.
 func Compile(prepared *ir.Func, arch machine.Arch) (*Result, error) {
+	return CompileSpan(nil, prepared, arch)
+}
+
+// CompileSpan is Compile with each backend stage (partition, schedule,
+// regalloc, spill) recorded as telemetry spans nested under sp.
+func CompileSpan(sp *obs.Span, prepared *ir.Func, arch machine.Arch) (*Result, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
+	csp := obs.Under(sp, "sched")
+	if csp != nil {
+		csp.Str("kernel", prepared.Name).Str("arch", arch.String())
+	}
+	defer csp.End()
 	work := prepared.Clone()
 	if arch.MinMax {
 		FuseMinMax(work)
@@ -52,16 +64,21 @@ func Compile(prepared *ir.Func, arch machine.Arch) (*Result, error) {
 	cap := arch.RegsPC() - 2
 	for iter := 1; iter <= MaxSpillIterations; iter++ {
 		g := work.Clone()
+		psp := csp.Child("sched.partition").Int("iter", int64(iter))
 		pl := Partition(g, arch)
+		psp.End()
 		// After two failed greedy rounds, fall back to program-order
 		// priority: a valid execution order whose pressure tracks the
 		// source's depth-first evaluation, trading ILP for fit.
 		inOrder := iter >= 3
+		ssp := csp.Child("sched.schedule").Int("iter", int64(iter))
 		prog, err := ScheduleMode(g, arch, pl, cap, inOrder)
 		if err != nil {
+			ssp.End()
 			return nil, err
 		}
-		ra := regalloc.Allocate(prog)
+		ssp.Int("bundles", int64(prog.BundleCount())).Int("ops", int64(prog.OpCount())).End()
+		ra := regalloc.AllocateSpan(csp, prog)
 		if DebugCompileLog != nil {
 			DebugCompileLog("iter %d inorder=%v cap=%d maxlive=%v fits=%v bundles=%d", iter, inOrder, cap, ra.MaxLive, ra.Fits, prog.BundleCount())
 		}
@@ -69,8 +86,10 @@ func Compile(prepared *ir.Func, arch machine.Arch) (*Result, error) {
 			prog.Spills = spilled
 			prog.MaxLive = ra.MaxLive
 			prog.PhysAssign = ra.Assign
+			csp.Int("iterations", int64(iter)).Int("spilled", int64(spilled))
 			return &Result{Prog: prog, Spilled: spilled, Iterations: iter}, nil
 		}
+		spsp := csp.Child("sched.spill").Int("iter", int64(iter))
 		// Spill candidates must exist in the pre-partition IR (ids
 		// below work's register count; partitioning appends copies).
 		// Prefer the registers the scheduler blamed for its pressure
@@ -123,10 +142,12 @@ func Compile(prepared *ir.Func, arch machine.Arch) (*Result, error) {
 			}
 		}
 		if len(victims) == 0 {
+			spsp.End()
 			return nil, fmt.Errorf("sched %s on %s: pressure %v exceeds %d regs/cluster with no spillable candidates",
 				prepared.Name, arch, ra.MaxLive, ra.Capacity)
 		}
 		n := SpillRewrite(work, victims)
+		spsp.Int("victims", int64(len(victims))).Int("rewritten", int64(n)).End()
 		if n == 0 {
 			return nil, fmt.Errorf("sched %s on %s: spill made no progress (pressure %v)",
 				prepared.Name, arch, ra.MaxLive)

@@ -101,6 +101,7 @@ func RunPhysical(prog *vliw.Program, env *ir.Env) (*Stats, error) {
 	}
 
 	st := &Stats{BlockVisits: map[string]int64{}}
+	var occ occTally
 	var now int64
 	blk := f.Entry()
 	maxCycles := int64(env.MaxSteps)
@@ -133,6 +134,7 @@ func RunPhysical(prog *vliw.Program, env *ir.Env) (*Stats, error) {
 				op   vliw.Op
 				vals []int32
 			}
+			occ.note(byCycle[t], prog.Arch)
 			var results []result
 			for _, op := range byCycle[t] {
 				vals := make([]int32, len(op.Instr.Args))
@@ -214,5 +216,6 @@ func RunPhysical(prog *vliw.Program, env *ir.Env) (*Stats, error) {
 		blk = next
 	}
 	commit(now)
+	st.finalize(prog.Arch, &occ)
 	return st, nil
 }

@@ -14,16 +14,101 @@ import (
 	"customfit/internal/ddg"
 	"customfit/internal/ir"
 	"customfit/internal/machine"
+	"customfit/internal/obs"
 	"customfit/internal/vliw"
 )
 
-// Stats reports a simulation run.
+// Stats reports a simulation run. Beyond the raw counts it attributes
+// cycles to datapath resources: the *Busy fields are dynamic,
+// execution-weighted tallies (unlike the static, per-image
+// vliw.Utilization), the *Occ fields normalize them to fractions of the
+// available slot- or port-cycles, and Bound names the resource with the
+// highest occupancy — the best single answer to "what bounded this
+// run".
 type Stats struct {
 	Cycles      int64
 	Ops         int64
 	Bundles     int64
 	BlockVisits map[string]int64
 	MemAccesses int64
+
+	// ALUBusy counts issued operations occupying an ALU slot (ALU ops,
+	// multiplies, and the source slot of inter-cluster moves).
+	ALUBusy int64
+	// MULBusy counts issued multiplies (each also occupies an ALU slot).
+	MULBusy int64
+	// L1Busy / L2Busy count port-cycles reserved on each memory level
+	// (an L2 access holds a port for the architecture's L2 latency).
+	L1Busy, L2Busy int64
+	// StallCycles counts executed cycles that issued no operation.
+	StallCycles int64
+	// ALUOcc..L2Occ are the *Busy tallies normalized to the fraction of
+	// available slot-cycles (ALU/MUL) or port-cycles (L1/L2).
+	ALUOcc, MULOcc, L1Occ, L2Occ float64
+	// Bound is "alu", "mul", "l1", "l2", or "none": the resource class
+	// with the highest dynamic occupancy.
+	Bound string
+}
+
+// occTally accumulates dynamic occupancy during a run; one note() call
+// per executed cycle.
+type occTally struct {
+	alu, mul, l1, l2, stalls int64
+}
+
+func (o *occTally) note(bundle []vliw.Op, arch machine.Arch) {
+	if len(bundle) == 0 {
+		o.stalls++
+		return
+	}
+	for _, op := range bundle {
+		switch op.Instr.Op {
+		case ir.OpNop, ir.OpBr, ir.OpCBr, ir.OpRet:
+		case ir.OpLoad, ir.OpStore:
+			if op.Instr.Mem.Space == ir.L1 {
+				o.l1 += machine.L1Occupancy
+			} else {
+				o.l2 += int64(arch.L2Lat)
+			}
+		case ir.OpMul:
+			o.alu++
+			o.mul++
+		default: // ALU ops, including the source slot of an XMov
+			o.alu++
+		}
+	}
+}
+
+// finalize folds the tally into st and computes occupancy fractions.
+func (st *Stats) finalize(arch machine.Arch, o *occTally) {
+	st.ALUBusy, st.MULBusy = o.alu, o.mul
+	st.L1Busy, st.L2Busy = o.l1, o.l2
+	st.StallCycles = o.stalls
+	st.Bound = "none"
+	if st.Cycles == 0 {
+		return
+	}
+	cyc := float64(st.Cycles)
+	if arch.ALUs > 0 {
+		st.ALUOcc = float64(o.alu) / (cyc * float64(arch.ALUs))
+	}
+	if arch.MULs > 0 {
+		st.MULOcc = float64(o.mul) / (cyc * float64(arch.MULs))
+	}
+	st.L1Occ = float64(o.l1) / cyc // single L1 port
+	if arch.L2Ports > 0 {
+		st.L2Occ = float64(o.l2) / (cyc * float64(arch.L2Ports))
+	}
+	best := 0.0
+	for _, r := range []struct {
+		name string
+		occ  float64
+	}{{"alu", st.ALUOcc}, {"mul", st.MULOcc}, {"l1", st.L1Occ}, {"l2", st.L2Occ}} {
+		if r.occ > best {
+			best = r.occ
+			st.Bound = r.name
+		}
+	}
 }
 
 type pendingWrite struct {
@@ -37,6 +122,11 @@ type pendingWrite struct {
 // statistics.
 func Run(prog *vliw.Program, env *ir.Env) (*Stats, error) {
 	f := prog.F
+	sp := obs.StartSpan("sim")
+	if sp != nil {
+		sp.Str("kernel", f.Name).Str("arch", prog.Arch.String())
+	}
+	defer sp.End()
 	if len(env.Args) != len(f.Params) {
 		return nil, fmt.Errorf("sim %s: %d args for %d params", f.Name, len(env.Args), len(f.Params))
 	}
@@ -80,6 +170,7 @@ func Run(prog *vliw.Program, env *ir.Env) (*Stats, error) {
 	}
 
 	st := &Stats{BlockVisits: map[string]int64{}}
+	var occ occTally
 	var pend []pendingWrite
 	var now int64
 	l1FreeAt := int64(0)
@@ -126,6 +217,7 @@ func Run(prog *vliw.Program, env *ir.Env) (*Stats, error) {
 				vals []int32
 			}
 			bundle := img.byCycle[t]
+			occ.note(bundle, prog.Arch)
 			results := make([]result, 0, len(bundle))
 			for _, op := range bundle {
 				in := op.Instr
@@ -211,6 +303,12 @@ func Run(prog *vliw.Program, env *ir.Env) (*Stats, error) {
 	commit(now)
 	if len(pend) != 0 {
 		return nil, fmt.Errorf("sim %s: %d writes still in flight at exit", f.Name, len(pend))
+	}
+	st.finalize(prog.Arch, &occ)
+	if sp != nil {
+		sp.Int("cycles", st.Cycles).Int("ops", st.Ops).Str("bound", st.Bound)
+		obs.GetCounter("sim.runs").Inc()
+		obs.GetCounter("sim.cycles").Add(st.Cycles)
 	}
 	return st, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -208,6 +209,113 @@ func TestLatencySemanticsHandBuilt(t *testing.T) {
 	}
 	if out[1] != 99 {
 		t.Errorf("out[1] = %d, want 99", out[1])
+	}
+}
+
+// TestDynamicOccupancyHandCounted checks the cycle-weighted occupancy
+// attribution on a hand-built schedule where every tally can be counted
+// on paper. Schedule (arch: 4 ALUs, 2 MULs, 2 L2 ports, L2 lat 2; 6
+// cycles):
+//
+//	cycle 0: mov            -> 1 ALU op
+//	cycle 1: mul, mov       -> 2 ALU ops, 1 MUL op
+//	cycle 2: (empty)        -> stall
+//	cycle 3: store, store   -> 2 L2 accesses × 2 port-cycles each
+//	cycle 4: (empty)        -> stall
+//	cycle 5: ret            -> no resource
+//
+// Hand counts: ALUBusy 3, MULBusy 1, L2Busy 4, StallCycles 2;
+// ALUOcc 3/24, MULOcc 1/12, L2Occ 4/12 (the bounding resource).
+func TestDynamicOccupancyHandCounted(t *testing.T) {
+	f := ir.NewFunc("occ")
+	m := f.AddMem(&ir.MemRef{Name: "out", Space: ir.L2, Elem: ir.ElemI32, Size: 4, IsParam: true})
+	b := f.NewBlock("entry")
+	r0, r1 := f.NewReg(), f.NewReg()
+	i0 := ir.NewInstr(ir.OpMov, r0, ir.Imm(1))
+	i1 := ir.NewInstr(ir.OpMul, r1, ir.R(r0), ir.Imm(10))
+	i2 := ir.NewInstr(ir.OpMov, r0, ir.Imm(99))
+	i3 := &ir.Instr{Op: ir.OpStore, Dest: ir.NoReg,
+		Args: []ir.Operand{ir.Imm(0), ir.R(r1)}, Mem: m, Elem: ir.ElemI32}
+	i4 := &ir.Instr{Op: ir.OpStore, Dest: ir.NoReg,
+		Args: []ir.Operand{ir.Imm(1), ir.R(r0)}, Mem: m, Elem: ir.ElemI32}
+	ret := &ir.Instr{Op: ir.OpRet, Dest: ir.NoReg}
+	for _, in := range []*ir.Instr{i0, i1, i2, i3, i4, ret} {
+		b.Append(in)
+	}
+	arch := machine.Arch{ALUs: 4, MULs: 2, Regs: 64, L2Ports: 2, L2Lat: 2, Clusters: 1}
+	prog := &vliw.Program{
+		Arch: arch,
+		F:    f,
+		Blocks: []*vliw.Block{{
+			IR:  b,
+			Len: 6,
+			Ops: []vliw.Op{
+				{Instr: i0, Cycle: 0},
+				{Instr: i1, Cycle: 1},
+				{Instr: i2, Cycle: 1},
+				{Instr: i3, Cycle: 3},
+				{Instr: i4, Cycle: 3},
+				{Instr: ret, Cycle: 5},
+			},
+		}},
+		RegCluster: make([]int, f.NumRegs()),
+	}
+	st, err := Run(prog, ir.NewEnv().Bind("out", make([]int32, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ALUBusy != 3 || st.MULBusy != 1 || st.L1Busy != 0 || st.L2Busy != 4 {
+		t.Errorf("busy tallies = ALU %d MUL %d L1 %d L2 %d, want 3 1 0 4",
+			st.ALUBusy, st.MULBusy, st.L1Busy, st.L2Busy)
+	}
+	if st.StallCycles != 2 {
+		t.Errorf("stall cycles = %d, want 2", st.StallCycles)
+	}
+	almost := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+	if !almost(st.ALUOcc, 3.0/24) || !almost(st.MULOcc, 1.0/12) ||
+		!almost(st.L1Occ, 0) || !almost(st.L2Occ, 4.0/12) {
+		t.Errorf("occupancy = ALU %.4f MUL %.4f L1 %.4f L2 %.4f, want 0.1250 0.0833 0 0.3333",
+			st.ALUOcc, st.MULOcc, st.L1Occ, st.L2Occ)
+	}
+	if st.Bound != "l2" {
+		t.Errorf("bound = %q, want \"l2\" (highest occupancy)", st.Bound)
+	}
+}
+
+// TestDynamicOccupancyAgreesWithStatic: for a single-block kernel the
+// dynamic ALU occupancy must equal the static slot utilization (every
+// bundle executes the same number of times).
+func TestDynamicOccupancyAgreesWithStatic(t *testing.T) {
+	arch := machine.Arch{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 2, L2Lat: 4, Clusters: 2}
+	prog := compileKernel(t, simSrc, arch, 2)
+	n := int32(16)
+	env := ir.NewEnv(n).
+		Bind("x", make([]int32, n)).Bind("y", make([]int32, n)).Bind("out", make([]int32, n))
+	st, err := Run(prog, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ALUOcc <= 0 || st.ALUOcc > 1 {
+		t.Errorf("ALU occupancy %.4f out of (0,1]", st.ALUOcc)
+	}
+	if st.Bound == "none" {
+		t.Error("a non-trivial run must be bounded by some resource")
+	}
+	// Weight each block's static op counts by its visit count to get the
+	// expected dynamic ALU tally.
+	var wantALU int64
+	for _, sb := range prog.Blocks {
+		visits := st.BlockVisits[sb.IR.Name]
+		for _, op := range sb.Ops {
+			switch op.Instr.Op {
+			case ir.OpNop, ir.OpBr, ir.OpCBr, ir.OpRet, ir.OpLoad, ir.OpStore:
+			default:
+				wantALU += visits
+			}
+		}
+	}
+	if st.ALUBusy != wantALU {
+		t.Errorf("dynamic ALU tally %d != visit-weighted static %d", st.ALUBusy, wantALU)
 	}
 }
 

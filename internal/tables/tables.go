@@ -53,6 +53,14 @@ func Stats(st dse.Stats) string {
 	fmt.Fprintf(&sb, "  runtime per architecture       %v\n", st.PerArch.Round(1000000))
 	fmt.Fprintf(&sb, "  compile+evaluate per run       %v\n", st.PerRun.Round(1000))
 	fmt.Fprintf(&sb, "  total time                     %v\n", st.WallTime.Round(1000000))
+	// Per-phase breakdown (absent from runs saved before the Phases
+	// field existed — those print the classic table only).
+	if st.Phases != (dse.PhaseTimes{}) || st.Failures > 0 {
+		fmt.Fprintf(&sb, "  failed evaluations             %d\n", st.Failures)
+		fmt.Fprintf(&sb, "  compile time (cum)             %v\n", st.Phases.Compile.Round(1000000))
+		fmt.Fprintf(&sb, "  simulate time (cum)            %v\n", st.Phases.Simulate.Round(1000000))
+		fmt.Fprintf(&sb, "  cost-model time (cum)          %v\n", st.Phases.CostModel.Round(1000))
+	}
 	return sb.String()
 }
 
