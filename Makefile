@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,27 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The telemetry subsystem and the parallel explorer are the two places
-# where data races could hide; run them under the race detector.
+# The telemetry subsystem, the parallel explorer, and the backend's
+# shared-kernel/scratch machinery are the places where data races could
+# hide; run them under the race detector.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/dse/...
+	$(GO) test -race ./internal/obs/... ./internal/dse/... ./internal/sched/...
 
-# Extended verify: everything the tier-1 gate runs, plus vet and the
-# race pass (see ROADMAP.md).
-check: build vet test race
+# One-iteration pass over the exploration benchmarks: catches bit-rot in
+# the benchmark harness without paying for a real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/dse/
 
+# Extended verify: everything the tier-1 gate runs, plus vet, the race
+# pass, and the benchmark smoke (see ROADMAP.md).
+check: build vet test race bench-smoke
+
+# Measure the exploration benchmarks and record the trajectory against
+# the pre-optimization baseline (see docs/PERFORMANCE.md).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/dse/ | \
+		$(GO) run ./cmd/cfp-benchjson \
+			-baseline internal/dse/testdata/bench_baseline_pr2.txt \
+			-baseline-note "pre-optimization seed (PR2 start)" \
+			-o BENCH_explore.json
+	@echo wrote BENCH_explore.json

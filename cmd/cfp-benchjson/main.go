@@ -1,0 +1,196 @@
+// cfp-benchjson converts `go test -bench` text output into a stable
+// JSON document so benchmark trajectories can be tracked across PRs
+// (see docs/PERFORMANCE.md and the Makefile's `bench` target).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ./internal/dse/ | cfp-benchjson -o BENCH_explore.json \
+//	    -baseline internal/dse/testdata/bench_baseline_pr2.txt \
+//	    -baseline-note "pre-optimization seed"
+//
+// The parser understands the standard benchmark line shape — a tab- or
+// space-separated name, an iteration count, then repeated "value unit"
+// pairs — and ignores everything else (goos/pkg headers, PASS, ok).
+// When a baseline is given, the output also reports per-metric deltas
+// for benchmarks present on both sides.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Delta compares one metric of one benchmark against the baseline.
+type Delta struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	// Change is (current-baseline)/baseline; negative means improvement
+	// for cost-like metrics (ns/op, B/op, allocs/op).
+	Change float64 `json:"change"`
+}
+
+type document struct {
+	Generated    string      `json:"generated"`
+	Benchmarks   []Benchmark `json:"benchmarks"`
+	BaselineNote string      `json:"baseline_note,omitempty"`
+	Baseline     []Benchmark `json:"baseline,omitempty"`
+	Deltas       []Delta     `json:"deltas,omitempty"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "", "write JSON here (default stdout)")
+		baseFile = flag.String("baseline", "", "baseline `go test -bench` text to embed and diff against")
+		baseNote = flag.String("baseline-note", "", "free-form provenance note for the baseline")
+	)
+	flag.Parse()
+
+	cur, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	doc := document{
+		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Benchmarks:   cur,
+		BaselineNote: *baseNote,
+	}
+	if *baseFile != "" {
+		f, err := os.Open(*baseFile)
+		if err != nil {
+			fatal(err)
+		}
+		doc.Baseline, err = parse(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", *baseFile, err))
+		}
+		doc.Deltas = diff(doc.Baseline, cur)
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse extracts benchmark lines from go test -bench output.
+func parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       strings.TrimSuffix(fields[0], "-"+goMaxProcsSuffix(fields[0])),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// goMaxProcsSuffix returns the trailing "-N" procs decoration of a
+// benchmark name if present ("" otherwise), so BenchmarkFoo-8 and
+// BenchmarkFoo compare as the same benchmark across machines.
+func goMaxProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return ""
+	}
+	tail := name[i+1:]
+	if _, err := strconv.Atoi(tail); err != nil {
+		return ""
+	}
+	return tail
+}
+
+func diff(base, cur []Benchmark) []Delta {
+	byName := map[string]Benchmark{}
+	for _, b := range base {
+		byName[b.Name] = b
+	}
+	var out []Delta
+	for _, c := range cur {
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		for metric, bv := range b.Metrics {
+			cv, ok := c.Metrics[metric]
+			if !ok || bv == 0 {
+				continue
+			}
+			out = append(out, Delta{
+				Benchmark: c.Name,
+				Metric:    metric,
+				Baseline:  bv,
+				Current:   cv,
+				Change:    (cv - bv) / bv,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Benchmark != out[j].Benchmark {
+			return out[i].Benchmark < out[j].Benchmark
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfp-benchjson:", err)
+	os.Exit(1)
+}

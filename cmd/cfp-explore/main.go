@@ -46,6 +46,7 @@ func main() {
 		load       = flag.String("load", "", "load previously saved results instead of exploring")
 		sample     = flag.Int("sample", 1, "evaluate every Nth machine (1 = full space)")
 		progress   = flag.Bool("progress", true, "print progress while exploring")
+		noMemo     = flag.Bool("no-memo", false, "disable arch-signature memoization (every arrangement runs real compiles; see docs/PERFORMANCE.md)")
 		claims     = flag.Bool("claims", false, "print the paper's headline-claim quantities from the results")
 		ablation   = flag.Bool("ablation", false, "run the compiler design-choice ablation study and exit")
 		corr       = flag.Bool("correction", false, "run the cluster-correction validation study and exit")
@@ -116,6 +117,7 @@ func main() {
 		e := dse.NewExplorer()
 		e.Width = *width
 		e.Workers = *workers
+		e.DisableMemo = *noMemo
 		if *sample > 1 {
 			full := machine.FullSpace()
 			var archs []machine.Arch

@@ -82,100 +82,12 @@ func Occupancy(in *ir.Instr, arch machine.Arch) int {
 }
 
 // Build constructs the dependence graph for a block under the given
-// architecture's latencies.
+// architecture's latencies. It is the pointer-form view of
+// BuildSkeleton; the scheduler consumes skeletons directly (optionally
+// cached per latency class), while the validator and tests use this
+// materialized form.
 func Build(b *ir.Block, arch machine.Arch) *Graph {
-	g := &Graph{Nodes: make([]*Node, len(b.Instrs))}
-	for i, in := range b.Instrs {
-		g.Nodes[i] = &Node{Index: i, Instr: in}
-	}
-	n := len(g.Nodes)
-	if n == 0 {
-		return g
-	}
-	addEdge := func(from, to *Node, d int) {
-		// Keep only the strongest constraint between a pair.
-		for i := range from.Succs {
-			if from.Succs[i].To == to {
-				if d > from.Succs[i].MinDelta {
-					from.Succs[i].MinDelta = d
-					for j := range to.Preds {
-						if to.Preds[j].To == from {
-							to.Preds[j].MinDelta = d
-						}
-					}
-				}
-				return
-			}
-		}
-		from.Succs = append(from.Succs, Edge{To: to, MinDelta: d})
-		to.Preds = append(to.Preds, Edge{To: from, MinDelta: d})
-	}
-
-	lastDef := map[ir.Reg]*Node{}
-	lastUses := map[ir.Reg][]*Node{}
-	var memOps []*Node
-
-	for _, nd := range g.Nodes {
-		in := nd.Instr
-		// Register dependences.
-		for _, a := range in.Args {
-			if !a.IsReg() {
-				continue
-			}
-			if def, ok := lastDef[a.Reg]; ok {
-				addEdge(def, nd, Latency(def.Instr, arch)) // true
-			}
-			lastUses[a.Reg] = append(lastUses[a.Reg], nd)
-		}
-		if in.Op.HasDest() {
-			r := in.Dest
-			if def, ok := lastDef[r]; ok {
-				// Output: later def must commit strictly after earlier.
-				d := Latency(def.Instr, arch) - Latency(in, arch) + 1
-				if d < 0 {
-					d = 0
-				}
-				addEdge(def, nd, d)
-			}
-			for _, u := range lastUses[r] {
-				if u != nd {
-					addEdge(u, nd, 0) // anti
-				}
-			}
-			lastDef[r] = nd
-			delete(lastUses, r)
-		}
-		// Memory dependences.
-		if in.Op.IsMem() {
-			for _, m := range memOps {
-				if d, dep := memDependence(m.Instr, in); dep {
-					addEdge(m, nd, d)
-				}
-			}
-			memOps = append(memOps, nd)
-		}
-	}
-
-	// Terminator constraints: every result committed and every memory
-	// port drained by the end of the block, so no state is in flight
-	// across block boundaries.
-	if t := b.Terminator(); t != nil {
-		tn := g.Nodes[n-1]
-		g.Term = tn
-		for _, nd := range g.Nodes[:n-1] {
-			d := 0
-			if nd.Instr.Op.HasDest() {
-				d = Latency(nd.Instr, arch) - 1
-			}
-			if occ := Occupancy(nd.Instr, arch); occ-1 > d {
-				d = occ - 1
-			}
-			addEdge(nd, tn, d)
-		}
-	}
-
-	g.computeHeights(arch)
-	return g
+	return BuildSkeleton(b, arch).Materialize(b)
 }
 
 // memDependence classifies the ordering constraint between two memory

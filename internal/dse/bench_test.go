@@ -1,0 +1,72 @@
+package dse
+
+import (
+	"testing"
+
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+	"customfit/internal/sched"
+)
+
+// exploreBenchArchs is the exploration benchmarks' architecture subset:
+// the clustered, signature-dense region of the full space (8- and
+// 16-ALU machines with large register files), which is where the
+// backend spends most of its time on a real full-space run and where
+// cluster arrangements collapse onto shared backend signatures.
+func exploreBenchArchs() []machine.Arch {
+	var out []machine.Arch
+	for _, a := range machine.FullSpace() {
+		if a.ALUs >= 8 && a.Regs >= 256 && a.L2Lat != 8 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// BenchmarkEvaluate measures the per-evaluation backend cost (unroll
+// sweep, partition, schedule, allocate) with the prepared-IR cache warm,
+// cycling through distinct architectures so every iteration performs
+// real backend work. Signature memoization is disabled so the number is
+// an honest per-compile cost, and a reused Scratch arena matches the
+// explorer worker's steady state.
+func BenchmarkEvaluate(b *testing.B) {
+	ev := NewEvaluator()
+	ev.Width = 48
+	ev.DisableMemo = true
+	bm := bench.ByName("G")
+	archs := exploreBenchArchs()
+	for _, u := range UnrollFactors {
+		ev.prepare(nil, bm, u)
+	}
+	sc := sched.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateScratch(bm, archs[i%len(archs)], sc)
+	}
+}
+
+// BenchmarkExploreSubset measures end-to-end exploration wall time over
+// a fixed subspace, including prepare, the cross-architecture caching
+// layers, and speedup post-processing — the number trajectory tracked
+// across PRs in BENCH_explore.json.
+func BenchmarkExploreSubset(b *testing.B) {
+	archs := exploreBenchArchs()
+	benches := []*bench.Benchmark{bench.ByName("G")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewExplorer()
+		e.Archs = archs
+		e.Width = 48
+		e.Benchmarks = benches
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(archs)*len(benches)), "evals")
+			b.ReportMetric(float64(res.Stats.Runs), "runs")
+		}
+	}
+}

@@ -240,9 +240,9 @@ func TestEvaluatorCachesPreparedIR(t *testing.T) {
 	a1 := machine.Baseline
 	a2 := machine.Arch{ALUs: 2, MULs: 1, Regs: 64, L2Ports: 1, L2Lat: 4, Clusters: 1}
 	e1 := ev.Evaluate(b, a1)
-	n1 := ev.Compilations
+	n1 := ev.Compilations.Load()
 	e2 := ev.Evaluate(b, a2)
-	n2 := ev.Compilations
+	n2 := ev.Compilations.Load()
 	if e1.Failed || e2.Failed {
 		t.Fatal("evaluation failed")
 	}

@@ -11,6 +11,7 @@ import (
 	"customfit/internal/bench"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
+	"customfit/internal/sched"
 )
 
 // ProgressInfo snapshots an in-flight exploration for progress
@@ -37,8 +38,15 @@ type Explorer struct {
 	Archs      []machine.Arch // default: machine.FullSpace()
 	Workers    int            // default: GOMAXPROCS
 	Width      int            // reference workload width (default 96)
-	// Progress, if set, is called after every completed evaluation
-	// (serialized; keep it cheap).
+	// DisableMemo turns off the evaluator's arch-signature memoization
+	// (see docs/PERFORMANCE.md) so every arrangement runs real backend
+	// compiles.
+	DisableMemo bool
+	// Progress, if set, is called with monotonically increasing Done
+	// counts as evaluations complete. Calls are serialized, but never
+	// block the workers: when the sink is slower than the fleet,
+	// intermediate updates are dropped; the final update (Done == Total)
+	// is always delivered.
 	Progress func(ProgressInfo)
 }
 
@@ -112,6 +120,7 @@ func (e *Explorer) Run() (*Results, error) {
 	ev := NewEvaluator()
 	ev.Width = width
 	ev.Cycle = e.Cycle
+	ev.DisableMemo = e.DisableMemo
 
 	res := &Results{
 		Archs:   archs,
@@ -142,14 +151,45 @@ func (e *Explorer) Run() (*Results, error) {
 	}
 	jobs := make(chan job, workers*2)
 	var wg sync.WaitGroup
-	var done int64
+	var done atomic.Int64
 	var failed atomic.Int64
-	var doneMu sync.Mutex
+	// cbMu serializes the Progress callback without ever making workers
+	// wait on it: the snapshot is assembled lock-free from the atomics,
+	// and a contended intermediate update is simply dropped. lastDone
+	// (under cbMu) keeps delivered updates monotonic when snapshots race.
+	var cbMu sync.Mutex
+	lastDone := 0
 	total := len(e.Benchmarks) * len(archs)
+	report := func(d int64) {
+		elapsed := time.Since(start)
+		p := ProgressInfo{
+			Done:    int(d),
+			Total:   total,
+			Failed:  failed.Load(),
+			Elapsed: elapsed,
+		}
+		if elapsed > 0 {
+			p.RatePerSec = float64(d) / elapsed.Seconds()
+		}
+		if p.RatePerSec > 0 {
+			p.ETA = time.Duration(float64(total-int(d)) / p.RatePerSec * float64(time.Second))
+		}
+		if int(d) == total {
+			cbMu.Lock() // the final update must not be dropped
+		} else if !cbMu.TryLock() {
+			return // sink busy: skip this intermediate update
+		}
+		if p.Done > lastDone {
+			lastDone = p.Done
+			e.Progress(p)
+		}
+		cbMu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := sched.NewScratch()
 			var busy, wait time.Duration
 			for {
 				t0 := time.Now()
@@ -160,30 +200,15 @@ func (e *Explorer) Run() (*Results, error) {
 				}
 				b := e.Benchmarks[j.bi]
 				t1 := time.Now()
-				evl := ev.Evaluate(b, archs[j.ai])
+				evl := ev.EvaluateScratch(b, archs[j.ai], sc)
 				busy += time.Since(t1)
 				res.Eval[b.Name][j.ai] = evl
 				if evl.Failed {
 					failed.Add(1)
 				}
+				d := done.Add(1)
 				if e.Progress != nil {
-					doneMu.Lock()
-					done++
-					elapsed := time.Since(start)
-					p := ProgressInfo{
-						Done:    int(done),
-						Total:   total,
-						Failed:  failed.Load(),
-						Elapsed: elapsed,
-					}
-					if elapsed > 0 {
-						p.RatePerSec = float64(done) / elapsed.Seconds()
-					}
-					if p.RatePerSec > 0 {
-						p.ETA = time.Duration(float64(total-int(done)) / p.RatePerSec * float64(time.Second))
-					}
-					e.Progress(p)
-					doneMu.Unlock()
+					report(d)
 				}
 			}
 			obs.GetHistogram("dse.worker_busy_seconds").Observe(busy.Seconds())
@@ -227,9 +252,10 @@ func (e *Explorer) Run() (*Results, error) {
 	}
 
 	wall := time.Since(start)
+	runs := ev.Compilations.Load()
 	compileTime, simTime := ev.PhaseTimes()
 	res.Stats = Stats{
-		Runs:          ev.Compilations,
+		Runs:          runs,
 		Architectures: len(archs),
 		DesignPoints:  len(machine.DesignSpace()),
 		Benchmarks:    len(e.Benchmarks),
@@ -244,11 +270,11 @@ func (e *Explorer) Run() (*Results, error) {
 	if len(archs) > 0 {
 		res.Stats.PerArch = wall / time.Duration(len(archs))
 	}
-	if ev.Compilations > 0 {
-		res.Stats.PerRun = wall / time.Duration(ev.Compilations)
+	if runs > 0 {
+		res.Stats.PerRun = wall / time.Duration(runs)
 	}
 	if obs.Enabled() && wall > 0 {
-		obs.SetGauge("dse.compiles_per_sec", float64(ev.Compilations)/wall.Seconds())
+		obs.SetGauge("dse.compiles_per_sec", float64(runs)/wall.Seconds())
 		obs.SetGauge("dse.evals_per_sec", float64(total)/wall.Seconds())
 		obs.GetCounter("dse.evaluations").Add(int64(total))
 	}

@@ -1,0 +1,120 @@
+package dse
+
+import (
+	"flag"
+	"math"
+	"testing"
+
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata/golden_fullspace.json from the current code")
+
+const goldenPath = "testdata/golden_fullspace.json"
+
+// goldenExplorer reproduces the configuration the golden artifact was
+// captured with: the full concrete space on the three benchmarks the
+// paper tables share, at the fast 48-pixel reference width.
+func goldenExplorer() *Explorer {
+	e := NewExplorer()
+	e.Archs = machine.FullSpace()
+	e.Width = 48
+	e.Benchmarks = nil
+	for _, n := range []string{"G", "F", "DH"} {
+		e.Benchmarks = append(e.Benchmarks, bench.ByName(n))
+	}
+	return e
+}
+
+// TestGoldenFullSpaceEquivalence pins the exploration's numbers to a
+// snapshot taken before the performance layers (shared skeletons,
+// signature memoization, scratch reuse) existed. The optimizations must
+// be invisible in the Results: identical Unroll, Cycles, Spilled and
+// Failed per (benchmark, architecture), identical Speedup up to float
+// noise, and the same logical run count (memo hits re-count the cached
+// sweep, so Table 3 accounting is unchanged).
+//
+// Regenerate after an intentional behavior change with:
+//
+//	go test ./internal/dse/ -run TestGoldenFullSpace -update
+func TestGoldenFullSpaceEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explores the full 762-arch space")
+	}
+	if raceEnabled {
+		t.Skip("full-space exploration is minutes-slow under the race detector")
+	}
+	res, err := goldenExplorer().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := res.Save(goldenPath); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d archs, %d runs)", goldenPath, len(res.Archs), res.Stats.Runs)
+		return
+	}
+	want, err := Load(goldenPath)
+	if err != nil {
+		t.Fatalf("loading golden: %v", err)
+	}
+	if len(res.Archs) != len(want.Archs) {
+		t.Fatalf("arch count %d, golden has %d", len(res.Archs), len(want.Archs))
+	}
+	for i := range want.Archs {
+		if res.Archs[i] != want.Archs[i] {
+			t.Fatalf("arch %d is %v, golden has %v (space enumeration changed?)", i, res.Archs[i], want.Archs[i])
+		}
+	}
+	if len(res.Benches) != len(want.Benches) {
+		t.Fatalf("bench lists differ: %v vs golden %v", res.Benches, want.Benches)
+	}
+	mismatches := 0
+	for bi, b := range want.Benches {
+		if res.Benches[bi] != b {
+			t.Fatalf("bench %d is %s, golden has %s", bi, res.Benches[bi], b)
+		}
+		got, wnt := res.Eval[b], want.Eval[b]
+		if len(got) != len(wnt) {
+			t.Fatalf("%s: %d evaluations, golden has %d", b, len(got), len(wnt))
+		}
+		for i := range wnt {
+			g, w := got[i], wnt[i]
+			if g.Unroll != w.Unroll || g.Cycles != w.Cycles || g.Spilled != w.Spilled || g.Failed != w.Failed {
+				if mismatches < 10 {
+					t.Errorf("%s on %v: got (u=%d cyc=%d spill=%d fail=%v), golden (u=%d cyc=%d spill=%d fail=%v)",
+						b, w.Arch, g.Unroll, g.Cycles, g.Spilled, g.Failed, w.Unroll, w.Cycles, w.Spilled, w.Failed)
+				}
+				mismatches++
+				continue
+			}
+			if relDiff(g.Speedup, w.Speedup) > 1e-12 || relDiff(g.Time, w.Time) > 1e-12 {
+				if mismatches < 10 {
+					t.Errorf("%s on %v: speedup %.15g / time %.15g, golden %.15g / %.15g",
+						b, w.Arch, g.Speedup, g.Time, w.Speedup, w.Time)
+				}
+				mismatches++
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d evaluations diverge from the golden snapshot", mismatches)
+	}
+	if res.Stats.Runs != want.Stats.Runs {
+		t.Errorf("logical run count %d, golden has %d (memo accounting must preserve Table 3)",
+			res.Stats.Runs, want.Stats.Runs)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 0 {
+		return d / m
+	}
+	return d
+}

@@ -1,0 +1,49 @@
+package dse
+
+import "customfit/internal/machine"
+
+// archSig is the backend-relevant signature of a concrete architecture:
+// the complete set of parameters the compiler backend (partition,
+// schedule, allocate, spill) can observe. Two architectures with equal
+// signatures are compiled identically — they differ only in datapath
+// cost and in the cycle-time derate, both applied outside the backend —
+// so the evaluator reuses one sweep for the whole signature class.
+//
+// Field inventory against the backend's reads:
+//
+//   - Clusters, ALUsPC, MULsPC: issue-slot model and partitioning
+//     (ALUs = ALUsPC × Clusters exactly, by Arch.Validate's
+//     divisibility rule, so the scheduler's scan budget is covered;
+//     MULsPC's min-1 floor means total MULs may differ inside a class,
+//     but the backend never reads the total);
+//   - RegsPC: the pressure throttle's budget and the allocator's
+//     capacity;
+//   - L2Ports, L2Lat: global memory-port occupancy and the dependence
+//     latencies (L2PathsPC and Buses derive from these and Clusters);
+//   - MinMax: the opcode-repertoire fusion pass.
+//
+// The cycle-time derate reads RegPorts = 3·ALUsPC + 2·(1 + L2PathsPC),
+// which is signature-determined, so even Time is constant per class up
+// to the shared derate factor.
+type archSig struct {
+	Clusters int
+	ALUsPC   int
+	MULsPC   int
+	RegsPC   int
+	L2Ports  int
+	L2Lat    int
+	MinMax   bool
+}
+
+// sigOf maps an architecture to its backend signature.
+func sigOf(a machine.Arch) archSig {
+	return archSig{
+		Clusters: a.Clusters,
+		ALUsPC:   a.ALUsPC(),
+		MULsPC:   a.MULsPC(),
+		RegsPC:   a.RegsPC(),
+		L2Ports:  a.L2Ports,
+		L2Lat:    a.L2Lat,
+		MinMax:   a.MinMax,
+	}
+}

@@ -1,0 +1,100 @@
+package dse
+
+import (
+	"testing"
+
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+)
+
+// TestSignatureClassesCompileIdentically is the property behind the
+// memoization: with the memo disabled, every architecture in the full
+// space must produce exactly the same backend sweep as its signature
+// class representative — same chosen unroll, static cycles, spill count
+// and failure status — and the same cycle-time derate, so the memoized
+// Evaluation (including Time) is exact, not approximate.
+func TestSignatureClassesCompileIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the full 762-arch space")
+	}
+	if raceEnabled {
+		t.Skip("full-space compilation is minutes-slow under the race detector")
+	}
+	ev := NewEvaluator()
+	ev.Width = 48
+	ev.DisableMemo = true
+	b := bench.ByName("G")
+	reps := map[archSig]Evaluation{}
+	repArch := map[archSig]machine.Arch{}
+	dupes := 0
+	for _, a := range machine.FullSpace() {
+		sig := sigOf(a)
+		got := ev.Evaluate(b, a)
+		rep, ok := reps[sig]
+		if !ok {
+			reps[sig] = got
+			repArch[sig] = a
+			continue
+		}
+		dupes++
+		if got.Unroll != rep.Unroll || got.Cycles != rep.Cycles ||
+			got.Spilled != rep.Spilled || got.Failed != rep.Failed {
+			t.Errorf("%v compiles differently from its class representative %v: (u=%d cyc=%d spill=%d fail=%v) vs (u=%d cyc=%d spill=%d fail=%v)",
+				a, repArch[sig], got.Unroll, got.Cycles, got.Spilled, got.Failed,
+				rep.Unroll, rep.Cycles, rep.Spilled, rep.Failed)
+		}
+		if d1, d2 := ev.Cycle.Derate(a), ev.Cycle.Derate(repArch[sig]); d1 != d2 {
+			t.Errorf("%v derate %.15g differs from representative %v derate %.15g",
+				a, d1, repArch[sig], d2)
+		}
+	}
+	if dupes == 0 {
+		t.Fatal("full space has no signature-isomorphic arrangements; the memo is untestable")
+	}
+	t.Logf("%d signature classes cover %d architectures (%d memoizable)",
+		len(reps), len(machine.FullSpace()), dupes)
+}
+
+// TestMemoMatchesDirectCompile checks the memo end to end on a known
+// signature-isomorphic pair: 2 MULs vs 4 MULs across 4 clusters both
+// floor to MULsPC=1, so the backend cannot tell them apart. The
+// memoized evaluator must return exactly what a memo-less evaluator
+// computes for each, and must count the hit's logical runs.
+func TestMemoMatchesDirectCompile(t *testing.T) {
+	a1 := machine.Arch{ALUs: 8, MULs: 2, Regs: 256, L2Ports: 1, L2Lat: 4, Clusters: 4}
+	a2 := machine.Arch{ALUs: 8, MULs: 4, Regs: 256, L2Ports: 1, L2Lat: 4, Clusters: 4}
+	if sigOf(a1) != sigOf(a2) {
+		t.Fatalf("test premise broken: %v and %v have different signatures", a1, a2)
+	}
+	b := bench.ByName("G")
+
+	memod := NewEvaluator()
+	memod.Width = 48
+	direct := NewEvaluator()
+	direct.Width = 48
+	direct.DisableMemo = true
+
+	m1 := memod.Evaluate(b, a1)
+	runsAfterMiss := memod.Compilations.Load()
+	m2 := memod.Evaluate(b, a2)
+	runsAfterHit := memod.Compilations.Load()
+	d1 := direct.Evaluate(b, a1)
+	d2 := direct.Evaluate(b, a2)
+
+	if m1 != d1 {
+		t.Errorf("memoized %v = %+v, direct = %+v", a1, m1, d1)
+	}
+	if m2 != d2 {
+		t.Errorf("memoized %v = %+v, direct = %+v", a2, m2, d2)
+	}
+	// Same class, so even the raw cycles agree across the pair.
+	if m1.Cycles != m2.Cycles || m1.Unroll != m2.Unroll || m1.Spilled != m2.Spilled {
+		t.Errorf("isomorphic pair disagrees: %+v vs %+v", m1, m2)
+	}
+	// The hit must re-count the cached sweep's runs (logical Table 3
+	// accounting), doubling the counter rather than leaving it flat.
+	if runsAfterHit != 2*runsAfterMiss {
+		t.Errorf("Compilations after hit = %d, want %d (logical re-count of the %d-run sweep)",
+			runsAfterHit, 2*runsAfterMiss, runsAfterMiss)
+	}
+}

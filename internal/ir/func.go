@@ -189,9 +189,13 @@ func (f *Func) RemoveUnreachable() int {
 	return removed
 }
 
-// Clone returns a deep copy of the function. MemRefs are shared (they
-// are identity objects naming storage, not mutable state).
-func (f *Func) Clone() *Func {
+// CloneShell clones the function's header — parameters, memory
+// references, register/block counters and loop metadata — plus empty
+// same-named blocks, returning the new function and the old→new block
+// mapping. Callers fill each block's instruction list (remapping branch
+// targets through the map) and then call ComputeCFG; see Clone for the
+// plain deep copy and sched.PartitionClone for a fused fill.
+func (f *Func) CloneShell() (*Func, map[*Block]*Block) {
 	nf := &Func{
 		Name:    f.Name,
 		Params:  append([]Param(nil), f.Params...),
@@ -205,18 +209,26 @@ func (f *Func) Clone() *Func {
 		bmap[b] = nb
 		nf.Blocks = append(nf.Blocks, nb)
 	}
-	for _, b := range f.Blocks {
-		nb := bmap[b]
+	if f.Loop != nil {
+		nf.Loop = f.Loop.remap(bmap)
+	}
+	return nf, bmap
+}
+
+// Clone returns a deep copy of the function. MemRefs are shared (they
+// are identity objects naming storage, not mutable state).
+func (f *Func) Clone() *Func {
+	nf, bmap := f.CloneShell()
+	for i, b := range f.Blocks {
+		nb := nf.Blocks[i]
+		nb.Instrs = make([]*Instr, 0, len(b.Instrs))
 		for _, in := range b.Instrs {
 			cp := in.Clone()
-			for i, t := range cp.Targets {
-				cp.Targets[i] = bmap[t]
+			for j, t := range cp.Targets {
+				cp.Targets[j] = bmap[t]
 			}
 			nb.Instrs = append(nb.Instrs, cp)
 		}
-	}
-	if f.Loop != nil {
-		nf.Loop = f.Loop.remap(bmap)
 	}
 	nf.ComputeCFG()
 	return nf

@@ -68,6 +68,23 @@ type Result struct {
 	Assign []int
 }
 
+// Scratch is the allocator's reusable per-worker buffer arena: the
+// liveness bitsets and per-register segment builders that dominate its
+// allocation profile. Nothing built on a Scratch outlives the Allocate
+// call that used it, so one arena serves a worker's whole compile
+// stream. Not safe for concurrent use.
+type Scratch struct {
+	segments [][]Segment
+	segEnd   []int
+	isLive   []bool
+	liveCnt  []int
+	peakAt   []int
+}
+
+// NewScratch returns an empty allocator arena; buffers grow on first
+// use and are retained across calls.
+func NewScratch() *Scratch { return &Scratch{} }
+
 // Allocate computes exact liveness, pressure and physical registers for
 // a scheduled program.
 func Allocate(prog *vliw.Program) *Result {
@@ -77,8 +94,16 @@ func Allocate(prog *vliw.Program) *Result {
 // AllocateSpan is Allocate recorded as a telemetry span under sp,
 // carrying the allocation verdict (capacity, peak pressure, fit).
 func AllocateSpan(sp *obs.Span, prog *vliw.Program) *Result {
+	return AllocateWith(sp, prog, nil, nil)
+}
+
+// AllocateWith is the compile driver's entry point: lv, when non-nil,
+// is a liveness analysis already computed over prog.F (the scheduler's
+// own — allocation recomputing it is pure waste), and sc, when non-nil,
+// is a reusable scratch arena.
+func AllocateWith(sp *obs.Span, prog *vliw.Program, lv *opt.Liveness, sc *Scratch) *Result {
 	asp := obs.Under(sp, "regalloc")
-	res := allocate(prog)
+	res := allocate(prog, lv, sc)
 	if asp != nil {
 		maxLive := 0
 		for _, m := range res.MaxLive {
@@ -96,7 +121,7 @@ func AllocateSpan(sp *obs.Span, prog *vliw.Program) *Result {
 	return res
 }
 
-func allocate(prog *vliw.Program) *Result {
+func allocate(prog *vliw.Program, lv *opt.Liveness, sc *Scratch) *Result {
 	f := prog.F
 	nregs := f.NumRegs()
 	nclusters := prog.Arch.Clusters
@@ -118,21 +143,22 @@ func allocate(prog *vliw.Program) *Result {
 		return 0
 	}
 
-	// Linearize blocks.
-	base := map[*ir.Block]int{}
-	pos := 0
-	for _, sb := range prog.Blocks {
-		base[sb.IR] = pos
-		pos += sb.Len + 1
+	if lv == nil {
+		lv = opt.ComputeLiveness(f)
 	}
+	if sc == nil {
+		sc = NewScratch()
+	}
+	// Segments are collected back-to-front per register. Nothing built
+	// from these scratch buffers escapes this call: the Ranges below are
+	// consumed before returning and the Result carries only register
+	// ids and the assignment array.
+	segments := sc.growSegments(nregs)
+	segEnd := growInts(&sc.segEnd, nregs)
+	isLive := growBools(&sc.isLive, nregs)
+	liveCnt := growInts(&sc.liveCnt, nclusters)
+	peakAt := growInts(&sc.peakAt, nclusters) // linear position of each cluster's pressure peak
 
-	lv := opt.ComputeLiveness(f)
-	segments := make([][]Segment, nregs) // collected back-to-front
-	segEnd := make([]int, nregs)
-	isLive := make([]bool, nregs)
-	liveCnt := make([]int, nclusters)
-
-	peakAt := make([]int, nclusters) // linear position of each cluster's pressure peak
 	addLive := func(r ir.Reg, at int) {
 		if !isLive[r] {
 			isLive[r] = true
@@ -148,13 +174,14 @@ func allocate(prog *vliw.Program) *Result {
 		}
 	}
 
+	// Blocks are linearized in order; b0 is the running base position.
+	b0 := 0
 	for _, sb := range prog.Blocks {
-		b0 := base[sb.IR]
-		// Group ops by cycle.
-		byCycle := make([][]*ir.Instr, sb.Len)
-		for _, op := range sb.Ops {
-			byCycle[op.Cycle] = append(byCycle[op.Cycle], op.Instr)
-		}
+		// sb.Ops is emitted in non-decreasing cycle order, so the ops of
+		// each cycle form a contiguous window scanned back-to-front —
+		// no per-cycle bucket slices.
+		ops := sb.Ops
+		hi := len(ops)
 		// Backward sweep seeded with the block's live-out set.
 		for r := ir.Reg(0); int(r) < nregs; r++ {
 			if lv.LiveOut(sb.IR, r) {
@@ -163,7 +190,14 @@ func allocate(prog *vliw.Program) *Result {
 		}
 		for t := sb.Len - 1; t >= 0; t-- {
 			at := b0 + t
-			for _, in := range byCycle[t] {
+			lo := hi
+			for lo > 0 && ops[lo-1].Cycle == t {
+				lo--
+			}
+			cyc := ops[lo:hi]
+			hi = lo
+			for i := range cyc {
+				in := cyc[i].Instr
 				for _, a := range in.Args {
 					if a.IsReg() {
 						addLive(a.Reg, at)
@@ -181,14 +215,15 @@ func allocate(prog *vliw.Program) *Result {
 			}
 			// A register defined here stops being live below this cycle
 			// unless this cycle also reads its old value.
-			for _, in := range byCycle[t] {
+			for i := range cyc {
+				in := cyc[i].Instr
 				if !in.Op.HasDest() {
 					continue
 				}
 				d := in.Dest
 				usedHere := false
-				for _, other := range byCycle[t] {
-					for _, a := range other.Args {
+				for j := range cyc {
+					for _, a := range cyc[j].Instr.Args {
 						if a.IsReg() && a.Reg == d {
 							usedHere = true
 						}
@@ -206,6 +241,7 @@ func allocate(prog *vliw.Program) *Result {
 				dropLive(r, b0)
 			}
 		}
+		b0 += sb.Len + 1
 	}
 
 	// Build ranges. Segments are collected back-to-front within each
@@ -323,6 +359,51 @@ func overlapsAny(b, s []Segment) bool {
 		}
 	}
 	return false
+}
+
+// growSegments sizes the per-register segment builders to n registers,
+// emptying each while keeping its backing array for reuse.
+func (sc *Scratch) growSegments(n int) [][]Segment {
+	if cap(sc.segments) < n {
+		old := sc.segments[:cap(sc.segments)]
+		sc.segments = make([][]Segment, n)
+		copy(sc.segments, old)
+	}
+	sc.segments = sc.segments[:n]
+	for i := range sc.segments {
+		sc.segments[i] = sc.segments[i][:0]
+	}
+	return sc.segments
+}
+
+// growInts resizes buf to n zeroed entries, reusing capacity.
+func growInts(buf *[]int, n int) []int {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*buf = s
+	return s
+}
+
+// growBools is growInts for bool buffers.
+func growBools(buf *[]bool, n int) []bool {
+	s := *buf
+	if cap(s) < n {
+		s = make([]bool, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = false
+		}
+	}
+	*buf = s
+	return s
 }
 
 // mergeSegments merges two sorted segment lists into one sorted list.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"customfit/internal/ddg"
 	"customfit/internal/ir"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
@@ -47,38 +48,71 @@ func Compile(prepared *ir.Func, arch machine.Arch) (*Result, error) {
 // CompileSpan is Compile with each backend stage (partition, schedule,
 // regalloc, spill) recorded as telemetry spans nested under sp.
 func CompileSpan(sp *obs.Span, prepared *ir.Func, arch machine.Arch) (*Result, error) {
+	return CompilePrepared(sp, NewPrepared(prepared), arch, nil)
+}
+
+// CompilePrepared is the explorer's hot path: it compiles a shared
+// Prepared kernel for one architecture, reusing the kernel's cached
+// dependence skeletons (per L2 latency class) and the caller's Scratch
+// arena. prep may be shared across concurrent workers; sc may not
+// (pass nil to allocate a private one). The prepared IR is not mutated.
+func CompilePrepared(sp *obs.Span, prep *Prepared, arch machine.Arch, sc *Scratch) (*Result, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
 	csp := obs.Under(sp, "sched")
 	if csp != nil {
-		csp.Str("kernel", prepared.Name).Str("arch", arch.String())
+		csp.Str("kernel", prep.F.Name).Str("arch", arch.String())
 	}
 	defer csp.End()
-	work := prepared.Clone()
+	if sc == nil {
+		sc = NewScratch()
+	}
+	work := prep.F.Clone()
 	if arch.MinMax {
 		FuseMinMax(work)
 	}
 	spilled := 0
 	alreadySpilled := map[ir.Reg]bool{}
 	cap := arch.RegsPC() - 2
+	// The cached skeletons describe prep.F's pristine blocks, so they
+	// apply only while work is instruction-identical to them: single
+	// cluster (partitioning inserts no copies), no min/max fusion, and
+	// no spill rewrites yet.
+	singleCluster := arch.Clusters <= 1
 	for iter := 1; iter <= MaxSpillIterations; iter++ {
-		g := work.Clone()
+		var g *ir.Func
 		psp := csp.Child("sched.partition").Int("iter", int64(iter))
-		pl := Partition(g, arch)
+		var pl *Placement
+		if singleCluster {
+			// Partitioning a single-cluster machine only stamps cluster
+			// 0 on every instruction — idempotent, so the work copy is
+			// scheduled in place with no per-iteration clone at all.
+			g = work
+			pl = Partition(g, arch)
+		} else {
+			// Clustered machines rewrite the instruction stream (copy
+			// insertion, operand localization), so partitioning clones:
+			// one fused pass instead of Clone followed by Partition.
+			g, pl = PartitionClone(work, arch)
+		}
 		psp.End()
+		var skels []*ddg.Skeleton
+		if singleCluster && !arch.MinMax && iter == 1 {
+			skels = prep.skeletons(arch)
+		}
 		// After two failed greedy rounds, fall back to program-order
 		// priority: a valid execution order whose pressure tracks the
 		// source's depth-first evaluation, trading ILP for fit.
 		inOrder := iter >= 3
 		ssp := csp.Child("sched.schedule").Int("iter", int64(iter))
-		prog, err := ScheduleMode(g, arch, pl, cap, inOrder)
+		prog, lv, err := scheduleFunc(g, arch, pl, cap, inOrder, skels, sc)
 		if err != nil {
 			ssp.End()
 			return nil, err
 		}
 		ssp.Int("bundles", int64(prog.BundleCount())).Int("ops", int64(prog.OpCount())).End()
-		ra := regalloc.AllocateSpan(csp, prog)
+		ra := regalloc.AllocateWith(csp, prog, lv, sc.RA)
 		if DebugCompileLog != nil {
 			DebugCompileLog("iter %d inorder=%v cap=%d maxlive=%v fits=%v bundles=%d", iter, inOrder, cap, ra.MaxLive, ra.Fits, prog.BundleCount())
 		}
@@ -144,13 +178,13 @@ func CompileSpan(sp *obs.Span, prepared *ir.Func, arch machine.Arch) (*Result, e
 		if len(victims) == 0 {
 			spsp.End()
 			return nil, fmt.Errorf("sched %s on %s: pressure %v exceeds %d regs/cluster with no spillable candidates",
-				prepared.Name, arch, ra.MaxLive, ra.Capacity)
+				prep.F.Name, arch, ra.MaxLive, ra.Capacity)
 		}
 		n := SpillRewrite(work, victims)
 		spsp.Int("victims", int64(len(victims))).Int("rewritten", int64(n)).End()
 		if n == 0 {
 			return nil, fmt.Errorf("sched %s on %s: spill made no progress (pressure %v)",
-				prepared.Name, arch, ra.MaxLive)
+				prep.F.Name, arch, ra.MaxLive)
 		}
 		spilled += n
 		// The cap stays fixed: shrinking it only multiplies forced
@@ -159,5 +193,5 @@ func CompileSpan(sp *obs.Span, prepared *ir.Func, arch machine.Arch) (*Result, e
 		// reloads back into one long-lived value and undo the spill.
 	}
 	return nil, fmt.Errorf("sched %s on %s after %d spill rounds: %w",
-		prepared.Name, arch, MaxSpillIterations, ErrNoFit)
+		prep.F.Name, arch, MaxSpillIterations, ErrNoFit)
 }

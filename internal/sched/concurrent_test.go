@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"customfit/internal/cc"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+)
+
+// TestCompilePreparedConcurrentSharing drives the explorer's sharing
+// contract: one Prepared kernel shared by many goroutines, each with a
+// private Scratch arena, across architectures that hit every skeleton
+// path (cached single-cluster, clustered, spilling). Every concurrent
+// compile must reproduce the serial Result exactly. `make race` runs
+// this under the race detector to vet the skeleton singleflight.
+func TestCompilePreparedConcurrentSharing(t *testing.T) {
+	fn, err := cc.CompileKernel(pipeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := opt.Prepare(fn, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type shape struct{ spilled, iters, bundles, ops int }
+	ref := map[machine.Arch]shape{}
+	for _, arch := range testArchs {
+		res, err := Compile(g, arch)
+		if err != nil {
+			t.Fatalf("serial Compile %s: %v", arch, err)
+		}
+		ref[arch] = shape{res.Spilled, res.Iterations, res.Prog.BundleCount(), res.Prog.OpCount()}
+	}
+
+	prep := NewPrepared(g)
+	const workers = 8
+	errs := make(chan error, workers*len(testArchs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := NewScratch()
+			for _, arch := range testArchs {
+				res, err := CompilePrepared(nil, prep, arch, sc)
+				if err != nil {
+					errs <- fmt.Errorf("concurrent compile %s: %v", arch, err)
+					continue
+				}
+				got := shape{res.Spilled, res.Iterations, res.Prog.BundleCount(), res.Prog.OpCount()}
+				if got != ref[arch] {
+					errs <- fmt.Errorf("%s: concurrent result %+v, serial %+v", arch, got, ref[arch])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -54,45 +54,89 @@ const balanceWeight = 8
 // parameters arrive on cluster 0; the branch unit (and so every branch
 // condition) lives on cluster 0.
 func Partition(f *ir.Func, arch machine.Arch) *Placement {
+	return partition(f, f, nil, arch)
+}
+
+// PartitionClone partitions a copy of src, leaving src untouched: the
+// clone and the cluster assignment are produced in one fused pass over
+// the instruction stream instead of a deep Clone followed by an
+// in-place Partition — the compile driver's per-spill-iteration path
+// for clustered machines.
+func PartitionClone(src *ir.Func, arch machine.Arch) (*ir.Func, *Placement) {
+	nf, bmap := src.CloneShell()
+	pl := partition(src, nf, bmap, arch)
+	nf.ComputeCFG()
+	return nf, pl
+}
+
+// partition runs the partitioner reading src's blocks and writing dst's
+// (dst == src for the in-place form). bmap, non-nil only in clone mode,
+// remaps cloned branch targets into dst.
+func partition(src, dst *ir.Func, bmap map[*ir.Block]*ir.Block, arch machine.Arch) *Placement {
 	p := &partitioner{
-		f:     f,
+		f:     dst,
+		bmap:  bmap,
 		nc:    arch.Clusters,
 		pl:    &Placement{},
 		homed: map[ir.Reg]bool{},
 		fixed: map[ir.Reg]bool{},
 	}
-	p.pl.RegCluster = make([]int, f.NumRegs())
+	p.pl.RegCluster = make([]int, src.NumRegs())
 	if p.nc <= 1 {
-		for _, b := range f.Blocks {
+		for bi, b := range src.Blocks {
+			if bmap == nil {
+				for _, in := range b.Instrs {
+					in.Cluster = 0
+				}
+				continue
+			}
+			nb := dst.Blocks[bi]
+			nb.Instrs = make([]*ir.Instr, 0, len(b.Instrs))
 			for _, in := range b.Instrs {
-				in.Cluster = 0
+				cp := p.emitCopy(in)
+				cp.Cluster = 0
+				nb.Instrs = append(nb.Instrs, cp)
 			}
 		}
 		return p.pl
 	}
-	lv := opt.ComputeLiveness(f)
-	for _, b := range f.Blocks {
-		for r := ir.Reg(0); int(r) < f.NumRegs(); r++ {
+	lv := opt.ComputeLiveness(src)
+	for _, b := range src.Blocks {
+		for r := ir.Reg(0); int(r) < src.NumRegs(); r++ {
 			if lv.LiveIn(b, r) {
 				p.fixed[r] = true
 			}
 		}
 	}
-	for _, prm := range f.Params {
+	for _, prm := range src.Params {
 		p.setHome(prm.Reg, 0)
 	}
-	for _, b := range f.Blocks {
-		p.block(b)
+	for bi, b := range src.Blocks {
+		p.block(b, dst.Blocks[bi])
 	}
 	return p.pl
 }
 
 type partitioner struct {
 	f     *ir.Func
+	bmap  map[*ir.Block]*ir.Block // nil when partitioning in place
 	nc    int
 	pl    *Placement
 	homed map[ir.Reg]bool
 	fixed map[ir.Reg]bool
+}
+
+// emitCopy clones in for the output function in clone mode (remapping
+// branch targets), or returns in itself when partitioning in place.
+func (p *partitioner) emitCopy(in *ir.Instr) *ir.Instr {
+	if p.bmap == nil {
+		return in
+	}
+	cp := in.Clone()
+	for i, t := range cp.Targets {
+		cp.Targets[i] = p.bmap[t]
+	}
+	return cp
 }
 
 func (p *partitioner) setHome(r ir.Reg, c int) {
@@ -115,7 +159,7 @@ type copyKey struct {
 	c int
 }
 
-func (p *partitioner) block(b *ir.Block) {
+func (p *partitioner) block(b, dst *ir.Block) {
 	load := make([]int, p.nc)
 	memLoad := make([]int, p.nc)
 	copies := map[copyKey]ir.Reg{}
@@ -239,7 +283,8 @@ func (p *partitioner) block(b *ir.Block) {
 		}
 	}
 
-	for _, in := range b.Instrs {
+	for _, orig := range b.Instrs {
+		in := p.emitCopy(orig)
 		switch in.Op {
 		case ir.OpBr, ir.OpRet:
 			in.Cluster = 0
@@ -325,7 +370,7 @@ func (p *partitioner) block(b *ir.Block) {
 		ld.Cluster = int16(c)
 		memLoad[c]++
 	}
-	b.Instrs = out
+	dst.Instrs = out
 }
 
 func (p *partitioner) define(in *ir.Instr, c int, invalidate func(ir.Reg)) {

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"customfit/internal/ddg"
@@ -59,6 +58,18 @@ func ScheduleWithCap(f *ir.Func, arch machine.Arch, pl *Placement, cap int) (*vl
 // ScheduleMode additionally selects in-order priority, the
 // pressure-safe fallback used after repeated allocation failures.
 func ScheduleMode(f *ir.Func, arch machine.Arch, pl *Placement, cap int, inOrder bool) (*vliw.Program, error) {
+	prog, _, err := scheduleFunc(f, arch, pl, cap, inOrder, nil, NewScratch())
+	return prog, err
+}
+
+// scheduleFunc is the scheduling engine: it builds (or reuses) the
+// dependence skeleton of every block and list-schedules them, returning
+// the program together with the liveness analysis it computed so the
+// compile driver can hand the same analysis to the register allocator.
+// skels, when non-nil, must be per-block skeletons built from a function
+// whose blocks are instruction-for-instruction identical to f's (the
+// Prepared cache guarantees this).
+func scheduleFunc(f *ir.Func, arch machine.Arch, pl *Placement, cap int, inOrder bool, skels []*ddg.Skeleton, sc *Scratch) (*vliw.Program, *opt.Liveness, error) {
 	prog := &vliw.Program{
 		Arch:       arch,
 		F:          f,
@@ -66,14 +77,20 @@ func ScheduleMode(f *ir.Func, arch machine.Arch, pl *Placement, cap int, inOrder
 	}
 	lv := opt.ComputeLiveness(f)
 	prog.Blame = make([]int, f.NumRegs())
-	for _, b := range f.Blocks {
-		sb, err := scheduleBlock(f, b, arch, pl, lv, cap, prog.Blame, inOrder)
+	for bi, b := range f.Blocks {
+		var sk *ddg.Skeleton
+		if skels != nil {
+			sk = skels[bi]
+		} else {
+			sk = ddg.BuildSkeleton(b, arch)
+		}
+		sb, err := scheduleBlock(f, b, arch, pl, lv, cap, prog.Blame, inOrder, sk, sc)
 		if err != nil {
-			return nil, fmt.Errorf("sched %s/%s: %w", f.Name, b.Name, err)
+			return nil, nil, fmt.Errorf("sched %s/%s: %w", f.Name, b.Name, err)
 		}
 		prog.Blocks = append(prog.Blocks, sb)
 	}
-	return prog, nil
+	return prog, lv, nil
 }
 
 // pressureReserve is how many registers per cluster the throttle keeps
@@ -81,74 +98,134 @@ func ScheduleMode(f *ir.Func, arch machine.Arch, pl *Placement, cap int, inOrder
 // the scheduler's exact liveness).
 const pressureReserve = 2
 
-// readyQueue is a max-heap on (Height, then earlier program order), or
-// pure program order when inOrder is set (the pressure-safe fallback:
-// program order is a valid execution order, so the front of the queue
-// is always placeable and pressure tracks the program-order peak).
-type readyQueue struct {
-	nodes   []*ddg.Node
+// readyHeap is a min-heap of instruction indices ordered by descending
+// critical-path height (ties to earlier program order), or pure program
+// order when inOrder is set (the pressure-safe fallback: program order
+// is a valid execution order, so the front of the queue is always
+// placeable and pressure tracks the program-order peak). The ordering
+// is total — no two entries compare equal — so the pop sequence is
+// independent of heap layout.
+type readyHeap struct {
+	idx     []int32
+	heights []int
 	inOrder bool
 }
 
-func (q readyQueue) Len() int { return len(q.nodes) }
-func (q readyQueue) Less(i, j int) bool {
-	a, b := q.nodes[i], q.nodes[j]
+func (q *readyHeap) less(a, b int32) bool {
 	if q.inOrder {
-		return a.Index < b.Index
+		return a < b
 	}
-	if a.Height != b.Height {
-		return a.Height > b.Height
+	if q.heights[a] != q.heights[b] {
+		return q.heights[a] > q.heights[b]
 	}
-	return a.Index < b.Index
-}
-func (q readyQueue) Swap(i, j int) { q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i] }
-func (q *readyQueue) Push(x interface{}) {
-	q.nodes = append(q.nodes, x.(*ddg.Node))
-}
-func (q *readyQueue) Pop() interface{} {
-	old := q.nodes
-	n := len(old)
-	x := old[n-1]
-	q.nodes = old[:n-1]
-	return x
+	return a < b
 }
 
-// resources tracks per-cycle slot usage and port occupancy.
+func (q *readyHeap) push(x int32) {
+	q.idx = append(q.idx, x)
+	i := len(q.idx) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(q.idx[i], q.idx[p]) {
+			break
+		}
+		q.idx[i], q.idx[p] = q.idx[p], q.idx[i]
+		i = p
+	}
+}
+
+func (q *readyHeap) pop() int32 {
+	top := q.idx[0]
+	n := len(q.idx) - 1
+	q.idx[0] = q.idx[n]
+	q.idx = q.idx[:n]
+	if n > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+func (q *readyHeap) down(i int) {
+	n := len(q.idx)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.less(q.idx[r], q.idx[l]) {
+			m = r
+		}
+		if !q.less(q.idx[m], q.idx[i]) {
+			return
+		}
+		q.idx[i], q.idx[m] = q.idx[m], q.idx[i]
+		i = m
+	}
+}
+
+func (q *readyHeap) reinit() {
+	for i := len(q.idx)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+}
+
+// resources tracks per-cycle slot usage and port occupancy in flat
+// row-major tables (cycle*clusters + cluster), reused across blocks via
+// the Scratch arena.
 type resources struct {
 	arch machine.Arch
-	// per cycle, per cluster slot counters (grown on demand)
-	alu [][]int
-	mul [][]int
-	l1p [][]int
-	l2p [][]int
-	bus []int
-	br  []int
+	nc   int
+	rows int // per-cycle rows currently valid (zeroed)
+	// per cycle, per cluster slot counters
+	alu, mul, l1p, l2p []int32
+	// per cycle global counters
+	bus, br []int32
 	// global non-pipelined port free-times
 	l1FreeAt int
 	l2FreeAt []int
 }
 
-func newResources(arch machine.Arch) *resources {
-	return &resources{arch: arch, l2FreeAt: make([]int, arch.L2Ports)}
+func (rs *resources) reset(arch machine.Arch) {
+	rs.arch = arch
+	rs.nc = arch.Clusters
+	rs.rows = 0
+	rs.l1FreeAt = 0
+	rs.l2FreeAt = growInt(&rs.l2FreeAt, arch.L2Ports)
 }
 
-// growTo batch-extends per-cycle slot tracking.
+// growTo batch-extends per-cycle slot tracking, zeroing only the newly
+// exposed rows (earlier rows carry this block's live counts).
 func (rs *resources) growTo(cycle int) {
-	nc := rs.arch.Clusters
-	for len(rs.bus) <= cycle {
-		target := cap(rs.bus)
-		if target <= cycle {
-			target = cycle + 256
-		}
-		for len(rs.bus) < target+1 {
-			rs.alu = append(rs.alu, make([]int, nc))
-			rs.mul = append(rs.mul, make([]int, nc))
-			rs.l1p = append(rs.l1p, make([]int, nc))
-			rs.l2p = append(rs.l2p, make([]int, nc))
-			rs.bus = append(rs.bus, 0)
-			rs.br = append(rs.br, 0)
-		}
+	if cycle < rs.rows {
+		return
 	}
+	rows := rs.rows + 256
+	for rows <= cycle {
+		rows += 256
+	}
+	rs.alu = growRows(rs.alu, rs.rows*rs.nc, rows*rs.nc)
+	rs.mul = growRows(rs.mul, rs.rows*rs.nc, rows*rs.nc)
+	rs.l1p = growRows(rs.l1p, rs.rows*rs.nc, rows*rs.nc)
+	rs.l2p = growRows(rs.l2p, rs.rows*rs.nc, rows*rs.nc)
+	rs.bus = growRows(rs.bus, rs.rows, rows)
+	rs.br = growRows(rs.br, rs.rows, rows)
+	rs.rows = rows
+}
+
+// growRows resizes s to n entries, keeping the first used entries and
+// zeroing the rest, reusing capacity where possible.
+func growRows(s []int32, used, n int) []int32 {
+	if cap(s) < n {
+		ns := make([]int32, n)
+		copy(ns, s[:used])
+		return ns
+	}
+	s = s[:n]
+	for i := used; i < n; i++ {
+		s[i] = 0
+	}
+	return s
 }
 
 // tryPlace checks and reserves machine resources for in at the cycle.
@@ -156,29 +233,30 @@ func (rs *resources) tryPlace(in *ir.Instr, cycle int, pl *Placement) bool {
 	rs.growTo(cycle)
 	a := rs.arch
 	c := pl.Cluster(in)
+	row := cycle * rs.nc
 	switch in.Op {
 	case ir.OpXMov:
 		src := pl.SrcCluster(in)
-		if rs.alu[cycle][src] >= a.ALUsPC() || rs.bus[cycle] >= a.Buses() {
+		if int(rs.alu[row+src]) >= a.ALUsPC() || int(rs.bus[cycle]) >= a.Buses() {
 			return false
 		}
-		rs.alu[cycle][src]++
+		rs.alu[row+src]++
 		rs.bus[cycle]++
 	case ir.OpMul:
-		if rs.alu[cycle][c] >= a.ALUsPC() || rs.mul[cycle][c] >= a.MULsPC() {
+		if int(rs.alu[row+c]) >= a.ALUsPC() || int(rs.mul[row+c]) >= a.MULsPC() {
 			return false
 		}
-		rs.alu[cycle][c]++
-		rs.mul[cycle][c]++
+		rs.alu[row+c]++
+		rs.mul[row+c]++
 	case ir.OpLoad, ir.OpStore:
 		if in.Mem.Space == ir.L1 {
-			if rs.l1p[cycle][c] >= 1 || rs.l1FreeAt > cycle {
+			if rs.l1p[row+c] >= 1 || rs.l1FreeAt > cycle {
 				return false
 			}
-			rs.l1p[cycle][c]++
+			rs.l1p[row+c]++
 			rs.l1FreeAt = cycle + machine.L1Occupancy
 		} else {
-			if rs.l2p[cycle][c] >= a.L2PathsPC() {
+			if int(rs.l2p[row+c]) >= a.L2PathsPC() {
 				return false
 			}
 			port := -1
@@ -191,7 +269,7 @@ func (rs *resources) tryPlace(in *ir.Instr, cycle int, pl *Placement) bool {
 			if port < 0 {
 				return false
 			}
-			rs.l2p[cycle][c]++
+			rs.l2p[row+c]++
 			rs.l2FreeAt[port] = cycle + a.L2Lat
 		}
 	case ir.OpBr, ir.OpCBr, ir.OpRet:
@@ -201,37 +279,36 @@ func (rs *resources) tryPlace(in *ir.Instr, cycle int, pl *Placement) bool {
 		rs.br[cycle]++
 	case ir.OpNop:
 	default: // plain ALU op (incl. mov, select, compares)
-		if rs.alu[cycle][c] >= a.ALUsPC() {
+		if int(rs.alu[row+c]) >= a.ALUsPC() {
 			return false
 		}
-		rs.alu[cycle][c]++
+		rs.alu[row+c]++
 	}
 	return true
 }
 
 // pressure tracks exact per-cluster live-value counts as the schedule
-// is built.
+// is built. All state except the escaping peak slice lives in the
+// Scratch arena.
 type pressure struct {
 	cap        int // per-cluster live-value budget
 	live       []int
 	peak       []int
 	isLive     []bool
-	remaining  []int // uses left within the block
+	remaining  []int32 // uses left within the block
 	immortal   []bool
 	regCluster []int
 }
 
-func newPressure(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *opt.Liveness, cap int) *pressure {
+func (p *pressure) init(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *opt.Liveness, cap int, sc *Scratch) {
 	n := f.NumRegs()
-	p := &pressure{
-		cap:        cap,
-		live:       make([]int, arch.Clusters),
-		peak:       make([]int, arch.Clusters),
-		isLive:     make([]bool, n),
-		remaining:  make([]int, n),
-		immortal:   make([]bool, n),
-		regCluster: pl.RegCluster,
-	}
+	p.cap = cap
+	p.live = growInt(&sc.live, arch.Clusters)
+	p.peak = make([]int, arch.Clusters) // escapes via vliw.Block.SchedPeak
+	p.isLive = growBool(&sc.isLive, n)
+	p.remaining = grow32(&sc.remaining, n)
+	p.immortal = growBool(&sc.immortal, n)
+	p.regCluster = pl.RegCluster
 	if p.cap < 3 {
 		p.cap = 3
 	}
@@ -251,7 +328,6 @@ func newPressure(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *
 			p.live[p.clusterOf(r)]++
 		}
 	}
-	return p
 }
 
 func (p *pressure) clusterOf(r ir.Reg) int {
@@ -262,7 +338,9 @@ func (p *pressure) clusterOf(r ir.Reg) int {
 }
 
 // wouldExceed reports whether placing in now pushes its destination
-// cluster past the budget, accounting for argument deaths.
+// cluster past the budget, accounting for argument deaths. Duplicate
+// register arguments are detected by scanning the (tiny) argument list
+// rather than a heap-allocated set.
 func (p *pressure) wouldExceed(in *ir.Instr) bool {
 	if p.cap <= 0 || !in.Op.HasDest() {
 		return false
@@ -273,12 +351,10 @@ func (p *pressure) wouldExceed(in *ir.Instr) bool {
 	if !p.isLive[in.Dest] {
 		delta++
 	}
-	seen := map[ir.Reg]bool{}
-	for _, a := range in.Args {
-		if !a.IsReg() || seen[a.Reg] {
+	for ai, a := range in.Args {
+		if !a.IsReg() || dupArg(in.Args[:ai], a.Reg) {
 			continue
 		}
-		seen[a.Reg] = true
 		if p.isLive[a.Reg] && !p.immortal[a.Reg] && p.remaining[a.Reg] == 1 &&
 			p.clusterOf(a.Reg) == cd && a.Reg != in.Dest {
 			delta--
@@ -287,18 +363,26 @@ func (p *pressure) wouldExceed(in *ir.Instr) bool {
 	return p.live[cd]+delta > limit
 }
 
+// dupArg reports whether reg already appeared among the earlier args.
+func dupArg(args []ir.Operand, reg ir.Reg) bool {
+	for _, a := range args {
+		if a.IsReg() && a.Reg == reg {
+			return true
+		}
+	}
+	return false
+}
+
 // place updates liveness state for a placed instruction.
 func (p *pressure) place(in *ir.Instr) {
-	seen := map[ir.Reg]bool{}
-	for _, a := range in.Args {
+	for ai, a := range in.Args {
 		if !a.IsReg() {
 			continue
 		}
 		p.remaining[a.Reg]--
-		if seen[a.Reg] {
+		if dupArg(in.Args[:ai], a.Reg) {
 			continue
 		}
-		seen[a.Reg] = true
 		if p.remaining[a.Reg] <= 0 && !p.immortal[a.Reg] && p.isLive[a.Reg] {
 			p.isLive[a.Reg] = false
 			p.live[p.clusterOf(a.Reg)]--
@@ -314,36 +398,64 @@ func (p *pressure) place(in *ir.Instr) {
 	}
 }
 
-func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *opt.Liveness, cap int, blame []int, inOrder bool) (*vliw.Block, error) {
-	g := ddg.Build(b, arch)
-	n := len(g.Nodes)
+func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *opt.Liveness, cap int, blame []int, inOrder bool, sk *ddg.Skeleton, sc *Scratch) (*vliw.Block, error) {
+	ins := b.Instrs
+	n := len(ins)
 	sb := &vliw.Block{IR: b}
 	if n == 0 {
 		return sb, nil
 	}
 
-	unschedPreds := make([]int, n)
-	earliest := make([]int, n)
-	for i, nd := range g.Nodes {
-		unschedPreds[i] = len(nd.Preds)
+	unschedPreds := grow32(&sc.unschedPreds, n)
+	earliest := grow32(&sc.earliest, n)
+	for i, np := range sk.NPreds {
+		unschedPreds[i] = int32(np)
 	}
-	ready := readyQueue{inOrder: inOrder}
-	for i, nd := range g.Nodes {
+	ready := readyHeap{idx: sc.ready[:0], heights: sk.Heights, inOrder: inOrder}
+	for i := 0; i < n; i++ {
 		if unschedPreds[i] == 0 {
-			heap.Push(&ready, nd)
+			ready.push(int32(i))
 		}
 	}
-	rs := newResources(arch)
-	pr := newPressure(f, b, arch, pl, lv, cap)
+	rs := &sc.res
+	rs.reset(arch)
+	var pr pressure
+	pr.init(f, b, arch, pl, lv, cap, sc)
 	placed := 0
 	cycle := 0
-	cycles := make([]int, n)
-	var deferred []*ddg.Node
+	last := 0
+	deferred := sc.deferred[:0]
 	cooloff := 0 // cycles to wait after a forced placement before forcing again
 	maxCycles := 64*n + 4096
+	sb.Ops = make([]vliw.Op, 0, n)
+
+	emit := func(i int32) {
+		in := ins[i]
+		pr.place(in)
+		if cycle > last {
+			last = cycle
+		}
+		sb.Ops = append(sb.Ops, vliw.Op{
+			Instr:      in,
+			Cycle:      cycle,
+			Cluster:    pl.Cluster(in),
+			SrcCluster: pl.SrcCluster(in),
+		})
+		placed++
+		for _, e := range sk.Succs[i] {
+			if t := int32(cycle + e.MinDelta); t > earliest[e.To] {
+				earliest[e.To] = t
+			}
+			unschedPreds[e.To]--
+			if unschedPreds[e.To] == 0 {
+				ready.push(int32(e.To))
+			}
+		}
+	}
 
 	for placed < n {
 		if cycle > maxCycles {
+			sc.ready, sc.deferred = ready.idx[:0], deferred[:0]
 			return nil, fmt.Errorf("schedule did not converge after %d cycles (%d/%d ops placed)", cycle, placed, n)
 		}
 		deferred = deferred[:0]
@@ -353,41 +465,24 @@ func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv
 		// enough candidates fail, the rest of the heap almost certainly
 		// cannot issue this cycle either.
 		scanBudget := 8 * (arch.ALUs + arch.L2Ports + arch.Clusters + 4)
-		for ready.Len() > 0 && scanBudget > 0 {
+		for len(ready.idx) > 0 && scanBudget > 0 {
 			scanBudget--
-			nd := heap.Pop(&ready).(*ddg.Node)
-			if earliest[nd.Index] > cycle {
-				deferred = append(deferred, nd)
+			i := ready.pop()
+			if int(earliest[i]) > cycle {
+				deferred = append(deferred, i)
 				continue
 			}
-			if pr.wouldExceed(nd.Instr) {
+			if pr.wouldExceed(ins[i]) {
 				pressureDeferrals++
-				deferred = append(deferred, nd)
+				deferred = append(deferred, i)
 				continue
 			}
-			if !rs.tryPlace(nd.Instr, cycle, pl) {
-				deferred = append(deferred, nd)
+			if !rs.tryPlace(ins[i], cycle, pl) {
+				deferred = append(deferred, i)
 				continue
 			}
-			pr.place(nd.Instr)
-			cycles[nd.Index] = cycle
-			sb.Ops = append(sb.Ops, vliw.Op{
-				Instr:      nd.Instr,
-				Cycle:      cycle,
-				Cluster:    pl.Cluster(nd.Instr),
-				SrcCluster: pl.SrcCluster(nd.Instr),
-			})
-			placed++
+			emit(i)
 			placedThisCycle++
-			for _, e := range nd.Succs {
-				if t := cycle + e.MinDelta; t > earliest[e.To.Index] {
-					earliest[e.To.Index] = t
-				}
-				unschedPreds[e.To.Index]--
-				if unschedPreds[e.To.Index] == 0 {
-					heap.Push(&ready, e.To)
-				}
-			}
 		}
 		// Pressure deadlock: every issuable candidate would overflow the
 		// budget, and the consumers that would relieve it are not ready
@@ -401,10 +496,10 @@ func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv
 		if placedThisCycle == 0 && pressureDeferrals > 0 && cooloff == 0 {
 			// Blame the values occupying the saturated clusters: they
 			// are what a pressure-aware compiler would spill.
-			stuck := map[int]bool{}
-			for _, nd := range deferred {
-				if earliest[nd.Index] <= cycle && nd.Instr.Op.HasDest() {
-					stuck[pr.clusterOf(nd.Instr.Dest)] = true
+			stuck := growBool(&sc.stuck, arch.Clusters)
+			for _, i := range deferred {
+				if int(earliest[i]) <= cycle && ins[i].Op.HasDest() {
+					stuck[pr.clusterOf(ins[i].Dest)] = true
 				}
 			}
 			for r := 0; r < len(pr.isLive) && r < len(blame); r++ {
@@ -412,68 +507,46 @@ func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv
 					blame[r]++
 				}
 			}
-			var best *ddg.Node
+			best := int32(-1)
 			bestKey := [2]int{-1, -1 << 30}
-			for _, nd := range deferred {
-				if earliest[nd.Index] > cycle {
+			for _, i := range deferred {
+				if int(earliest[i]) > cycle {
 					continue
 				}
 				enables := 0
-				for _, e := range nd.Succs {
-					if unschedPreds[e.To.Index] == 1 {
-						enables++ // nd is the successor's last unscheduled input
+				for _, e := range sk.Succs[i] {
+					if unschedPreds[e.To] == 1 {
+						enables++ // i is the successor's last unscheduled input
 					}
 				}
 				// Tie-break by PROGRAM order, not priority: the frontend
 				// emits expressions depth-first, so program order is the
 				// register-lean (Sethi-Ullman-like) evaluation order —
 				// exactly what a fully serialized machine should follow.
-				key := [2]int{enables, -nd.Index}
+				key := [2]int{enables, -int(i)}
 				if key[0] > bestKey[0] || (key[0] == bestKey[0] && key[1] > bestKey[1]) {
-					best, bestKey = nd, key
+					best, bestKey = i, key
 				}
 			}
-			if best != nil && rs.tryPlace(best.Instr, cycle, pl) {
+			if best >= 0 && rs.tryPlace(ins[best], cycle, pl) {
 				sb.Forced++
 				// Let the admitted value's consumer catch up (producer
 				// latency) before forcing more pressure in.
-				cooloff = 1 + ddg.Latency(best.Instr, arch)
-				pr.place(best.Instr)
-				cycles[best.Index] = cycle
-				sb.Ops = append(sb.Ops, vliw.Op{
-					Instr:      best.Instr,
-					Cycle:      cycle,
-					Cluster:    pl.Cluster(best.Instr),
-					SrcCluster: pl.SrcCluster(best.Instr),
-				})
-				placed++
-				for _, e := range best.Succs {
-					if t := cycle + e.MinDelta; t > earliest[e.To.Index] {
-						earliest[e.To.Index] = t
-					}
-					unschedPreds[e.To.Index]--
-					if unschedPreds[e.To.Index] == 0 {
-						heap.Push(&ready, e.To)
-					}
-				}
-				for i, nd := range deferred {
-					if nd == best {
+				cooloff = 1 + ddg.Latency(ins[best], arch)
+				emit(best)
+				for i, d := range deferred {
+					if d == best {
 						deferred = append(deferred[:i], deferred[i+1:]...)
 						break
 					}
 				}
 			}
 		}
-		ready.nodes = append(ready.nodes, deferred...)
-		heap.Init(&ready)
+		ready.idx = append(ready.idx, deferred...)
+		ready.reinit()
 		cycle++
 	}
-	last := 0
-	for _, c := range cycles {
-		if c > last {
-			last = c
-		}
-	}
+	sc.ready, sc.deferred = ready.idx[:0], deferred[:0]
 	sb.Len = last + 1
 	sb.SchedPeak = pr.peak
 	return sb, nil
