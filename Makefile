@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench bench-smoke
+.PHONY: build test vet race check bench bench-smoke bench-diff
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,12 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The telemetry subsystem, the parallel explorer, and the backend's
-# shared-kernel/scratch machinery are the places where data races could
-# hide; run them under the race detector.
+# The telemetry subsystem, the parallel explorer, the backend's
+# shared-kernel/scratch machinery, and the persistent evaluation cache
+# are the places where data races could hide; run them under the race
+# detector.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/dse/... ./internal/sched/...
+	$(GO) test -race ./internal/obs/... ./internal/dse/... ./internal/sched/... ./internal/evcache/...
 
 # One-iteration pass over the exploration benchmarks: catches bit-rot in
 # the benchmark harness without paying for a real measurement.
@@ -35,3 +36,11 @@ bench:
 			-baseline-note "pre-optimization seed (PR2 start)" \
 			-o BENCH_explore.json
 	@echo wrote BENCH_explore.json
+
+# Regression gate: re-measure the tracked end-to-end exploration
+# benchmark and fail if it runs >10% slower (ns/op) than the recorded
+# trajectory in BENCH_explore.json. Three repeats, gated on the
+# minimum, so scheduler noise cannot fail an unchanged tree.
+bench-diff:
+	$(GO) test -run '^$$' -bench BenchmarkExploreSubset -benchtime 3x -count 3 ./internal/dse/ | \
+		$(GO) run ./cmd/cfp-benchjson -against BENCH_explore.json

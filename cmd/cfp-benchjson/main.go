@@ -13,6 +13,15 @@
 // pairs — and ignores everything else (goos/pkg headers, PASS, ok).
 // When a baseline is given, the output also reports per-metric deltas
 // for benchmarks present on both sides.
+//
+// Regression-gate mode (the Makefile's `bench-diff` target):
+//
+//	go test -bench BenchmarkExploreSubset ./internal/dse/ | \
+//	    cfp-benchjson -against BENCH_explore.json
+//
+// compares one tracked metric (-regress-bench/-regress-metric) of the
+// fresh run against the recorded document and exits nonzero when it
+// regressed by more than -max-regress (default 10%).
 package main
 
 import (
@@ -59,6 +68,11 @@ func main() {
 		out      = flag.String("o", "", "write JSON here (default stdout)")
 		baseFile = flag.String("baseline", "", "baseline `go test -bench` text to embed and diff against")
 		baseNote = flag.String("baseline-note", "", "free-form provenance note for the baseline")
+
+		against       = flag.String("against", "", "recorded cfp-benchjson document to gate against (exit 1 on regression; suppresses JSON output unless -o is given)")
+		maxRegress    = flag.Float64("max-regress", 0.10, "with -against: fail when the tracked metric grew by more than this fraction")
+		regressBench  = flag.String("regress-bench", "BenchmarkExploreSubset", "with -against: benchmark to gate on")
+		regressMetric = flag.String("regress-metric", "ns/op", "with -against: metric to gate on")
 	)
 	flag.Parse()
 
@@ -68,6 +82,14 @@ func main() {
 	}
 	if len(cur) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	if *against != "" {
+		if err := checkRegression(*against, cur, *regressBench, *regressMetric, *maxRegress); err != nil {
+			fatal(err)
+		}
+		if *out == "" {
+			return
+		}
 	}
 	doc := document{
 		Generated:    time.Now().UTC().Format(time.RFC3339),
@@ -188,6 +210,63 @@ func diff(base, cur []Benchmark) []Delta {
 		return out[i].Metric < out[j].Metric
 	})
 	return out
+}
+
+// checkRegression gates one (benchmark, metric) of the fresh run
+// against a previously recorded document: an increase beyond maxRegress
+// is an error, everything else prints a one-line verdict.
+func checkRegression(path string, cur []Benchmark, benchName, metric string, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	recorded, err := findMetric(doc.Benchmarks, benchName, metric)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fresh, err := findMetric(cur, benchName, metric)
+	if err != nil {
+		return fmt.Errorf("current run: %w", err)
+	}
+	if recorded <= 0 {
+		return fmt.Errorf("%s: recorded %s %s is %g, cannot gate", path, benchName, metric, recorded)
+	}
+	change := (fresh - recorded) / recorded
+	fmt.Printf("%s %s: recorded %.4g, current %.4g (%+.1f%%), limit +%.0f%%\n",
+		benchName, metric, recorded, fresh, 100*change, 100*maxRegress)
+	if change > maxRegress {
+		return fmt.Errorf("%s %s regressed %.1f%% (limit %.0f%%)", benchName, metric, 100*change, 100*maxRegress)
+	}
+	return nil
+}
+
+// findMetric locates one metric value by benchmark name (GOMAXPROCS
+// suffixes already stripped by parse; recorded documents are stored
+// stripped too). Repeated measurements of the same benchmark (`go test
+// -count=N`) are reduced to their minimum — the standard noise-robust
+// statistic for cost metrics, since interference only ever inflates.
+func findMetric(bs []Benchmark, benchName, metric string) (float64, error) {
+	best, found := 0.0, false
+	for _, b := range bs {
+		if b.Name != benchName {
+			continue
+		}
+		v, ok := b.Metrics[metric]
+		if !ok {
+			return 0, fmt.Errorf("%s has no %q metric", benchName, metric)
+		}
+		if !found || v < best {
+			best, found = v, true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("benchmark %s not found", benchName)
+	}
+	return best, nil
 }
 
 func fatal(err error) {

@@ -10,6 +10,15 @@
 //
 // Observability (see docs/OBSERVABILITY.md):
 //
+// Persistent caching (see docs/PERFORMANCE.md):
+//
+//	cfp-explore -cache-dir .cfp-cache -save results.json
+//	  First run fills the cache; re-runs with the same flags are
+//	  near-instant and bit-identical. -cache=off ignores the directory
+//	  for one run without clearing it.
+//
+// Observability, continued:
+//
 //	cfp-explore -sample 8 -trace trace.json -metrics metrics.json
 //	  -trace FILE    Chrome trace_event JSON of every pipeline span
 //	                 (parse, opt passes, partition, schedule, regalloc,
@@ -53,6 +62,7 @@ func main() {
 		repertoire = flag.Bool("repertoire", false, "run the min/max ALU repertoire study and exit")
 	)
 	tel := cli.AddTelemetryFlags()
+	cacheCfg := cli.AddCacheFlags()
 	flag.Parse()
 	if err := tel.Start(); err != nil {
 		fatal(err)
@@ -118,6 +128,18 @@ func main() {
 		e.Width = *width
 		e.Workers = *workers
 		e.DisableMemo = *noMemo
+		cache, err := cacheCfg.Open()
+		if err != nil {
+			fatal(err)
+		}
+		if cache != nil {
+			e.Cache = cache
+			defer func() {
+				if err := cache.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "cfp-explore: cache:", err)
+				}
+			}()
+		}
 		if *sample > 1 {
 			full := machine.FullSpace()
 			var archs []machine.Arch

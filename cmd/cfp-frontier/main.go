@@ -5,10 +5,16 @@
 // Usage:
 //
 //	cfp-frontier -load results.json -caps 5,10,15
+//	cfp-frontier -explore -cache-dir .cfp-cache -caps 5,10,15
+//
+// With -explore the tool runs the exploration itself instead of
+// loading a file; combined with -cache-dir (see docs/PERFORMANCE.md) a
+// warm re-run costs almost nothing, making the saved-results file
+// optional. -save persists the freshly explored results.
 //
 // Telemetry: -trace FILE / -metrics FILE / -pprof ADDR enable the
-// standard observability flags (mostly useful here for -pprof; the
-// load path compiles nothing). See docs/OBSERVABILITY.md.
+// standard observability flags (mostly useful with -explore; the load
+// path compiles nothing). See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -25,10 +31,14 @@ import (
 
 func main() {
 	var (
-		load = flag.String("load", "results_full.json", "saved exploration results (cfp-explore -save)")
-		caps = flag.String("caps", "5,10,15,100", "comma-separated cost caps")
+		load    = flag.String("load", "results_full.json", "saved exploration results (cfp-explore -save)")
+		caps    = flag.String("caps", "5,10,15,100", "comma-separated cost caps")
+		explore = flag.Bool("explore", false, "run the exploration instead of loading a file (pairs well with -cache-dir)")
+		save    = flag.String("save", "", "with -explore: save the results to this JSON file")
+		width   = flag.Int("width", 96, "with -explore: reference workload width in pixels")
 	)
 	tel := cli.AddTelemetryFlags()
+	cacheCfg := cli.AddCacheFlags()
 	flag.Parse()
 	if err := tel.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "cfp-frontier:", err)
@@ -40,7 +50,31 @@ func main() {
 		}
 	}()
 
-	res, err := dse.Load(*load)
+	var res *dse.Results
+	var err error
+	if *explore {
+		e := dse.NewExplorer()
+		e.Width = *width
+		cache, cerr := cacheCfg.Open()
+		if cerr != nil {
+			fmt.Fprintln(os.Stderr, "cfp-frontier:", cerr)
+			os.Exit(1)
+		}
+		if cache != nil {
+			e.Cache = cache
+			defer func() {
+				if err := cache.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "cfp-frontier: cache:", err)
+				}
+			}()
+		}
+		res, err = e.Run()
+		if err == nil && *save != "" {
+			err = res.Save(*save)
+		}
+	} else {
+		res, err = dse.Load(*load)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cfp-frontier:", err)
 		os.Exit(1)

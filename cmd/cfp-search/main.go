@@ -36,8 +36,10 @@ func main() {
 		sample    = flag.Int("sample", 4, "evaluate every Nth machine of the space")
 		seed      = flag.Int64("seed", 1, "random seed for the stochastic strategies")
 		width     = flag.Int("width", 64, "reference workload width")
+		prune     = flag.Bool("prune", true, "bound-guided pruning for the deterministic strategies (exact: identical optima, fewer compiles; see sched.LowerBound)")
 	)
 	tel := cli.AddTelemetryFlags()
+	cacheCfg := cli.AddCacheFlags()
 	flag.Parse()
 	if err := tel.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "cfp-search:", err)
@@ -65,6 +67,19 @@ func main() {
 
 	ev := dse.NewEvaluator()
 	ev.Width = *width
+	cache, err := cacheCfg.Open()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfp-search:", err)
+		os.Exit(1)
+	}
+	if cache != nil {
+		ev.Cache = cache
+		defer func() {
+			if err := cache.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "cfp-search: cache:", err)
+			}
+		}()
+	}
 	baseline := ev.Evaluate(b, machine.Baseline)
 	if baseline.Failed {
 		fmt.Fprintln(os.Stderr, "cfp-search: baseline evaluation failed")
@@ -82,12 +97,17 @@ func main() {
 		return baseline.Time / e.Time
 	}
 
+	var bound search.Bound
+	if *prune {
+		bound = ev.SpeedupBound(b, baseline.Time, cost, *costCap)
+	}
+
 	fmt.Printf("fitting %s under cost %.1f over %d machines (search sub-lattice)\n",
 		b.Name, *costCap, len(space))
-	results := search.Compare(space, obj, *seed)
-	fmt.Printf("%-12s %-22s %9s %7s %11s\n", "strategy", "best arch", "speedup", "evals", "of optimum")
+	results := search.CompareWithBound(space, obj, bound, *seed)
+	fmt.Printf("%-12s %-22s %9s %7s %7s %11s\n", "strategy", "best arch", "speedup", "evals", "pruned", "of optimum")
 	for _, r := range results {
-		fmt.Printf("%-12s %-22s %9.2f %7d %10.1f%%\n",
-			r.Strategy, r.Best, r.BestScore, r.Evaluations, 100*r.Optimality)
+		fmt.Printf("%-12s %-22s %9.2f %7d %7d %10.1f%%\n",
+			r.Strategy, r.Best, r.BestScore, r.Evaluations, r.Pruned, 100*r.Optimality)
 	}
 }

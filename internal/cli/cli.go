@@ -1,6 +1,7 @@
 // Package cli holds small helpers shared by the cfp-* command-line
-// tools: architecture-tuple parsing and the standard telemetry flags
-// (-trace, -metrics, -pprof) that wire internal/obs into every tool.
+// tools: architecture-tuple parsing, the standard telemetry flags
+// (-trace, -metrics, -pprof) that wire internal/obs into every tool,
+// and the persistent evaluation-cache flags (-cache-dir, -cache).
 package cli
 
 import (
@@ -11,6 +12,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 
+	"customfit/internal/evcache"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
 )
@@ -58,6 +60,40 @@ func AddTelemetryFlagsTo(fs *flag.FlagSet) *Telemetry {
 	fs.StringVar(&t.PprofAddr, "pprof", "",
 		"serve Go net/http/pprof on ADDR (e.g. localhost:6060) for live CPU/heap profiling")
 	return t
+}
+
+// CacheConfig carries the persistent evaluation-cache flag values
+// (-cache-dir, -cache). Zero-valued it opens nothing: the cache is
+// opt-in via -cache-dir.
+type CacheConfig struct {
+	Dir  string
+	Mode string
+}
+
+// AddCacheFlags registers -cache-dir and -cache on the default flag
+// set. Call before flag.Parse; call Open after it.
+func AddCacheFlags() *CacheConfig {
+	return AddCacheFlagsTo(flag.CommandLine)
+}
+
+// AddCacheFlagsTo registers the cache flags on fs.
+func AddCacheFlagsTo(fs *flag.FlagSet) *CacheConfig {
+	c := &CacheConfig{}
+	fs.StringVar(&c.Dir, "cache-dir", "",
+		"persist evaluation sweeps under DIR (content-addressed; identical results, warm re-runs skip all backend work — see docs/PERFORMANCE.md)")
+	fs.StringVar(&c.Mode, "cache", "on",
+		`"off" ignores -cache-dir for this run (cold measurement without clearing the directory)`)
+	return c
+}
+
+// Open opens the configured cache, or returns nil (no caching) when
+// -cache-dir was not given or -cache=off. Callers must Close a non-nil
+// cache before exiting to flush dirty shards.
+func (c *CacheConfig) Open() (*evcache.Cache, error) {
+	if c.Dir == "" || c.Mode == "off" {
+		return nil, nil
+	}
+	return evcache.Open(c.Dir)
 }
 
 // Start installs a collector if -trace or -metrics was given and starts

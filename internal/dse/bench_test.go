@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"customfit/internal/bench"
+	"customfit/internal/evcache"
 	"customfit/internal/machine"
 	"customfit/internal/sched"
 )
@@ -43,6 +44,39 @@ func BenchmarkEvaluate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.EvaluateScratch(bm, archs[i%len(archs)], sc)
+	}
+}
+
+// BenchmarkEvaluateWarmCache measures the persistent-cache hit path as
+// a fresh process would see it: a new evaluator per iteration (so the
+// in-process memo never hits and the kernel-class hash is recomputed)
+// resolving evaluations from a shared warm cache.
+func BenchmarkEvaluateWarmCache(b *testing.B) {
+	cache, err := evcache.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm := bench.ByName("G")
+	archs := exploreBenchArchs()
+	warmer := NewEvaluator()
+	warmer.Width = 48
+	warmer.Cache = cache
+	for _, a := range archs {
+		warmer.Evaluate(bm, a)
+	}
+	if cache.Stats().Misses == 0 {
+		b.Fatal("cache never filled")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := NewEvaluator()
+		ev.Width = 48
+		ev.Cache = cache
+		evl := ev.Evaluate(bm, archs[i%len(archs)])
+		if evl.Failed && evl.Cycles != 0 {
+			b.Fatal("inconsistent cached evaluation")
+		}
 	}
 }
 

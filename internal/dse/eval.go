@@ -7,13 +7,17 @@
 package dse
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"customfit/internal/bench"
+	"customfit/internal/evcache"
 	"customfit/internal/ir"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
@@ -94,13 +98,22 @@ type Evaluator struct {
 	Cycle machine.CycleModel
 	// DisableMemo turns off arch-signature memoization so every
 	// evaluation runs real backend compiles (benchmarks, equivalence
-	// tests).
+	// tests). It also bypasses Cache: both layers exist to avoid
+	// backend work, which is exactly what DisableMemo runs measure.
 	DisableMemo bool
+	// Cache, when set, persists evaluation sweeps across processes:
+	// content-addressed by hash(kernel source, unroll policy, compiler
+	// fingerprint, reference workload) × backend signature (see
+	// internal/evcache and docs/PERFORMANCE.md). Exact by the same
+	// argument as the signature memo; a warm cache makes a re-run of
+	// the full sweep near-instant.
+	Cache *evcache.Cache
 
 	mu    sync.Mutex
 	cache map[string]map[int]*prepared // bench -> unroll -> artifacts
 	fns   map[string]*fnEntry          // bench -> lowered IR
 	memo  map[memoKey]*sweepEntry      // signature class -> sweep
+	keys  map[string]string            // bench -> kernel-class hash
 
 	// Compilations counts backend runs (the paper's Table 3 "# runs").
 	// Signature-memoized evaluations count the cached sweep's runs: the
@@ -229,7 +242,7 @@ func (e *Evaluator) EvaluateScratch(b *bench.Benchmark, arch machine.Arch, sc *s
 		e.mu.Unlock()
 		hit := true
 		ent.once.Do(func() {
-			ent.res = e.runSweep(esp, b, arch, sc)
+			ent.res = e.sweepThroughCache(esp, b, arch, key.sig, sc)
 			hit = false
 		})
 		sw = ent.res
@@ -264,6 +277,142 @@ func (e *Evaluator) EvaluateScratch(b *bench.Benchmark, arch machine.Arch, sc *s
 		obs.GetCounter("dse.eval_failures").Inc()
 	}
 	return ev
+}
+
+// sweepThroughCache resolves one signature class's sweep through the
+// persistent cache when one is attached, running the real sweep only
+// on a cache miss. A hit stands in for this class's compilations the
+// same way a memo hit does: the cached sweep's runs are re-counted as
+// logical runs (Table 3 accounting), so Results and Stats are
+// bit-identical whether the cache is cold, warm, or absent.
+func (e *Evaluator) sweepThroughCache(esp *obs.Span, b *bench.Benchmark, arch machine.Arch, sig archSig, sc *sched.Scratch) sweepResult {
+	if e.Cache == nil {
+		return e.runSweep(esp, b, arch, sc)
+	}
+	key := e.kernelClass(b) + ":" + sig.key()
+	ce, hit := e.Cache.Do(b.Name, key, func() evcache.Entry {
+		sw := e.runSweep(esp, b, arch, sc)
+		return evcache.Entry{
+			Unroll:  sw.unroll,
+			Cycles:  sw.cycles,
+			Spilled: sw.spilled,
+			Failed:  sw.failed,
+			Runs:    sw.runs,
+		}
+	})
+	if hit {
+		e.Compilations.Add(ce.Runs)
+		obs.GetCounter("dse.compiles").Add(ce.Runs)
+	}
+	return sweepResult{
+		unroll:  ce.Unroll,
+		cycles:  ce.Cycles,
+		spilled: ce.Spilled,
+		failed:  ce.Failed,
+		runs:    ce.Runs,
+	}
+}
+
+// kernelClass returns the benchmark's content-addressed kernel-class
+// hash: everything a sweep result depends on besides the backend
+// signature — the kernel source, the unroll policy, the compiler
+// fingerprint (backend version + latency constants + the frontend/opt
+// pipeline version), and the reference workload (width, seed) whose
+// visit counts weight the cycle totals. Cost and cycle-time models are
+// deliberately excluded: they are applied outside the backend, so
+// retuning them never invalidates cached sweeps.
+func (e *Evaluator) kernelClass(b *bench.Benchmark) string {
+	e.mu.Lock()
+	if k, ok := e.keys[b.Name]; ok {
+		e.mu.Unlock()
+		return k
+	}
+	e.mu.Unlock()
+	h := sha256.New()
+	fmt.Fprintf(h, "kernel=%s\x00%s\x00unroll=%v\x00%s\x00prep-v%d\x00workload=%dx seed %d",
+		b.Name, b.Source, UnrollFactors, sched.Fingerprint(), prepPipelineVersion, e.Width, e.Seed)
+	k := hex.EncodeToString(h.Sum(nil)[:12])
+	e.mu.Lock()
+	if e.keys == nil {
+		e.keys = map[string]string{}
+	}
+	e.keys[b.Name] = k
+	e.mu.Unlock()
+	return k
+}
+
+// prepPipelineVersion fingerprints the architecture-independent
+// preparation pipeline (frontend lowering, opt passes, unrolling,
+// reference interpretation). Bump it when any of those change
+// observable IR or visit counts; cached sweeps self-invalidate.
+const prepPipelineVersion = 1
+
+// CacheCovers reports whether the attached persistent cache already
+// holds an entry for every (b, arch) pair — in which case an explorer
+// can skip the prepare warm-up (frontend compile plus reference run)
+// entirely, the dominant cost of a fully warm re-run.
+func (e *Evaluator) CacheCovers(b *bench.Benchmark, archs []machine.Arch) bool {
+	if e.Cache == nil || e.DisableMemo {
+		return false
+	}
+	kc := e.kernelClass(b)
+	for _, a := range archs {
+		if !e.Cache.Contains(b.Name, kc+":"+sigOf(a).key()) {
+			return false
+		}
+	}
+	return true
+}
+
+// LowerBoundCycles returns an admissible lower bound on the unroll
+// sweep's best cycle count for b on arch, without compiling: for each
+// unroll factor it sums sched.LowerBound's per-block bounds weighted
+// by the reference workload's block visit counts, and takes the
+// minimum across factors (the sweep keeps its own minimum over a
+// subset of those factors, so the bound can never exceed the real
+// result). ok is false when the benchmark cannot be prepared at all.
+func (e *Evaluator) LowerBoundCycles(b *bench.Benchmark, arch machine.Arch) (bound int64, ok bool) {
+	best := int64(-1)
+	for _, u := range UnrollFactors {
+		p := e.prepare(nil, b, u)
+		if p.err != nil {
+			break
+		}
+		lbs := sched.LowerBound(p.kernel, arch)
+		var total int64
+		for i, blk := range p.kernel.F.Blocks {
+			total += int64(lbs[i]) * p.visits[blk.Name]
+		}
+		if best < 0 || total < best {
+			best = total
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// SpeedupBound builds an admissible upper bound on the
+// speedup-under-cost-cap objective (the cost-capped selector's search
+// objective): -Inf over the cap, else baselineTime divided by the
+// smallest time the architecture could possibly achieve
+// (LowerBoundCycles × its exact cycle-time derate). Since the cycle
+// bound never exceeds the real sweep result and the derate is
+// architecture-exact, the returned value always ≥ the real speedup —
+// so search strategies may prune candidates whose bound cannot beat
+// their incumbent without changing what they find (search.Bound).
+func (e *Evaluator) SpeedupBound(b *bench.Benchmark, baselineTime float64, cost machine.CostModel, costCap float64) func(machine.Arch) float64 {
+	return func(a machine.Arch) float64 {
+		if cost.Cost(a) > costCap {
+			return math.Inf(-1) // exactly the objective's value: infeasible
+		}
+		lb, ok := e.LowerBoundCycles(b, a)
+		if !ok || lb <= 0 {
+			return math.Inf(1) // cannot bound: never prune
+		}
+		return baselineTime / (float64(lb) * e.Cycle.Derate(a))
+	}
 }
 
 // runSweep performs the real unroll-until-spill sweep for one

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"customfit/internal/bench"
+	"customfit/internal/evcache"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
 	"customfit/internal/sched"
@@ -42,6 +43,12 @@ type Explorer struct {
 	// (see docs/PERFORMANCE.md) so every arrangement runs real backend
 	// compiles.
 	DisableMemo bool
+	// Cache, when set, is the persistent evaluation cache threaded into
+	// the evaluator (see internal/evcache). Results are identical with
+	// or without it; a warm cache skips backend work entirely, and when
+	// it covers a benchmark's whole (arch × kernel) slice the prepare
+	// warm-up is skipped too.
+	Cache *evcache.Cache
 	// Progress, if set, is called with monotonically increasing Done
 	// counts as evaluations complete. Calls are serialized, but never
 	// block the workers: when the sink is slower than the fleet,
@@ -121,6 +128,7 @@ func (e *Explorer) Run() (*Results, error) {
 	ev.Width = width
 	ev.Cycle = e.Cycle
 	ev.DisableMemo = e.DisableMemo
+	ev.Cache = e.Cache
 
 	res := &Results{
 		Archs:   archs,
@@ -139,8 +147,15 @@ func (e *Explorer) Run() (*Results, error) {
 	costTime := time.Since(start)
 
 	// Warm the per-benchmark caches serially (one prepare per unroll)
-	// so workers do not duplicate the work under the cache lock.
+	// so workers do not duplicate the work under the cache lock. When
+	// the persistent cache already covers a benchmark's whole slice of
+	// the space, skip its warm-up: no sweep will run, so the frontend
+	// compiles and reference runs — the dominant cost of a warm re-run —
+	// are never needed.
 	for _, b := range e.Benchmarks {
+		if ev.CacheCovers(b, archs) {
+			continue
+		}
 		for _, u := range UnrollFactors {
 			ev.prepare(nil, b, u)
 		}

@@ -6,7 +6,10 @@ import (
 	"testing"
 
 	"customfit/internal/bench"
+	"customfit/internal/evcache"
 	"customfit/internal/machine"
+	"customfit/internal/obs"
+	"customfit/internal/search"
 )
 
 var updateGolden = flag.Bool("update", false, "regenerate testdata/golden_fullspace.json from the current code")
@@ -28,11 +31,20 @@ func goldenExplorer() *Explorer {
 }
 
 // TestGoldenFullSpaceEquivalence pins the exploration's numbers to a
-// snapshot taken before the performance layers (shared skeletons,
-// signature memoization, scratch reuse) existed. The optimizations must
-// be invisible in the Results: identical Unroll, Cycles, Spilled and
-// Failed per (benchmark, architecture), identical Speedup up to float
-// noise, and the same logical run count (memo hits re-count the cached
+// snapshot taken before any of the performance layers (shared
+// skeletons, signature memoization, scratch reuse, the persistent
+// evaluation cache, bound-guided pruning) existed. Every layer must be
+// invisible in the Results. The test runs the full space three ways:
+//
+//  1. cold persistent cache (first run fills it),
+//  2. warm persistent cache (second run over the same directory, which
+//     must be a 100% hit rate and still bit-identical),
+//  3. bound-pruned cost-capped search over the warm evaluator, which
+//     must find the exact unpruned optimum while pruning candidates.
+//
+// Identical means: same Unroll, Cycles, Spilled and Failed per
+// (benchmark, architecture), Speedup/Time equal up to float noise, and
+// the same logical run count (memo and cache hits re-count the cached
 // sweep, so Table 3 accounting is unchanged).
 //
 // Regenerate after an intentional behavior change with:
@@ -45,7 +57,16 @@ func TestGoldenFullSpaceEquivalence(t *testing.T) {
 	if raceEnabled {
 		t.Skip("full-space exploration is minutes-slow under the race detector")
 	}
-	res, err := goldenExplorer().Run()
+	dir := t.TempDir()
+
+	// --- Pass 1: cold cache ---
+	cold, err := evcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := goldenExplorer()
+	e.Cache = cold
+	res, err := e.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,51 +81,134 @@ func TestGoldenFullSpaceEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading golden: %v", err)
 	}
+	compareToGolden(t, "cold-cache", res, want)
+	if st := cold.Stats(); st.Hits != 0 || st.Misses == 0 {
+		t.Errorf("cold cache stats %+v: want zero hits, nonzero misses", st)
+	}
+	if err := cold.Close(); err != nil {
+		t.Fatalf("flushing cache: %v", err)
+	}
+
+	// --- Pass 2: warm cache, fresh process state ---
+	col := obs.NewCollector()
+	obs.Install(col)
+	warm, err := evcache.Open(dir)
+	if err != nil {
+		obs.Install(nil)
+		t.Fatal(err)
+	}
+	e2 := goldenExplorer()
+	e2.Cache = warm
+	res2, err := e2.Run()
+	obs.Install(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareToGolden(t, "warm-cache", res2, want)
+	st := warm.Stats()
+	if st.Misses != 0 {
+		t.Errorf("warm run missed %d times: not a 100%% hit rate", st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Error("warm run recorded no cache hits")
+	}
+	if v := col.Counter("evcache.hits").Value(); v != st.Hits || v == 0 {
+		t.Errorf("evcache.hits counter %d, cache reports %d hits", v, st.Hits)
+	}
+	if v := col.Counter("evcache.misses").Value(); v != 0 {
+		t.Errorf("evcache.misses counter %d on a fully warm run", v)
+	}
+
+	// --- Pass 3: bound-pruned cost-capped search, exact optimum ---
+	t.Run("PrunedCostCappedSearch", func(t *testing.T) {
+		ev := NewEvaluator()
+		ev.Width = 48
+		ev.Cache = warm
+		b := bench.ByName("G")
+		baseline := ev.Evaluate(b, machine.Baseline)
+		if baseline.Failed {
+			t.Fatal("baseline evaluation failed")
+		}
+		cost := machine.DefaultCostModel
+		const costCap = 10.0
+		obj := func(a machine.Arch) float64 {
+			if cost.Cost(a) > costCap {
+				return math.Inf(-1)
+			}
+			evl := ev.Evaluate(b, a)
+			if evl.Failed {
+				return math.Inf(-1)
+			}
+			return baseline.Time / evl.Time
+		}
+		pcol := obs.NewCollector()
+		obs.Install(pcol)
+		defer obs.Install(nil)
+		space := res2.Archs
+		plain := search.Exhaustive(space, obj)
+		bounded := search.ExhaustiveBounded(space, obj, ev.SpeedupBound(b, baseline.Time, cost, costCap))
+		if bounded.Best != plain.Best || bounded.BestScore != plain.BestScore {
+			t.Errorf("pruned selector found (%v, %g), exhaustive found (%v, %g)",
+				bounded.Best, bounded.BestScore, plain.Best, plain.BestScore)
+		}
+		if bounded.Pruned == 0 {
+			t.Error("cost-capped selector pruned nothing over the full space")
+		}
+		if v := pcol.Counter("search.pruned").Value(); int(v) != bounded.Pruned {
+			t.Errorf("search.pruned counter %d, result reports %d", v, bounded.Pruned)
+		}
+	})
+}
+
+// compareToGolden asserts res matches the golden snapshot exactly (see
+// TestGoldenFullSpaceEquivalence for what exactly means).
+func compareToGolden(t *testing.T, pass string, res, want *Results) {
+	t.Helper()
 	if len(res.Archs) != len(want.Archs) {
-		t.Fatalf("arch count %d, golden has %d", len(res.Archs), len(want.Archs))
+		t.Fatalf("%s: arch count %d, golden has %d", pass, len(res.Archs), len(want.Archs))
 	}
 	for i := range want.Archs {
 		if res.Archs[i] != want.Archs[i] {
-			t.Fatalf("arch %d is %v, golden has %v (space enumeration changed?)", i, res.Archs[i], want.Archs[i])
+			t.Fatalf("%s: arch %d is %v, golden has %v (space enumeration changed?)", pass, i, res.Archs[i], want.Archs[i])
 		}
 	}
 	if len(res.Benches) != len(want.Benches) {
-		t.Fatalf("bench lists differ: %v vs golden %v", res.Benches, want.Benches)
+		t.Fatalf("%s: bench lists differ: %v vs golden %v", pass, res.Benches, want.Benches)
 	}
 	mismatches := 0
 	for bi, b := range want.Benches {
 		if res.Benches[bi] != b {
-			t.Fatalf("bench %d is %s, golden has %s", bi, res.Benches[bi], b)
+			t.Fatalf("%s: bench %d is %s, golden has %s", pass, bi, res.Benches[bi], b)
 		}
 		got, wnt := res.Eval[b], want.Eval[b]
 		if len(got) != len(wnt) {
-			t.Fatalf("%s: %d evaluations, golden has %d", b, len(got), len(wnt))
+			t.Fatalf("%s: %s: %d evaluations, golden has %d", pass, b, len(got), len(wnt))
 		}
 		for i := range wnt {
 			g, w := got[i], wnt[i]
 			if g.Unroll != w.Unroll || g.Cycles != w.Cycles || g.Spilled != w.Spilled || g.Failed != w.Failed {
 				if mismatches < 10 {
-					t.Errorf("%s on %v: got (u=%d cyc=%d spill=%d fail=%v), golden (u=%d cyc=%d spill=%d fail=%v)",
-						b, w.Arch, g.Unroll, g.Cycles, g.Spilled, g.Failed, w.Unroll, w.Cycles, w.Spilled, w.Failed)
+					t.Errorf("%s: %s on %v: got (u=%d cyc=%d spill=%d fail=%v), golden (u=%d cyc=%d spill=%d fail=%v)",
+						pass, b, w.Arch, g.Unroll, g.Cycles, g.Spilled, g.Failed, w.Unroll, w.Cycles, w.Spilled, w.Failed)
 				}
 				mismatches++
 				continue
 			}
 			if relDiff(g.Speedup, w.Speedup) > 1e-12 || relDiff(g.Time, w.Time) > 1e-12 {
 				if mismatches < 10 {
-					t.Errorf("%s on %v: speedup %.15g / time %.15g, golden %.15g / %.15g",
-						b, w.Arch, g.Speedup, g.Time, w.Speedup, w.Time)
+					t.Errorf("%s: %s on %v: speedup %.15g / time %.15g, golden %.15g / %.15g",
+						pass, b, w.Arch, g.Speedup, g.Time, w.Speedup, w.Time)
 				}
 				mismatches++
 			}
 		}
 	}
 	if mismatches > 0 {
-		t.Fatalf("%d evaluations diverge from the golden snapshot", mismatches)
+		t.Fatalf("%s: %d evaluations diverge from the golden snapshot", pass, mismatches)
 	}
 	if res.Stats.Runs != want.Stats.Runs {
-		t.Errorf("logical run count %d, golden has %d (memo accounting must preserve Table 3)",
-			res.Stats.Runs, want.Stats.Runs)
+		t.Errorf("%s: logical run count %d, golden has %d (cache accounting must preserve Table 3)",
+			pass, res.Stats.Runs, want.Stats.Runs)
 	}
 }
 

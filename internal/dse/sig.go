@@ -1,6 +1,10 @@
 package dse
 
-import "customfit/internal/machine"
+import (
+	"fmt"
+
+	"customfit/internal/machine"
+)
 
 // archSig is the backend-relevant signature of a concrete architecture:
 // the complete set of parameters the compiler backend (partition,
@@ -33,6 +37,18 @@ type archSig struct {
 	L2Ports  int
 	L2Lat    int
 	MinMax   bool
+}
+
+// key renders the signature as the stable string that, combined with
+// the kernel-class hash, content-addresses a persistent cache entry
+// (see internal/evcache and Evaluator.Cache).
+func (s archSig) key() string {
+	k := fmt.Sprintf("c%d.a%d.m%d.r%d.p%d.l%d",
+		s.Clusters, s.ALUsPC, s.MULsPC, s.RegsPC, s.L2Ports, s.L2Lat)
+	if s.MinMax {
+		k += ".mm"
+	}
+	return k
 }
 
 // sigOf maps an architecture to its backend signature.

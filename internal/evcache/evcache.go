@@ -1,0 +1,470 @@
+// Package evcache is the explorer's persistent, content-addressed
+// evaluation cache: a two-level store (an in-memory LRU in front of
+// on-disk JSON-lines shards) keyed by hashes that cover everything an
+// evaluation sweep can observe — the kernel source, the unroll policy,
+// the compiler fingerprint, the reference workload, and the target's
+// backend signature. A re-run of the full design-space sweep against a
+// warm cache is near-instant, and an interrupted sweep resumes warm.
+//
+// Layout: one shard file per benchmark under the cache directory
+// (`<bench>.jsonl`), each starting with a versioned header line.
+// Loading a shard whose header does not match the current
+// SchemaVersion silently discards it — a stale schema self-invalidates
+// rather than poisoning results. Shards are rewritten wholesale
+// through a temp file plus atomic rename, so a crashed or interrupted
+// writer can never leave a half-written shard behind: readers see
+// either the old complete file or the new one.
+//
+// Concurrency: every method is safe for concurrent use. Do gives
+// lookups singleflight semantics — workers racing on the same cold key
+// share one compute instead of duplicating the miss.
+//
+// Telemetry (when an obs collector is installed): `evcache.hits`,
+// `evcache.misses`, `evcache.coalesced` (misses absorbed by an
+// in-flight compute), `evcache.bytes` (shard bytes read + written) and
+// `evcache.invalidated` (shards discarded on schema mismatch).
+package evcache
+
+import (
+	"bufio"
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"customfit/internal/obs"
+)
+
+// SchemaVersion is stamped into every shard header. Bump it whenever
+// the Entry encoding or the key derivation changes shape; old shards
+// are then ignored on load instead of being misread.
+const SchemaVersion = 1
+
+// headerMagic identifies a shard file as ours.
+const headerMagic = "cfp-evcache"
+
+// autoFlushDirty bounds how many unflushed entries a shard may pin in
+// memory before it is written back inline.
+const autoFlushDirty = 4096
+
+// DefaultMaxEntries is the default in-memory LRU capacity. Entries are
+// a few dozen bytes, so the default comfortably holds several
+// full-space sweeps; lower it with SetMaxEntries for constrained runs.
+const DefaultMaxEntries = 1 << 18
+
+// Entry is one cached evaluation sweep: the architecture-signature
+// invariant outcome of compiling a kernel at every unroll factor until
+// spill. Cycle-time derating and datapath cost are deliberately
+// excluded — both are recomputed from models outside the backend, so
+// model changes never invalidate the cache.
+type Entry struct {
+	Unroll  int   `json:"u"`
+	Cycles  int64 `json:"c"`
+	Spilled int   `json:"s"`
+	Failed  bool  `json:"f,omitempty"`
+	// Runs is how many backend compilations the sweep performed, so a
+	// cache hit can re-count them as logical runs (the paper's Table 3
+	// accounting, matching the arch-signature memo layer).
+	Runs int64 `json:"r"`
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Coalesced int64 // misses served by waiting on an in-flight compute
+	BytesRead int64
+	BytesWrit int64
+}
+
+// Cache is the two-level store. The zero value is not usable; call
+// Open.
+type Cache struct {
+	dir string // "" = memory-only (no persistence)
+
+	mu     sync.Mutex
+	max    int
+	shards map[string]*shard
+	lru    *list.List // of *node; front = most recently used
+	n      int        // resident entries
+	flight map[string]*flight
+	stats  Stats
+}
+
+// node is one resident entry, linked into the LRU.
+type node struct {
+	shard string
+	key   string
+	e     Entry
+	dirty bool // not yet persisted (always false when memory-only)
+}
+
+// shard is the in-memory view of one on-disk shard file.
+type shard struct {
+	loaded  bool
+	entries map[string]*list.Element
+	dirty   int // unflushed entries
+}
+
+// flight coordinates singleflight computes: waiters block on done and
+// then read e.
+type flight struct {
+	done chan struct{}
+	e    Entry
+}
+
+type header struct {
+	Magic  string `json:"evcache"`
+	Schema int    `json:"schema"`
+}
+
+type record struct {
+	Key string `json:"k"`
+	Entry
+}
+
+// Open returns a cache persisting under dir, creating the directory if
+// needed. An empty dir yields a memory-only cache (useful for tests
+// and single-process warm sharing).
+func Open(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("evcache: %w", err)
+		}
+	}
+	return &Cache{
+		dir:    dir,
+		max:    DefaultMaxEntries,
+		shards: map[string]*shard{},
+		lru:    list.New(),
+		flight: map[string]*flight{},
+	}, nil
+}
+
+// SetMaxEntries adjusts the in-memory LRU capacity. Dirty entries are
+// pinned until flushed, so the cache may transiently exceed the cap by
+// up to the auto-flush threshold per shard.
+func (c *Cache) SetMaxEntries(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	c.max = n
+	c.evictLocked()
+}
+
+// Dir returns the backing directory ("" when memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of hit/miss/IO counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Get returns the cached entry for (shardName, key), consulting memory
+// first and the shard file on first touch of the shard.
+func (c *Cache) Get(shardName, key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.loadLocked(shardName)
+	if el, ok := s.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hitLocked()
+		return el.Value.(*node).e, true
+	}
+	c.missLocked()
+	return Entry{}, false
+}
+
+// Contains reports whether (shardName, key) is resident without
+// touching hit/miss accounting or LRU order (used to decide whether
+// warm-up work can be skipped).
+func (c *Cache) Contains(shardName, key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.loadLocked(shardName)
+	_, ok := s.entries[key]
+	return ok
+}
+
+// Put stores an entry, scheduling it for persistence on the next
+// flush (or inline once the shard accumulates enough dirty entries).
+func (c *Cache) Put(shardName, key string, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.loadLocked(shardName)
+	c.insertLocked(s, shardName, key, e, c.dir != "")
+	c.autoFlushLocked(shardName, s)
+}
+
+// Do returns the cached entry for (shardName, key), computing and
+// storing it on a miss. Concurrent callers racing on the same cold key
+// share a single compute: the first runs it, the rest block and reuse
+// its result. The boolean reports whether the entry came from the
+// cache (including a shared in-flight compute) rather than this
+// caller's own compute.
+func (c *Cache) Do(shardName, key string, compute func() Entry) (Entry, bool) {
+	fkey := shardName + "\x00" + key
+	c.mu.Lock()
+	s := c.loadLocked(shardName)
+	if el, ok := s.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hitLocked()
+		e := el.Value.(*node).e
+		c.mu.Unlock()
+		return e, true
+	}
+	if f, ok := c.flight[fkey]; ok {
+		c.stats.Coalesced++
+		obs.GetCounter("evcache.coalesced").Inc()
+		c.mu.Unlock()
+		<-f.done
+		return f.e, true
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flight[fkey] = f
+	c.missLocked()
+	c.mu.Unlock()
+
+	f.e = compute()
+
+	c.mu.Lock()
+	c.insertLocked(s, shardName, key, f.e, c.dir != "")
+	delete(c.flight, fkey)
+	c.autoFlushLocked(shardName, s)
+	c.mu.Unlock()
+	close(f.done)
+	return f.e, false
+}
+
+// Flush persists every dirty shard via temp-file + atomic rename.
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	for name, s := range c.shards {
+		if s.dirty == 0 {
+			continue
+		}
+		if err := c.flushShardLocked(name, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and renders further writes best-effort-only. It is the
+// caller's shutdown hook; the cache remains readable afterwards.
+func (c *Cache) Close() error { return c.Flush() }
+
+func (c *Cache) hitLocked() {
+	c.stats.Hits++
+	obs.GetCounter("evcache.hits").Inc()
+}
+
+func (c *Cache) missLocked() {
+	c.stats.Misses++
+	obs.GetCounter("evcache.misses").Inc()
+}
+
+// loadLocked returns shardName's in-memory view, reading its file on
+// first touch. Unreadable files, foreign files and stale schemas are
+// treated as an empty shard.
+func (c *Cache) loadLocked(name string) *shard {
+	s := c.shards[name]
+	if s == nil {
+		s = &shard{entries: map[string]*list.Element{}}
+		c.shards[name] = s
+	}
+	if s.loaded {
+		return s
+	}
+	s.loaded = true
+	if c.dir == "" {
+		return s
+	}
+	f, err := os.Open(c.shardPath(name))
+	if err != nil {
+		return s // no shard on disk yet
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return s
+	}
+	var h header
+	line := sc.Bytes()
+	if json.Unmarshal(line, &h) != nil || h.Magic != headerMagic || h.Schema != SchemaVersion {
+		obs.GetCounter("evcache.invalidated").Inc()
+		return s // stale or foreign: self-invalidate by ignoring it
+	}
+	read := int64(len(line))
+	for sc.Scan() {
+		b := sc.Bytes()
+		var r record
+		// A torn tail line (crash mid-write predates atomic rename, but
+		// belt and braces) or junk is skipped, not fatal.
+		if json.Unmarshal(b, &r) != nil || r.Key == "" {
+			continue
+		}
+		read += int64(len(b))
+		c.insertLocked(s, name, r.Key, r.Entry, false)
+	}
+	c.stats.BytesRead += read
+	obs.GetCounter("evcache.bytes").Add(read)
+	return s
+}
+
+// insertLocked adds or refreshes one entry and evicts past capacity.
+func (c *Cache) insertLocked(s *shard, shardName, key string, e Entry, dirty bool) {
+	if el, ok := s.entries[key]; ok {
+		nd := el.Value.(*node)
+		if dirty && !nd.dirty {
+			s.dirty++
+		}
+		nd.e = e
+		nd.dirty = nd.dirty || dirty
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&node{shard: shardName, key: key, e: e, dirty: dirty})
+	s.entries[key] = el
+	c.n++
+	if dirty {
+		s.dirty++
+	}
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used clean entries down to
+// capacity. Dirty entries are pinned (their data exists nowhere else)
+// until a flush cleans them.
+func (c *Cache) evictLocked() {
+	for el := c.lru.Back(); el != nil && c.n > c.max; {
+		nd := el.Value.(*node)
+		prev := el.Prev()
+		if !nd.dirty {
+			c.lru.Remove(el)
+			delete(c.shards[nd.shard].entries, nd.key)
+			c.n--
+		}
+		el = prev
+	}
+}
+
+// autoFlushLocked writes a shard back once it accumulates enough
+// unflushed entries, bounding pinned memory on long sweeps.
+func (c *Cache) autoFlushLocked(name string, s *shard) {
+	if c.dir == "" || s.dirty < autoFlushDirty {
+		return
+	}
+	// Flush failures here are deferred to the explicit Flush/Close,
+	// which reports them; the entries stay dirty and pinned.
+	_ = c.flushShardLocked(name, s)
+}
+
+// flushShardLocked rewrites one shard: the on-disk records (which may
+// include entries long evicted from memory) merged with every resident
+// entry, written to a temp file and atomically renamed into place.
+func (c *Cache) flushShardLocked(name string, s *shard) error {
+	merged := map[string]Entry{}
+	order := []string{} // stable-ish: disk order then new keys
+	if f, err := os.Open(c.shardPath(name)); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		if sc.Scan() {
+			var h header
+			if json.Unmarshal(sc.Bytes(), &h) == nil && h.Magic == headerMagic && h.Schema == SchemaVersion {
+				for sc.Scan() {
+					var r record
+					if json.Unmarshal(sc.Bytes(), &r) == nil && r.Key != "" {
+						if _, ok := merged[r.Key]; !ok {
+							order = append(order, r.Key)
+						}
+						merged[r.Key] = r.Entry
+					}
+				}
+			}
+		}
+		f.Close()
+	}
+	for key, el := range s.entries {
+		if _, ok := merged[key]; !ok {
+			order = append(order, key)
+		}
+		merged[key] = el.Value.(*node).e
+	}
+
+	tmp, err := os.CreateTemp(c.dir, "."+sanitize(name)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("evcache: flush %s: %w", name, err)
+	}
+	w := bufio.NewWriter(tmp)
+	var written int64
+	count := func(n int, err error) error {
+		written += int64(n)
+		return err
+	}
+	hb, _ := json.Marshal(header{Magic: headerMagic, Schema: SchemaVersion})
+	if err := count(w.Write(append(hb, '\n'))); err == nil {
+		for _, key := range order {
+			rb, merr := json.Marshal(record{Key: key, Entry: merged[key]})
+			if merr != nil {
+				err = merr
+				break
+			}
+			if err = count(w.Write(append(rb, '\n'))); err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), c.shardPath(name))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("evcache: flush %s: %w", name, err)
+	}
+	c.stats.BytesWrit += written
+	obs.GetCounter("evcache.bytes").Add(written)
+	for _, el := range s.entries {
+		el.Value.(*node).dirty = false
+	}
+	s.dirty = 0
+	c.evictLocked() // formerly pinned entries may now be evictable
+	return nil
+}
+
+func (c *Cache) shardPath(name string) string {
+	return filepath.Join(c.dir, sanitize(name)+".jsonl")
+}
+
+// sanitize maps a shard (benchmark) name onto a safe file stem.
+func sanitize(name string) string {
+	if name == "" {
+		return "_"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

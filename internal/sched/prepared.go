@@ -28,6 +28,11 @@ type Prepared struct {
 
 	mu    sync.Mutex
 	skels map[int]*skelSet // L2 latency class -> per-block skeletons
+
+	// Per-block operation-class tallies for LowerBound, built once on
+	// first use (architecture-independent; see bound.go).
+	countsOnce sync.Once
+	counts     []opCounts
 }
 
 // skelSet carries per-key once semantics so two workers racing on a

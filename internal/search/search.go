@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"customfit/internal/machine"
+	"customfit/internal/obs"
 )
 
 // Objective scores an architecture; higher is better. Strategies
@@ -22,21 +23,34 @@ import (
 // budget).
 type Objective func(machine.Arch) float64
 
+// Bound is an admissible upper bound on an Objective: Bound(a) ≥
+// Objective(a) for every a, computed much more cheaply (for speedup
+// objectives, from sched.LowerBound's no-compile cycle bound). A
+// strategy that skips a whose Bound(a) ≤ incumbent cannot change its
+// result, because incumbents only advance on strict improvement.
+type Bound func(machine.Arch) float64
+
 // Result reports one strategy's outcome.
 type Result struct {
 	Strategy    string
 	Best        machine.Arch
 	BestScore   float64
 	Evaluations int
+	// Pruned counts candidate evaluations skipped because the bound
+	// proved they could not beat the incumbent (zero without a Bound).
+	Pruned int
 	// Optimality is BestScore / exhaustive optimum (filled by Compare).
 	Optimality float64
 }
 
-// counter wraps an objective with memoized evaluation counting.
+// counter wraps an objective with memoized evaluation counting and
+// optional bound-guided pruning.
 type counter struct {
-	obj   Objective
-	seen  map[machine.Arch]float64
-	evals int
+	obj    Objective
+	bound  Bound
+	seen   map[machine.Arch]float64
+	evals  int
+	pruned int
 }
 
 func newCounter(obj Objective) *counter {
@@ -53,16 +67,49 @@ func (c *counter) eval(a machine.Arch) float64 {
 	return v
 }
 
+// cutoff reports whether a can be skipped against the incumbent score:
+// true when the bound proves obj(a) ≤ incumbent, so evaluating a could
+// not improve on it. Already-evaluated points are never "pruned" (the
+// memoized value is free).
+func (c *counter) cutoff(a machine.Arch, incumbent float64) bool {
+	if c.bound == nil || math.IsInf(incumbent, -1) {
+		return false
+	}
+	if _, ok := c.seen[a]; ok {
+		return false
+	}
+	if c.bound(a) > incumbent {
+		return false
+	}
+	c.pruned++
+	obs.GetCounter("search.pruned").Inc()
+	return true
+}
+
 // Exhaustive evaluates every point (the paper's method).
 func Exhaustive(space []machine.Arch, obj Objective) Result {
+	return ExhaustiveBounded(space, obj, nil)
+}
+
+// ExhaustiveBounded is Exhaustive with bound-guided pruning: points the
+// admissible bound proves cannot beat the incumbent are skipped without
+// evaluation. With an admissible bound the returned Best and BestScore
+// are identical to Exhaustive's — the incumbent only advances on strict
+// improvement, which a pruned point cannot provide — while Evaluations
+// drops by exactly Pruned.
+func ExhaustiveBounded(space []machine.Arch, obj Objective, bound Bound) Result {
 	c := newCounter(obj)
+	c.bound = bound
 	best, bestScore := machine.Arch{}, math.Inf(-1)
 	for _, a := range space {
+		if c.cutoff(a, bestScore) {
+			continue
+		}
 		if v := c.eval(a); v > bestScore {
 			best, bestScore = a, v
 		}
 	}
-	return Result{Strategy: "exhaustive", Best: best, BestScore: bestScore, Evaluations: c.evals}
+	return Result{Strategy: "exhaustive", Best: best, BestScore: bestScore, Evaluations: c.evals, Pruned: c.pruned}
 }
 
 // neighbors returns the architectures one parameter step away from a,
@@ -137,16 +184,32 @@ func clampMul(a machine.Arch) int {
 
 // HillClimb runs steepest-ascent hill climbing with random restarts.
 func HillClimb(space []machine.Arch, obj Objective, restarts int, seed int64) Result {
+	return HillClimbBounded(space, obj, restarts, seed, nil)
+}
+
+// HillClimbBounded is HillClimb with bound-guided pruning of neighbor
+// evaluations: a neighbor whose bound cannot exceed the current score
+// is skipped. Exact for steepest ascent — a pruned neighbor could not
+// have been an improving move, so the climb trajectory (and the RNG
+// stream, which pruning never touches) is unchanged.
+func HillClimbBounded(space []machine.Arch, obj Objective, restarts int, seed int64, bound Bound) Result {
 	c := newCounter(obj)
+	c.bound = bound
 	rng := rand.New(rand.NewSource(seed))
 	inSpace := spaceSet(space)
 	best, bestScore := machine.Arch{}, math.Inf(-1)
 	for r := 0; r < restarts; r++ {
+		// Restart points are always evaluated: the climb needs a concrete
+		// starting score, and a bound on the start says nothing about the
+		// points the climb can reach.
 		cur := space[rng.Intn(len(space))]
 		curScore := c.eval(cur)
 		for {
 			improved := false
 			for _, n := range neighbors(cur, inSpace) {
+				if c.cutoff(n, curScore) {
+					continue
+				}
 				if v := c.eval(n); v > curScore {
 					cur, curScore = n, v
 					improved = true
@@ -160,7 +223,7 @@ func HillClimb(space []machine.Arch, obj Objective, restarts int, seed int64) Re
 			best, bestScore = cur, curScore
 		}
 	}
-	return Result{Strategy: "hill-climb", Best: best, BestScore: bestScore, Evaluations: c.evals}
+	return Result{Strategy: "hill-climb", Best: best, BestScore: bestScore, Evaluations: c.evals, Pruned: c.pruned}
 }
 
 // Anneal runs simulated annealing.
@@ -284,9 +347,19 @@ func spaceSet(space []machine.Arch) map[machine.Arch]bool {
 // Compare runs every strategy against the same objective and normalizes
 // scores to the exhaustive optimum.
 func Compare(space []machine.Arch, obj Objective, seed int64) []Result {
-	ex := Exhaustive(space, obj)
+	return CompareWithBound(space, obj, nil, seed)
+}
+
+// CompareWithBound is Compare with an optional admissible bound: the
+// deterministic strategies (exhaustive, hill climbing) prune candidates
+// the bound rules out, reporting how many evaluations that saved. The
+// stochastic strategies (annealing, genetic) run unpruned — their
+// trajectories depend on the values of non-improving moves, so pruning
+// would change their results rather than just their cost.
+func CompareWithBound(space []machine.Arch, obj Objective, bound Bound, seed int64) []Result {
+	ex := ExhaustiveBounded(space, obj, bound)
 	out := []Result{ex}
-	out = append(out, HillClimb(space, obj, 4, seed))
+	out = append(out, HillClimbBounded(space, obj, 4, seed, bound))
 	out = append(out, Anneal(space, obj, len(space)/3, seed))
 	out = append(out, Genetic(space, obj, 8, 12, seed))
 	for i := range out {
