@@ -12,11 +12,12 @@ vet:
 	$(GO) vet ./...
 
 # The telemetry subsystem, the parallel explorer, the backend's
-# shared-kernel/scratch machinery, and the persistent evaluation cache
-# are the places where data races could hide; run them under the race
-# detector.
+# shared-kernel/scratch machinery, the persistent evaluation cache, and
+# the job-queueing HTTP server (plus the context-cancellation paths
+# threaded through all of them) are the places where data races could
+# hide; run them under the race detector.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/dse/... ./internal/sched/... ./internal/evcache/...
+	$(GO) test -race ./internal/obs/... ./internal/dse/... ./internal/sched/... ./internal/evcache/... ./internal/serve/...
 
 # One-iteration pass over the exploration benchmarks: catches bit-rot in
 # the benchmark harness without paying for a real measurement.

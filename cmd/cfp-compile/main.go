@@ -25,6 +25,8 @@ import (
 	"customfit/internal/machine"
 )
 
+var tool *cli.Tool
+
 func main() {
 	var (
 		archStr   = flag.String("arch", "1 1 64 1 8 1", "architecture tuple: \"a m r p2 l2 c\"")
@@ -33,16 +35,12 @@ func main() {
 		dumpIR    = flag.Bool("ir", false, "print the lowered IR and exit")
 		quiet     = flag.Bool("quiet", false, "print statistics only, not the assembly")
 	)
-	tel := cli.AddTelemetryFlags()
+	tool = cli.NewTool("cfp-compile")
 	flag.Parse()
-	if err := tel.Start(); err != nil {
+	if err := tool.Start(); err != nil {
 		fatal(err)
 	}
-	defer func() {
-		if err := tel.Stop(); err != nil {
-			fmt.Fprintln(os.Stderr, "cfp-compile: telemetry:", err)
-		}
-	}()
+	defer tool.Close()
 
 	src, name, err := loadSource(*benchName, flag.Args())
 	if err != nil {
@@ -95,6 +93,9 @@ func loadSource(benchName string, args []string) (src, name string, err error) {
 }
 
 func fatal(err error) {
+	if tool != nil {
+		tool.Fatal(err)
+	}
 	fmt.Fprintln(os.Stderr, "cfp-compile:", err)
 	os.Exit(1)
 }

@@ -30,10 +30,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"time"
 
 	"customfit/internal/bench"
@@ -42,6 +45,8 @@ import (
 	"customfit/internal/machine"
 	"customfit/internal/tables"
 )
+
+var tool *cli.Tool
 
 func main() {
 	var (
@@ -61,17 +66,12 @@ func main() {
 		corr       = flag.Bool("correction", false, "run the cluster-correction validation study and exit")
 		repertoire = flag.Bool("repertoire", false, "run the min/max ALU repertoire study and exit")
 	)
-	tel := cli.AddTelemetryFlags()
-	cacheCfg := cli.AddCacheFlags()
+	tool = cli.NewTool("cfp-explore", cli.WithCache())
 	flag.Parse()
-	if err := tel.Start(); err != nil {
+	if err := tool.Start(); err != nil {
 		fatal(err)
 	}
-	defer func() {
-		if err := tel.Stop(); err != nil {
-			fmt.Fprintln(os.Stderr, "cfp-explore: telemetry:", err)
-		}
-	}()
+	defer tool.Close()
 
 	if *ablation {
 		runAblation(*width)
@@ -128,18 +128,11 @@ func main() {
 		e.Width = *width
 		e.Workers = *workers
 		e.DisableMemo = *noMemo
-		cache, err := cacheCfg.Open()
+		cache, err := tool.OpenCache()
 		if err != nil {
 			fatal(err)
 		}
-		if cache != nil {
-			e.Cache = cache
-			defer func() {
-				if err := cache.Close(); err != nil {
-					fmt.Fprintln(os.Stderr, "cfp-explore: cache:", err)
-				}
-			}()
-		}
+		e.Cache = cache
 		if *sample > 1 {
 			full := machine.FullSpace()
 			var archs []machine.Arch
@@ -161,15 +154,29 @@ func main() {
 		if *progress {
 			e.Progress = func(p dse.ProgressInfo) {
 				if p.Done%25 == 0 || p.Done == p.Total {
-					fmt.Fprintf(os.Stderr, "\rexploring: %d/%d evaluations  %.1f/s  ETA %-8v failures %d ",
+					fmt.Fprintf(os.Stderr, "\rexploring: %d/%d evaluations  %.1f/s  ETA %-8v failures %d",
 						p.Done, p.Total, p.RatePerSec, p.ETA.Round(time.Second), p.Failed)
+					if p.Cancelled > 0 {
+						fmt.Fprintf(os.Stderr, " cancelled %d", p.Cancelled)
+					}
+					fmt.Fprint(os.Stderr, " ")
 					if p.Done == p.Total {
 						fmt.Fprintln(os.Stderr)
 					}
 				}
 			}
 		}
-		res, err = e.Run()
+		// Ctrl-C stops scheduling new evaluations and exits promptly
+		// instead of killing the process mid-flight (telemetry and the
+		// cache still flush).
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		res, err = e.RunCtx(ctx)
+		stop()
+		if errors.Is(err, dse.ErrCancelled) {
+			fmt.Fprintln(os.Stderr, "\ncfp-explore: interrupted, exploration abandoned")
+			tool.Close()
+			os.Exit(130)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -249,6 +256,9 @@ func main() {
 }
 
 func fatal(err error) {
+	if tool != nil {
+		tool.Fatal(err)
+	}
 	fmt.Fprintln(os.Stderr, "cfp-explore:", err)
 	os.Exit(1)
 }

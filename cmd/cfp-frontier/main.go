@@ -20,7 +20,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
@@ -37,37 +36,23 @@ func main() {
 		save    = flag.String("save", "", "with -explore: save the results to this JSON file")
 		width   = flag.Int("width", 96, "with -explore: reference workload width in pixels")
 	)
-	tel := cli.AddTelemetryFlags()
-	cacheCfg := cli.AddCacheFlags()
+	tool := cli.NewTool("cfp-frontier", cli.WithCache())
 	flag.Parse()
-	if err := tel.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "cfp-frontier:", err)
-		os.Exit(1)
+	if err := tool.Start(); err != nil {
+		tool.Fatal(err)
 	}
-	defer func() {
-		if err := tel.Stop(); err != nil {
-			fmt.Fprintln(os.Stderr, "cfp-frontier: telemetry:", err)
-		}
-	}()
+	defer tool.Close()
 
 	var res *dse.Results
 	var err error
 	if *explore {
 		e := dse.NewExplorer()
 		e.Width = *width
-		cache, cerr := cacheCfg.Open()
+		cache, cerr := tool.OpenCache()
 		if cerr != nil {
-			fmt.Fprintln(os.Stderr, "cfp-frontier:", cerr)
-			os.Exit(1)
+			tool.Fatal(cerr)
 		}
-		if cache != nil {
-			e.Cache = cache
-			defer func() {
-				if err := cache.Close(); err != nil {
-					fmt.Fprintln(os.Stderr, "cfp-frontier: cache:", err)
-				}
-			}()
-		}
+		e.Cache = cache
 		res, err = e.Run()
 		if err == nil && *save != "" {
 			err = res.Save(*save)
@@ -76,15 +61,13 @@ func main() {
 		res, err = dse.Load(*load)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cfp-frontier:", err)
-		os.Exit(1)
+		tool.Fatal(err)
 	}
 	var capList []float64
 	for _, s := range strings.Split(*caps, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cfp-frontier: bad cap:", s)
-			os.Exit(1)
+			tool.Fatal(fmt.Errorf("bad cap: %s", s))
 		}
 		capList = append(capList, v)
 	}

@@ -17,15 +17,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"math"
 	"os"
+	"os/signal"
 
 	"customfit/internal/bench"
 	"customfit/internal/cli"
-	"customfit/internal/dse"
-	"customfit/internal/machine"
+	"customfit/internal/core"
 	"customfit/internal/search"
 )
 
@@ -36,75 +37,46 @@ func main() {
 		sample    = flag.Int("sample", 4, "evaluate every Nth machine of the space")
 		seed      = flag.Int64("seed", 1, "random seed for the stochastic strategies")
 		width     = flag.Int("width", 64, "reference workload width")
-		prune     = flag.Bool("prune", true, "bound-guided pruning for the deterministic strategies (exact: identical optima, fewer compiles; see sched.LowerBound)")
 	)
-	tel := cli.AddTelemetryFlags()
-	cacheCfg := cli.AddCacheFlags()
+	tool := cli.NewTool("cfp-search", cli.WithCache(), cli.WithPrune(true))
 	flag.Parse()
-	if err := tel.Start(); err != nil {
-		fmt.Fprintln(os.Stderr, "cfp-search:", err)
-		os.Exit(1)
+	if err := tool.Start(); err != nil {
+		tool.Fatal(err)
 	}
-	defer func() {
-		if err := tel.Stop(); err != nil {
-			fmt.Fprintln(os.Stderr, "cfp-search: telemetry:", err)
-		}
-	}()
+	defer tool.Close()
 
 	b := bench.ByName(*benchName)
 	if b == nil {
-		fmt.Fprintf(os.Stderr, "cfp-search: unknown benchmark %q\n", *benchName)
-		os.Exit(1)
+		tool.Fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+	}
+	cache, err := tool.OpenCache()
+	if err != nil {
+		tool.Fatal(err)
 	}
 	space := search.SubLattice()
-	if *sample > 1 {
-		var thinned []machine.Arch
-		for i := 0; i < len(space); i += *sample {
-			thinned = append(thinned, space[i])
-		}
-		space = thinned
-	}
-
-	ev := dse.NewEvaluator()
-	ev.Width = *width
-	cache, err := cacheCfg.Open()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cfp-search:", err)
-		os.Exit(1)
-	}
-	if cache != nil {
-		ev.Cache = cache
-		defer func() {
-			if err := cache.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "cfp-search: cache:", err)
-			}
-		}()
-	}
-	baseline := ev.Evaluate(b, machine.Baseline)
-	if baseline.Failed {
-		fmt.Fprintln(os.Stderr, "cfp-search: baseline evaluation failed")
-		os.Exit(1)
-	}
-	cost := machine.DefaultCostModel
-	obj := func(a machine.Arch) float64 {
-		if cost.Cost(a) > *costCap {
-			return math.Inf(-1)
-		}
-		e := ev.Evaluate(b, a)
-		if e.Failed {
-			return math.Inf(-1)
-		}
-		return baseline.Time / e.Time
-	}
-
-	var bound search.Bound
-	if *prune {
-		bound = ev.SpeedupBound(b, baseline.Time, cost, *costCap)
-	}
-
 	fmt.Printf("fitting %s under cost %.1f over %d machines (search sub-lattice)\n",
-		b.Name, *costCap, len(space))
-	results := search.CompareWithBound(space, obj, bound, *seed)
+		b.Name, *costCap, (len(space)+*sample-1) / max(*sample, 1))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	results, err := core.SearchCompare(ctx, core.SearchOptions{
+		Benchmark: b,
+		CostCap:   *costCap,
+		Space:     space,
+		Sample:    *sample,
+		Width:     *width,
+		Seed:      *seed,
+		Prune:     *tool.Prune,
+		Cache:     cache,
+	})
+	stop()
+	if errors.Is(err, core.ErrCancelled) {
+		fmt.Fprintln(os.Stderr, "cfp-search: interrupted")
+		tool.Close()
+		os.Exit(130)
+	}
+	if err != nil {
+		tool.Fatal(err)
+	}
 	fmt.Printf("%-12s %-22s %9s %7s %7s %11s\n", "strategy", "best arch", "speedup", "evals", "pruned", "of optimum")
 	for _, r := range results {
 		fmt.Printf("%-12s %-22s %9.2f %7d %7d %10.1f%%\n",

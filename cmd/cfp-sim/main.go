@@ -23,6 +23,8 @@ import (
 	"customfit/internal/machine"
 )
 
+var tool *cli.Tool
+
 func main() {
 	var (
 		benchName = flag.String("bench", "A", "benchmark name (A..H, GF, GEF, DH, DHEF), or \"all\"")
@@ -31,16 +33,12 @@ func main() {
 		width     = flag.Int("width", 256, "workload width in pixels")
 		seed      = flag.Int64("seed", 1, "workload seed")
 	)
-	tel := cli.AddTelemetryFlags()
+	tool = cli.NewTool("cfp-sim")
 	flag.Parse()
-	if err := tel.Start(); err != nil {
+	if err := tool.Start(); err != nil {
 		fatal(err)
 	}
-	defer func() {
-		if err := tel.Stop(); err != nil {
-			fmt.Fprintln(os.Stderr, "cfp-sim: telemetry:", err)
-		}
-	}()
+	defer tool.Close()
 
 	arch, err := cli.ParseArch(*archStr)
 	if err != nil {
@@ -108,6 +106,9 @@ func runOne(b *bench.Benchmark, arch machine.Arch, unroll, width int, seed int64
 }
 
 func fatal(err error) {
+	if tool != nil {
+		tool.Fatal(err)
+	}
 	fmt.Fprintln(os.Stderr, "cfp-sim:", err)
 	os.Exit(1)
 }

@@ -23,9 +23,22 @@
 package customfit
 
 import (
+	"context"
+
 	"customfit/internal/bench"
 	"customfit/internal/core"
+	"customfit/internal/dse"
 	"customfit/internal/machine"
+	"customfit/internal/search"
+)
+
+// Sentinel errors. Every context-threaded entry point classifies its
+// failures into one of these; test with errors.Is. ErrCancelled always
+// also matches the underlying context.Canceled / DeadlineExceeded.
+var (
+	ErrCancelled  = core.ErrCancelled
+	ErrInfeasible = core.ErrInfeasible
+	ErrBadKernel  = core.ErrBadKernel
 )
 
 // Arch is an architecture in the paper's template, the 6-tuple
@@ -49,6 +62,27 @@ type Benchmark = bench.Benchmark
 
 // FitResult is the outcome of a custom-fit search.
 type FitResult = core.FitResult
+
+// Results holds every measurement from one exploration (see
+// internal/dse for the full API: Scatter, SelectConstrained, Save...).
+type Results = dse.Results
+
+// Evaluation is one (benchmark, architecture) measurement of a Results.
+type Evaluation = dse.Evaluation
+
+// ProgressInfo snapshots an in-flight exploration for progress
+// reporting.
+type ProgressInfo = dse.ProgressInfo
+
+// SearchResult reports one search strategy's outcome.
+type SearchResult = search.Result
+
+// Options structs of the context-threaded entry points.
+type (
+	ExploreOptions = core.ExploreOptions
+	FitOptions     = core.FitOptions
+	SearchOptions  = core.SearchOptions
+)
 
 // ParseKernel compiles CKC source containing exactly one kernel.
 func ParseKernel(src string) (*Kernel, error) { return core.ParseKernel(src) }
@@ -75,16 +109,51 @@ func Cost(a Arch) float64 { return machine.DefaultCostModel.Cost(a) }
 // baseline, under the model fit to the paper's Table 7.
 func CycleDerate(a Arch) float64 { return machine.DefaultCycleModel.Derate(a) }
 
+// Explore runs the paper's design-space exploration under ctx: every
+// machine of the (optionally sampled) space against every requested
+// benchmark. Cancelling ctx stops scheduling new evaluations
+// immediately and returns an error wrapping ErrCancelled; results of a
+// completed run are bit-identical whether or not a persistent cache
+// (ExploreOptions.CacheDir) is used, warm or cold.
+func Explore(ctx context.Context, opts ExploreOptions) (*Results, error) {
+	return core.Explore(ctx, opts)
+}
+
+// FitContext is the paper's custom-fit loop under a context: explore,
+// then select the best architecture for opts.Benchmarks within
+// opts.CostCap (backed off by opts.Range toward cheaper machines when
+// nonzero). Returns ErrInfeasible when nothing fits the cap and
+// ErrCancelled when ctx ends first.
+func FitContext(ctx context.Context, opts FitOptions) (*FitResult, error) {
+	return core.CustomFitCtx(ctx, opts)
+}
+
+// Search compares design-space search strategies (exhaustive, hill
+// climbing, annealing, genetic) at fitting opts.Benchmark under
+// opts.CostCap, scoring each against the exhaustive optimum. The
+// objective compiles and measures for real; cancelling ctx stops the
+// in-flight strategy promptly with ErrCancelled.
+func Search(ctx context.Context, opts SearchOptions) ([]SearchResult, error) {
+	return core.SearchCompare(ctx, opts)
+}
+
 // Fit searches the full design space for the architecture maximizing
 // mean speedup over the given benchmarks within the cost budget — the
 // paper's custom-fit loop. For large budgets of time rather than cost,
 // see internal/dse and cmd/cfp-explore for the full experiment.
+//
+// Deprecated: use FitContext, which takes a context (cancellable) and
+// an options struct instead of positional knobs. This thin wrapper
+// behaves exactly as before.
 func Fit(benchmarks []*Benchmark, costCap float64) (*FitResult, error) {
-	return core.CustomFit(benchmarks, costCap)
+	return core.CustomFitCtx(context.Background(), FitOptions{Benchmarks: benchmarks, CostCap: costCap})
 }
 
 // FitIn is Fit over a caller-chosen subset of machines (for quick,
 // sampled runs).
+//
+// Deprecated: use FitContext with FitOptions.Archs. This thin wrapper
+// behaves exactly as before.
 func FitIn(benchmarks []*Benchmark, costCap float64, archs []Arch) (*FitResult, error) {
-	return core.CustomFitIn(benchmarks, costCap, archs)
+	return core.CustomFitCtx(context.Background(), FitOptions{Benchmarks: benchmarks, CostCap: costCap, Archs: archs})
 }

@@ -1,6 +1,8 @@
 package customfit_test
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"customfit"
@@ -67,5 +69,139 @@ func TestPublicAPIFitIn(t *testing.T) {
 	}
 	if fit.Results == nil || fit.Speedups["G"] <= 0 {
 		t.Error("fit result incomplete")
+	}
+}
+
+func smallSpace() []customfit.Arch {
+	return []customfit.Arch{
+		customfit.Baseline,
+		{ALUs: 4, MULs: 2, Regs: 128, L2Ports: 2, L2Lat: 4, Clusters: 2},
+		{ALUs: 8, MULs: 2, Regs: 256, L2Ports: 2, L2Lat: 4, Clusters: 2},
+	}
+}
+
+func TestPublicAPIExplore(t *testing.T) {
+	res, err := customfit.Explore(context.Background(), customfit.ExploreOptions{
+		Benchmarks: []*customfit.Benchmark{customfit.BenchmarkByName("G")},
+		Archs:      smallSpace(),
+		Width:      32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Archs) != 3 || len(res.Eval["G"]) != 3 {
+		t.Fatalf("unexpected result shape: %d archs", len(res.Archs))
+	}
+	for _, ev := range res.Eval["G"] {
+		if ev.Failed || ev.Speedup <= 0 {
+			t.Errorf("evaluation failed on %v", ev.Arch)
+		}
+	}
+}
+
+func TestPublicAPIExploreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := customfit.Explore(ctx, customfit.ExploreOptions{
+		Benchmarks: []*customfit.Benchmark{customfit.BenchmarkByName("G")},
+		Archs:      smallSpace(),
+		Width:      32,
+	})
+	if !errors.Is(err, customfit.ErrCancelled) {
+		t.Errorf("error %v does not wrap ErrCancelled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestPublicAPIFitContextMatchesDeprecatedFitIn(t *testing.T) {
+	benches := []*customfit.Benchmark{customfit.BenchmarkByName("G")}
+	old, err := customfit.FitIn(benches, 5, smallSpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxFit, err := customfit.FitContext(context.Background(), customfit.FitOptions{
+		Benchmarks: benches, CostCap: 5, Archs: smallSpace(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Best != ctxFit.Best || old.Cost != ctxFit.Cost {
+		t.Errorf("FitContext picked (%v, %f), FitIn picked (%v, %f)",
+			ctxFit.Best, ctxFit.Cost, old.Best, old.Cost)
+	}
+}
+
+func TestPublicAPIFitInfeasible(t *testing.T) {
+	_, err := customfit.FitContext(context.Background(), customfit.FitOptions{
+		Benchmarks: []*customfit.Benchmark{customfit.BenchmarkByName("G")},
+		CostCap:    0.001,
+		Archs:      smallSpace(),
+		Width:      32,
+	})
+	if !errors.Is(err, customfit.ErrInfeasible) {
+		t.Errorf("error %v does not wrap ErrInfeasible", err)
+	}
+}
+
+func TestPublicAPIFitRangePicksCheaper(t *testing.T) {
+	// With an infinite tolerance band every feasible machine qualifies,
+	// so Range must select the cheapest one — the baseline.
+	fit, err := customfit.FitContext(context.Background(), customfit.FitOptions{
+		Benchmarks: []*customfit.Benchmark{customfit.BenchmarkByName("G")},
+		CostCap:    20,
+		Range:      1000,
+		Archs:      smallSpace(),
+		Width:      32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Best != customfit.Baseline {
+		t.Errorf("Range-relaxed fit picked %v, want the cheapest (baseline)", fit.Best)
+	}
+}
+
+func TestPublicAPIBadKernel(t *testing.T) {
+	_, err := customfit.ParseKernel("kernel broken( {")
+	if !errors.Is(err, customfit.ErrBadKernel) {
+		t.Errorf("error %v does not wrap ErrBadKernel", err)
+	}
+}
+
+func TestPublicAPISearch(t *testing.T) {
+	results, err := customfit.Search(context.Background(), customfit.SearchOptions{
+		Benchmark: customfit.BenchmarkByName("G"),
+		CostCap:   10,
+		Space:     smallSpace(),
+		Width:     32,
+		Seed:      1,
+		Prune:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no strategy results")
+	}
+	for _, r := range results {
+		if r.Strategy == "exhaustive" && r.Optimality != 1 {
+			t.Errorf("exhaustive optimality %f, want 1", r.Optimality)
+		}
+	}
+}
+
+func TestPublicAPISearchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := customfit.Search(ctx, customfit.SearchOptions{
+		Benchmark: customfit.BenchmarkByName("G"),
+		CostCap:   10,
+		Space:     smallSpace(),
+		Width:     32,
+	})
+	if !errors.Is(err, customfit.ErrCancelled) {
+		t.Errorf("error %v does not wrap ErrCancelled", err)
 	}
 }

@@ -1,7 +1,9 @@
 // Package cli holds small helpers shared by the cfp-* command-line
-// tools: architecture-tuple parsing, the standard telemetry flags
-// (-trace, -metrics, -pprof) that wire internal/obs into every tool,
-// and the persistent evaluation-cache flags (-cache-dir, -cache).
+// tools: architecture-tuple parsing and the Tool builder that
+// registers the standard cross-cutting flags every tool repeats —
+// telemetry (-trace, -metrics, -pprof), the persistent evaluation
+// cache (-cache-dir, -cache) and bound-guided pruning (-prune) — and
+// owns their lifecycle (start, lazy cache open, flush-on-close).
 package cli
 
 import (
@@ -94,6 +96,108 @@ func (c *CacheConfig) Open() (*evcache.Cache, error) {
 		return nil, nil
 	}
 	return evcache.Open(c.Dir)
+}
+
+// Tool bundles the cross-cutting flag wiring shared by every cfp-*
+// command: telemetry always, plus the evaluation-cache and -prune
+// flags for the tools that opt in. Construct it before flag.Parse,
+// Start it after, and defer Close:
+//
+//	tool := cli.NewTool("cfp-explore", cli.WithCache())
+//	flag.Parse()
+//	if err := tool.Start(); err != nil { tool.Fatal(err) }
+//	defer tool.Close()
+type Tool struct {
+	// Name prefixes diagnostics ("cfp-explore: ...").
+	Name string
+	// Telemetry is the -trace/-metrics/-pprof flag set (always
+	// registered).
+	Telemetry *Telemetry
+	// CacheCfg is non-nil when WithCache registered -cache-dir/-cache.
+	CacheCfg *CacheConfig
+	// Prune is non-nil when WithPrune registered -prune.
+	Prune *bool
+
+	cache       *evcache.Cache
+	cacheOpened bool
+}
+
+// ToolOption customizes NewTool.
+type ToolOption func(*Tool, *flag.FlagSet)
+
+// WithCache registers the persistent evaluation-cache flags
+// (-cache-dir, -cache).
+func WithCache() ToolOption {
+	return func(t *Tool, fs *flag.FlagSet) { t.CacheCfg = AddCacheFlagsTo(fs) }
+}
+
+// WithPrune registers -prune with the given default (bound-guided
+// pruning of deterministic search strategies; see sched.LowerBound).
+func WithPrune(def bool) ToolOption {
+	return func(t *Tool, fs *flag.FlagSet) {
+		t.Prune = fs.Bool("prune", def,
+			"bound-guided pruning for the deterministic strategies (exact: identical optima, fewer compiles; see sched.LowerBound)")
+	}
+}
+
+// NewTool registers the standard flags on the default flag set. Call
+// before flag.Parse.
+func NewTool(name string, opts ...ToolOption) *Tool {
+	return NewToolOn(flag.CommandLine, name, opts...)
+}
+
+// NewToolOn is NewTool on an explicit flag set (tests).
+func NewToolOn(fs *flag.FlagSet, name string, opts ...ToolOption) *Tool {
+	t := &Tool{Name: name, Telemetry: AddTelemetryFlagsTo(fs)}
+	for _, o := range opts {
+		o(t, fs)
+	}
+	return t
+}
+
+// Start brings up everything the parsed flags asked for (telemetry
+// collector, pprof listener). Call after flag.Parse.
+func (t *Tool) Start() error { return t.Telemetry.Start() }
+
+// OpenCache lazily opens the configured evaluation cache, or returns
+// nil when the tool has no cache flags, -cache-dir was not given, or
+// -cache=off. The Tool owns the cache: Close flushes it.
+func (t *Tool) OpenCache() (*evcache.Cache, error) {
+	if t.cacheOpened {
+		return t.cache, nil
+	}
+	if t.CacheCfg == nil {
+		return nil, nil
+	}
+	c, err := t.CacheCfg.Open()
+	if err != nil {
+		return nil, err
+	}
+	t.cache, t.cacheOpened = c, true
+	return c, nil
+}
+
+// Close flushes the cache and the telemetry sinks, reporting failures
+// to stderr under the tool's name (shutdown errors should not mask the
+// tool's own output or exit status).
+func (t *Tool) Close() {
+	if t.cache != nil {
+		if err := t.cache.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: cache: %v\n", t.Name, err)
+		}
+		t.cache, t.cacheOpened = nil, false
+	}
+	if err := t.Telemetry.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: telemetry: %v\n", t.Name, err)
+	}
+}
+
+// Fatal prints err under the tool's name, closes the tool (flushing
+// telemetry and cache), and exits 1.
+func (t *Tool) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", t.Name, err)
+	t.Close()
+	os.Exit(1)
 }
 
 // Start installs a collector if -trace or -metrics was given and starts

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"flag"
 	"strings"
 	"testing"
 
@@ -37,4 +38,60 @@ func TestParseArchErrors(t *testing.T) {
 			t.Errorf("ParseArch(%q) = %v, want error containing %q", c.in, err, c.frag)
 		}
 	}
+}
+
+func TestToolFlagRegistrationAndCache(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tool := NewToolOn(fs, "test-tool", WithCache(), WithPrune(true))
+	dir := t.TempDir()
+	if err := fs.Parse([]string{"-cache-dir", dir, "-prune=false"}); err != nil {
+		t.Fatal(err)
+	}
+	// Every standard cross-cutting flag must be registered exactly once.
+	for _, name := range []string{"trace", "metrics", "pprof", "cache-dir", "cache", "prune"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	if tool.Prune == nil || *tool.Prune {
+		t.Error("-prune=false not honored")
+	}
+	if err := tool.Start(); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := tool.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == nil {
+		t.Fatal("OpenCache returned nil with -cache-dir set")
+	}
+	if c2, _ := tool.OpenCache(); c2 != c1 {
+		t.Error("OpenCache not idempotent")
+	}
+	tool.Close()
+}
+
+func TestToolCacheOffModes(t *testing.T) {
+	// No cache flags registered at all.
+	fs := flag.NewFlagSet("plain", flag.ContinueOnError)
+	plain := NewToolOn(fs, "plain")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := plain.OpenCache(); err != nil || c != nil {
+		t.Errorf("cacheless tool OpenCache = (%v, %v), want (nil, nil)", c, err)
+	}
+	plain.Close()
+
+	// Flags registered, -cache=off given.
+	fs2 := flag.NewFlagSet("off", flag.ContinueOnError)
+	off := NewToolOn(fs2, "off", WithCache())
+	if err := fs2.Parse([]string{"-cache-dir", t.TempDir(), "-cache", "off"}); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := off.OpenCache(); err != nil || c != nil {
+		t.Errorf("-cache=off OpenCache = (%v, %v), want (nil, nil)", c, err)
+	}
+	off.Close()
 }

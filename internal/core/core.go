@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"customfit/internal/bench"
@@ -27,12 +28,13 @@ type Kernel struct {
 }
 
 // ParseKernel compiles CKC source containing exactly one kernel.
+// Frontend failures wrap ErrBadKernel.
 func ParseKernel(src string) (*Kernel, error) {
 	sp := obs.StartSpan("frontend")
 	fn, err := cc.CompileKernelSpan(sp, src)
 	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrBadKernel, err)
 	}
 	return &Kernel{Name: fn.Name, fn: fn}, nil
 }
@@ -186,30 +188,20 @@ type FitResult struct {
 // costCap — the paper's headline flow. Pass a single benchmark to
 // specialize for one algorithm (and read the Results to see what that
 // choice does to everything else).
+//
+// Deprecated: use CustomFitCtx with FitOptions (cancellable, and
+// carries the cache/width/parallelism knobs). This wrapper runs it
+// under a background context.
 func CustomFit(benchmarks []*bench.Benchmark, costCap float64) (*FitResult, error) {
-	if len(benchmarks) == 0 {
-		return nil, fmt.Errorf("core: no benchmarks given")
-	}
-	e := dse.NewExplorer()
-	e.Benchmarks = benchmarks
-	res, err := e.Run()
-	if err != nil {
-		return nil, err
-	}
-	return pickBest(res, benchmarks, costCap)
+	return CustomFitCtx(context.Background(), FitOptions{Benchmarks: benchmarks, CostCap: costCap})
 }
 
 // CustomFitIn is CustomFit over a caller-chosen architecture subset
 // (e.g. a sampled space for quick runs).
+//
+// Deprecated: use CustomFitCtx with FitOptions.Archs.
 func CustomFitIn(benchmarks []*bench.Benchmark, costCap float64, archs []machine.Arch) (*FitResult, error) {
-	e := dse.NewExplorer()
-	e.Benchmarks = benchmarks
-	e.Archs = ensureBaseline(archs)
-	res, err := e.Run()
-	if err != nil {
-		return nil, err
-	}
-	return pickBest(res, benchmarks, costCap)
+	return CustomFitCtx(context.Background(), FitOptions{Benchmarks: benchmarks, CostCap: costCap, Archs: archs})
 }
 
 func ensureBaseline(archs []machine.Arch) []machine.Arch {
@@ -244,7 +236,7 @@ func pickBest(res *dse.Results, benchmarks []*bench.Benchmark, costCap float64) 
 		}
 	}
 	if best < 0 {
-		return nil, fmt.Errorf("core: no architecture fits cost cap %.1f", costCap)
+		return nil, fmt.Errorf("%w: cost cap %.1f", ErrInfeasible, costCap)
 	}
 	out := &FitResult{
 		Best:     res.Archs[best],

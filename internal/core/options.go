@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"customfit/internal/bench"
+	"customfit/internal/dse"
+	"customfit/internal/evcache"
+	"customfit/internal/machine"
+	"customfit/internal/search"
+)
+
+// Sentinel errors of the facade. Every context-threaded entry point
+// classifies its failures into one of these (wrapped, so errors.Is
+// works) or returns an untyped internal error.
+var (
+	// ErrCancelled reports that the caller's context ended before the
+	// work completed. It is dse.ErrCancelled, and always also matches
+	// the underlying context.Canceled / context.DeadlineExceeded.
+	ErrCancelled = dse.ErrCancelled
+	// ErrInfeasible reports that no architecture satisfies the given
+	// constraints (typically the cost cap).
+	ErrInfeasible = errors.New("customfit: no architecture satisfies the constraints")
+	// ErrBadKernel reports that CKC source failed to parse or lower.
+	ErrBadKernel = errors.New("customfit: kernel does not compile")
+)
+
+// ExploreOptions configures a design-space exploration. The zero value
+// explores the full concrete space on the paper's full benchmark suite
+// with default models — the paper's Table 3 run.
+type ExploreOptions struct {
+	// Benchmarks to evaluate (nil = the paper's full suite).
+	Benchmarks []*bench.Benchmark
+	// Archs restricts the space (nil = machine.FullSpace()).
+	Archs []machine.Arch
+	// Sample > 1 keeps every Nth machine of the space, always retaining
+	// the baseline so speedups stay defined.
+	Sample int
+	// Width is the reference workload width in pixels (default 96).
+	Width int
+	// Parallelism bounds concurrent compile workers (default
+	// GOMAXPROCS).
+	Parallelism int
+	// DisableMemo turns off arch-signature memoization and the
+	// persistent cache (see docs/PERFORMANCE.md).
+	DisableMemo bool
+	// CacheDir, when non-empty, persists evaluation sweeps under this
+	// directory (content-addressed; results identical, warm re-runs
+	// near-instant — see docs/PERFORMANCE.md).
+	CacheDir string
+	// Cache is a pre-opened evaluation cache, taking precedence over
+	// CacheDir. The caller keeps ownership (it is not closed here);
+	// long-lived processes such as cfp-serve share one cache across
+	// requests this way. External callers use CacheDir instead.
+	Cache *evcache.Cache
+	// Progress, if set, receives monotonically increasing snapshots
+	// while exploring (see dse.Explorer.Progress for the contract).
+	Progress func(dse.ProgressInfo)
+}
+
+// resolveArchs applies Archs and Sample, keeping the baseline present.
+func (o *ExploreOptions) resolveArchs() []machine.Arch {
+	archs := o.Archs
+	if archs == nil {
+		archs = machine.FullSpace()
+	}
+	if o.Sample > 1 {
+		var thinned []machine.Arch
+		for i := 0; i < len(archs); i += o.Sample {
+			thinned = append(thinned, archs[i])
+		}
+		archs = thinned
+	}
+	return ensureBaseline(archs)
+}
+
+// openCache resolves the cache the options ask for: the pre-opened one,
+// or a fresh one under CacheDir. ownClose reports whether the caller
+// must close it.
+func (o *ExploreOptions) openCache() (c *evcache.Cache, ownClose bool, err error) {
+	if o.Cache != nil {
+		return o.Cache, false, nil
+	}
+	if o.CacheDir == "" {
+		return nil, false, nil
+	}
+	c, err = evcache.Open(o.CacheDir)
+	return c, true, err
+}
+
+// Explore runs the design-space exploration described by opts under
+// ctx. Cancelling ctx stops scheduling new evaluations immediately and
+// returns an error wrapping ErrCancelled; an uncancelled run's Results
+// are bit-identical to the equivalent dse.Explorer run (warm or cold
+// cache).
+func Explore(ctx context.Context, opts ExploreOptions) (*dse.Results, error) {
+	e := dse.NewExplorer()
+	if opts.Benchmarks != nil {
+		e.Benchmarks = opts.Benchmarks
+	}
+	e.Archs = opts.resolveArchs()
+	e.Width = opts.Width
+	e.Workers = opts.Parallelism
+	e.DisableMemo = opts.DisableMemo
+	e.Progress = opts.Progress
+	cache, own, err := opts.openCache()
+	if err != nil {
+		return nil, err
+	}
+	e.Cache = cache
+	res, rerr := e.RunCtx(ctx)
+	if own && cache != nil {
+		if cerr := cache.Close(); rerr == nil && cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, rerr
+}
+
+// FitOptions configures a custom-fit search (the paper's headline
+// loop). Benchmarks and CostCap are required; the embedded exploration
+// knobs default like ExploreOptions.
+type FitOptions struct {
+	// Benchmarks the architecture is fit to (required).
+	Benchmarks []*bench.Benchmark
+	// CostCap is the datapath cost budget relative to the baseline.
+	CostCap float64
+	// Range backs the selection off pure specialization: 0 picks the
+	// feasible architecture with the best mean speedup on Benchmarks;
+	// Range > 0 (e.g. 0.10) picks, among feasible architectures within
+	// Range of that best mean, the cheapest one (ties broken by
+	// speedup) — the paper's Section 4.2 "within 10% of the best"
+	// designer scenario.
+	Range float64
+	// Archs / Sample / Width / Parallelism / CacheDir as in
+	// ExploreOptions.
+	Archs       []machine.Arch
+	Sample      int
+	Width       int
+	Parallelism int
+	CacheDir    string
+	// Cache as in ExploreOptions (pre-opened, caller-owned).
+	Cache *evcache.Cache
+	// Progress as in ExploreOptions.
+	Progress func(dse.ProgressInfo)
+}
+
+// CustomFitCtx explores the space and selects the best architecture for
+// opts.Benchmarks under opts.CostCap. It returns ErrInfeasible (wrapped)
+// when no explored architecture fits the cap, and ErrCancelled when ctx
+// ends first.
+func CustomFitCtx(ctx context.Context, opts FitOptions) (*FitResult, error) {
+	if len(opts.Benchmarks) == 0 {
+		return nil, fmt.Errorf("customfit: no benchmarks given")
+	}
+	res, err := Explore(ctx, ExploreOptions{
+		Benchmarks:  opts.Benchmarks,
+		Archs:       opts.Archs,
+		Sample:      opts.Sample,
+		Width:       opts.Width,
+		Parallelism: opts.Parallelism,
+		CacheDir:    opts.CacheDir,
+		Cache:       opts.Cache,
+		Progress:    opts.Progress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pickBestRange(res, opts.Benchmarks, opts.CostCap, opts.Range)
+}
+
+// SearchOptions configures a search-strategy comparison (the paper's
+// third research question): how close do cheap strategies come to the
+// exhaustive optimum for one benchmark under a cost cap.
+type SearchOptions struct {
+	// Benchmark to fit (required).
+	Benchmark *bench.Benchmark
+	// CostCap is the cost budget; candidates over it score -Inf.
+	CostCap float64
+	// Space restricts the candidate set (nil = search.SubLattice()).
+	Space []machine.Arch
+	// Sample > 1 keeps every Nth machine of the space.
+	Sample int
+	// Width is the reference workload width (default 64, matching
+	// cfp-search).
+	Width int
+	// Seed drives the stochastic strategies.
+	Seed int64
+	// Prune enables bound-guided pruning for the deterministic
+	// strategies (exact: identical optima, fewer compiles).
+	Prune bool
+	// CacheDir / Cache as in ExploreOptions.
+	CacheDir string
+	Cache    *evcache.Cache
+}
+
+// SearchCompare runs every search strategy against the real
+// compile-and-measure objective under ctx and normalizes scores to the
+// exhaustive optimum. Cancelling ctx stops the in-flight strategy
+// promptly and returns ErrCancelled (wrapped).
+func SearchCompare(ctx context.Context, opts SearchOptions) ([]search.Result, error) {
+	if opts.Benchmark == nil {
+		return nil, fmt.Errorf("customfit: no benchmark given")
+	}
+	space := opts.Space
+	if space == nil {
+		space = search.SubLattice()
+	}
+	if opts.Sample > 1 {
+		var thinned []machine.Arch
+		for i := 0; i < len(space); i += opts.Sample {
+			thinned = append(thinned, space[i])
+		}
+		space = thinned
+	}
+	ev := dse.NewEvaluator()
+	if opts.Width > 0 {
+		ev.Width = opts.Width
+	} else {
+		ev.Width = 64
+	}
+	eo := ExploreOptions{CacheDir: opts.CacheDir, Cache: opts.Cache}
+	cache, own, err := eo.openCache()
+	if err != nil {
+		return nil, err
+	}
+	ev.Cache = cache
+	if own {
+		defer cache.Close()
+	}
+	baseline := ev.EvaluateCtx(ctx, opts.Benchmark, machine.Baseline)
+	if baseline.Cancelled {
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
+	}
+	if baseline.Failed {
+		return nil, fmt.Errorf("customfit: baseline evaluation failed for %s", opts.Benchmark.Name)
+	}
+	cost := machine.DefaultCostModel
+	obj := func(a machine.Arch) float64 {
+		if cost.Cost(a) > opts.CostCap {
+			return math.Inf(-1)
+		}
+		e := ev.EvaluateCtx(ctx, opts.Benchmark, a)
+		if e.Failed || e.Cancelled {
+			return math.Inf(-1)
+		}
+		return baseline.Time / e.Time
+	}
+	var bound search.Bound
+	if opts.Prune {
+		bound = ev.SpeedupBound(opts.Benchmark, baseline.Time, cost, opts.CostCap)
+	}
+	out, err := search.CompareCtx(ctx, space, search.Objective(obj), bound, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	return out, nil
+}
+
+// pickBestRange is pickBest extended with the Range back-off: Range = 0
+// keeps pickBest's pure-specialization choice; Range > 0 takes, among
+// cap-feasible architectures whose mean speedup on the target
+// benchmarks is within Range of the best achievable mean, the cheapest
+// (ties broken by higher speedup).
+func pickBestRange(res *dse.Results, benchmarks []*bench.Benchmark, costCap, rng float64) (*FitResult, error) {
+	if rng <= 0 {
+		return pickBest(res, benchmarks, costCap)
+	}
+	type cand struct {
+		idx  int
+		mean float64
+	}
+	var cands []cand
+	bestMean := -1.0
+	for i := range res.Archs {
+		if res.Cost[i] > costCap {
+			continue
+		}
+		sum, ok := 0.0, true
+		for _, b := range benchmarks {
+			ev := res.Eval[b.Name][i]
+			if ev.Failed {
+				ok = false
+				break
+			}
+			sum += ev.Speedup
+		}
+		if !ok {
+			continue
+		}
+		mean := sum / float64(len(benchmarks))
+		cands = append(cands, cand{i, mean})
+		if mean > bestMean {
+			bestMean = mean
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: cost cap %.1f", ErrInfeasible, costCap)
+	}
+	floor := bestMean * (1 - rng)
+	best := -1
+	bestMeanAt := -1.0
+	for _, c := range cands {
+		if c.mean < floor {
+			continue
+		}
+		if best < 0 ||
+			res.Cost[c.idx] < res.Cost[best] ||
+			(res.Cost[c.idx] == res.Cost[best] && c.mean > bestMeanAt) {
+			best, bestMeanAt = c.idx, c.mean
+		}
+	}
+	out := &FitResult{
+		Best:     res.Archs[best],
+		Cost:     res.Cost[best],
+		Speedups: map[string]float64{},
+		Results:  res,
+	}
+	for _, b := range benchmarks {
+		out.Speedups[b.Name] = res.Eval[b.Name][best].Speedup
+	}
+	return out, nil
+}

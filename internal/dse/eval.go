@@ -7,6 +7,7 @@
 package dse
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -29,6 +30,18 @@ import (
 // the compiler spills (the paper's stopping rule).
 var UnrollFactors = []int{1, 2, 4, 8}
 
+// ErrCancelled is returned (wrapped) by context-threaded entry points
+// when the caller's context ends before the work completes. It always
+// wraps the context's own error, so both
+// errors.Is(err, dse.ErrCancelled) and
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) hold.
+var ErrCancelled = errors.New("dse: cancelled")
+
+// cancelledErr wraps ctx's error in ErrCancelled.
+func cancelledErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCancelled, context.Cause(ctx))
+}
+
 // Evaluation is one (benchmark, architecture) measurement.
 type Evaluation struct {
 	Arch    machine.Arch
@@ -39,6 +52,10 @@ type Evaluation struct {
 	Speedup float64 // baseline time / Time (filled by the explorer)
 	Spilled int     // registers spilled at the chosen unroll
 	Failed  bool    // no unroll factor compiled (never expected at u=1)
+	// Cancelled marks an evaluation abandoned because the caller's
+	// context ended. Cancelled work is not a compile failure: Failed
+	// stays false, and the explorer accounts it separately.
+	Cancelled bool `json:",omitempty"`
 }
 
 // prepared caches the architecture-independent compilation artifacts of
@@ -66,13 +83,15 @@ type fnEntry struct {
 // unroll sweep: everything Evaluate computes except the cycle-time
 // derate. runs is how many backend compilations the sweep performed
 // (memoized hits re-count them as logical runs, the paper's Table 3
-// accounting).
+// accounting). cancelled marks a sweep abandoned mid-way because the
+// context ended; cancelled sweeps are never memoized or cached.
 type sweepResult struct {
-	unroll  int
-	cycles  int64
-	spilled int
-	failed  bool
-	runs    int64
+	unroll    int
+	cycles    int64
+	spilled   int
+	failed    bool
+	cancelled bool
+	runs      int64
 }
 
 // sweepEntry is a once-guarded memoized sweep for one signature class.
@@ -216,13 +235,27 @@ func (e *Evaluator) countVisits(b *bench.Benchmark, g *ir.Func) (map[string]int6
 // Evaluate compiles benchmark b for arch, sweeping unroll factors until
 // the compiler spills, and returns the best-performing compilation.
 func (e *Evaluator) Evaluate(b *bench.Benchmark, arch machine.Arch) Evaluation {
-	return e.EvaluateScratch(b, arch, nil)
+	return e.EvaluateCtx(context.Background(), b, arch)
+}
+
+// EvaluateCtx is Evaluate under a context: a cancelled ctx abandons the
+// sweep between backend compiles and returns an Evaluation marked
+// Cancelled (never Failed). Results are identical to Evaluate whenever
+// ctx stays live.
+func (e *Evaluator) EvaluateCtx(ctx context.Context, b *bench.Benchmark, arch machine.Arch) Evaluation {
+	return e.EvaluateScratchCtx(ctx, b, arch, nil)
 }
 
 // EvaluateScratch is Evaluate threading a per-worker scratch arena
 // through the backend (see sched.Scratch; pass nil to allocate one per
 // compile).
 func (e *Evaluator) EvaluateScratch(b *bench.Benchmark, arch machine.Arch, sc *sched.Scratch) Evaluation {
+	return e.EvaluateScratchCtx(context.Background(), b, arch, sc)
+}
+
+// EvaluateScratchCtx is EvaluateScratch under a context (see
+// EvaluateCtx for the cancellation contract).
+func (e *Evaluator) EvaluateScratchCtx(ctx context.Context, b *bench.Benchmark, arch machine.Arch, sc *sched.Scratch) Evaluation {
 	esp := obs.StartSpan("evaluate")
 	if esp != nil {
 		esp.Str("bench", b.Name).Str("arch", arch.String())
@@ -230,40 +263,20 @@ func (e *Evaluator) EvaluateScratch(b *bench.Benchmark, arch machine.Arch, sc *s
 	}
 	var sw sweepResult
 	if e.DisableMemo {
-		sw = e.runSweep(esp, b, arch, sc)
+		sw = e.runSweep(ctx, esp, b, arch, sc)
 	} else {
-		key := memoKey{bench: b.Name, sig: sigOf(arch)}
-		e.mu.Lock()
-		ent, ok := e.memo[key]
-		if !ok {
-			ent = &sweepEntry{}
-			e.memo[key] = ent
-		}
-		e.mu.Unlock()
-		hit := true
-		ent.once.Do(func() {
-			ent.res = e.sweepThroughCache(esp, b, arch, key.sig, sc)
-			hit = false
-		})
-		sw = ent.res
-		if hit {
-			// The memoized sweep stands in for this arrangement's
-			// compilations: count them as logical runs (Table 3) and
-			// record the dedup.
-			e.Compilations.Add(sw.runs)
-			obs.GetCounter("dse.compiles").Add(sw.runs)
-			obs.GetCounter("dse.compile_memo_hits").Inc()
-		}
+		sw = e.memoSweep(ctx, esp, b, arch, sc)
 	}
 	ev := Evaluation{
-		Arch:    arch,
-		Bench:   b.Name,
-		Unroll:  sw.unroll,
-		Cycles:  sw.cycles,
-		Spilled: sw.spilled,
-		Failed:  sw.failed,
+		Arch:      arch,
+		Bench:     b.Name,
+		Unroll:    sw.unroll,
+		Cycles:    sw.cycles,
+		Spilled:   sw.spilled,
+		Failed:    sw.failed,
+		Cancelled: sw.cancelled,
 	}
-	if !sw.failed {
+	if !sw.failed && !sw.cancelled {
 		// The derate is the only architecture-specific factor the
 		// backend result does not cover; it is constant and positive
 		// across the sweep, so the min-cycles sweep winner is also the
@@ -276,7 +289,55 @@ func (e *Evaluator) EvaluateScratch(b *bench.Benchmark, arch machine.Arch, sc *s
 	if ev.Failed {
 		obs.GetCounter("dse.eval_failures").Inc()
 	}
+	if ev.Cancelled {
+		obs.GetCounter("dse.eval_cancelled").Inc()
+	}
 	return ev
+}
+
+// memoSweep resolves one evaluation through the arch-signature memo.
+// Cancelled computes never stay memoized: the poisoned entry is dropped
+// so a later (live) caller recomputes it, and a live waiter that
+// coalesced onto a cancelled compute retries instead of inheriting the
+// cancellation.
+func (e *Evaluator) memoSweep(ctx context.Context, esp *obs.Span, b *bench.Benchmark, arch machine.Arch, sc *sched.Scratch) sweepResult {
+	key := memoKey{bench: b.Name, sig: sigOf(arch)}
+	for {
+		e.mu.Lock()
+		ent, ok := e.memo[key]
+		if !ok {
+			ent = &sweepEntry{}
+			e.memo[key] = ent
+		}
+		e.mu.Unlock()
+		hit := true
+		ent.once.Do(func() {
+			ent.res = e.sweepThroughCache(ctx, esp, b, arch, key.sig, sc)
+			hit = false
+		})
+		sw := ent.res
+		if !sw.cancelled {
+			if hit {
+				// The memoized sweep stands in for this arrangement's
+				// compilations: count them as logical runs (Table 3) and
+				// record the dedup.
+				e.Compilations.Add(sw.runs)
+				obs.GetCounter("dse.compiles").Add(sw.runs)
+				obs.GetCounter("dse.compile_memo_hits").Inc()
+			}
+			return sw
+		}
+		e.mu.Lock()
+		if e.memo[key] == ent {
+			delete(e.memo, key)
+		}
+		e.mu.Unlock()
+		if !hit || ctx.Err() != nil {
+			return sw // our own compute was cancelled, or we are too
+		}
+		// A live caller coalesced onto someone else's cancelled compute:
+		// retry against a fresh memo entry.
+	}
 }
 
 // sweepThroughCache resolves one signature class's sweep through the
@@ -285,21 +346,29 @@ func (e *Evaluator) EvaluateScratch(b *bench.Benchmark, arch machine.Arch, sc *s
 // same way a memo hit does: the cached sweep's runs are re-counted as
 // logical runs (Table 3 accounting), so Results and Stats are
 // bit-identical whether the cache is cold, warm, or absent.
-func (e *Evaluator) sweepThroughCache(esp *obs.Span, b *bench.Benchmark, arch machine.Arch, sig archSig, sc *sched.Scratch) sweepResult {
+func (e *Evaluator) sweepThroughCache(ctx context.Context, esp *obs.Span, b *bench.Benchmark, arch machine.Arch, sig archSig, sc *sched.Scratch) sweepResult {
 	if e.Cache == nil {
-		return e.runSweep(esp, b, arch, sc)
+		return e.runSweep(ctx, esp, b, arch, sc)
 	}
 	key := e.kernelClass(b) + ":" + sig.key()
-	ce, hit := e.Cache.Do(b.Name, key, func() evcache.Entry {
-		sw := e.runSweep(esp, b, arch, sc)
+	ce, hit, err := e.Cache.DoErr(b.Name, key, func() (evcache.Entry, error) {
+		sw := e.runSweep(ctx, esp, b, arch, sc)
+		if sw.cancelled {
+			// Abort the singleflight: a half-finished sweep must never be
+			// persisted or handed to coalesced waiters as the real result.
+			return evcache.Entry{}, cancelledErr(ctx)
+		}
 		return evcache.Entry{
 			Unroll:  sw.unroll,
 			Cycles:  sw.cycles,
 			Spilled: sw.spilled,
 			Failed:  sw.failed,
 			Runs:    sw.runs,
-		}
+		}, nil
 	})
+	if err != nil {
+		return sweepResult{cancelled: true}
+	}
 	if hit {
 		e.Compilations.Add(ce.Runs)
 		obs.GetCounter("dse.compiles").Add(ce.Runs)
@@ -417,9 +486,17 @@ func (e *Evaluator) SpeedupBound(b *bench.Benchmark, baselineTime float64, cost 
 
 // runSweep performs the real unroll-until-spill sweep for one
 // (benchmark, architecture), returning the signature-invariant result.
-func (e *Evaluator) runSweep(esp *obs.Span, b *bench.Benchmark, arch machine.Arch, sc *sched.Scratch) sweepResult {
+// Cancellation is observed between backend compiles (each is
+// milliseconds), so a cancelled sweep returns promptly with cancelled
+// set and failed cleared — abandoned work is not a compile failure.
+func (e *Evaluator) runSweep(ctx context.Context, esp *obs.Span, b *bench.Benchmark, arch machine.Arch, sc *sched.Scratch) sweepResult {
 	sw := sweepResult{failed: true}
 	for _, u := range UnrollFactors {
+		if ctx.Err() != nil {
+			sw.cancelled = true
+			sw.failed = false
+			return sw
+		}
 		p := e.prepare(esp, b, u)
 		if p.err != nil {
 			break // unrollable limit reached (op budget etc.)

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -20,7 +21,11 @@ import (
 type ProgressInfo struct {
 	Done, Total int
 	// Failed counts evaluations where no unroll factor compiled.
+	// Work abandoned because the context was cancelled is counted in
+	// Cancelled, never here.
 	Failed int64
+	// Cancelled counts evaluations abandoned by context cancellation.
+	Cancelled int64
 	// Elapsed is wall time since the exploration started.
 	Elapsed time.Duration
 	// RatePerSec is evaluations completed per second of wall time.
@@ -91,8 +96,13 @@ type Stats struct {
 	PerArch       time.Duration // wall time / architectures
 	PerRun        time.Duration // wall time / runs
 	// Failures counts evaluations where no unroll factor compiled.
-	// Zero-valued in files saved before this field existed.
+	// Zero-valued in files saved before this field existed. Evaluations
+	// abandoned by context cancellation are counted in Cancelled, not
+	// here (a cancelled run is not a compile failure).
 	Failures int64
+	// Cancelled counts evaluations abandoned because the exploration's
+	// context ended. Always zero for a run that completed.
+	Cancelled int64 `json:",omitempty"`
 	// Phases attributes cumulative time to compile vs simulate vs
 	// cost-model work. Zero-valued in files saved before this field
 	// existed.
@@ -109,8 +119,18 @@ type Results struct {
 	CostMdl machine.CostModel
 }
 
-// Run executes the exploration.
+// Run executes the exploration to completion (RunCtx with a background
+// context).
 func (e *Explorer) Run() (*Results, error) {
+	return e.RunCtx(context.Background())
+}
+
+// RunCtx executes the exploration under ctx. Cancelling ctx stops the
+// scheduling of new evaluations immediately, lets in-flight backend
+// compiles finish (each is milliseconds), and returns an error wrapping
+// ErrCancelled; no partial Results are returned. When ctx is never
+// cancelled the Results are bit-identical to Run's.
+func (e *Explorer) RunCtx(ctx context.Context) (*Results, error) {
 	archs := e.Archs
 	if archs == nil {
 		archs = machine.FullSpace()
@@ -153,6 +173,9 @@ func (e *Explorer) Run() (*Results, error) {
 	// compiles and reference runs — the dominant cost of a warm re-run —
 	// are never needed.
 	for _, b := range e.Benchmarks {
+		if ctx.Err() != nil {
+			return nil, cancelledErr(ctx)
+		}
 		if ev.CacheCovers(b, archs) {
 			continue
 		}
@@ -168,6 +191,7 @@ func (e *Explorer) Run() (*Results, error) {
 	var wg sync.WaitGroup
 	var done atomic.Int64
 	var failed atomic.Int64
+	var cancelled atomic.Int64
 	// cbMu serializes the Progress callback without ever making workers
 	// wait on it: the snapshot is assembled lock-free from the atomics,
 	// and a contended intermediate update is simply dropped. lastDone
@@ -178,10 +202,11 @@ func (e *Explorer) Run() (*Results, error) {
 	report := func(d int64) {
 		elapsed := time.Since(start)
 		p := ProgressInfo{
-			Done:    int(d),
-			Total:   total,
-			Failed:  failed.Load(),
-			Elapsed: elapsed,
+			Done:      int(d),
+			Total:     total,
+			Failed:    failed.Load(),
+			Cancelled: cancelled.Load(),
+			Elapsed:   elapsed,
 		}
 		if elapsed > 0 {
 			p.RatePerSec = float64(d) / elapsed.Seconds()
@@ -215,10 +240,13 @@ func (e *Explorer) Run() (*Results, error) {
 				}
 				b := e.Benchmarks[j.bi]
 				t1 := time.Now()
-				evl := ev.EvaluateScratch(b, archs[j.ai], sc)
+				evl := ev.EvaluateScratchCtx(ctx, b, archs[j.ai], sc)
 				busy += time.Since(t1)
 				res.Eval[b.Name][j.ai] = evl
-				if evl.Failed {
+				switch {
+				case evl.Cancelled:
+					cancelled.Add(1)
+				case evl.Failed:
 					failed.Add(1)
 				}
 				d := done.Add(1)
@@ -230,13 +258,25 @@ func (e *Explorer) Run() (*Results, error) {
 			obs.GetHistogram("dse.worker_queue_wait_seconds").Observe(wait.Seconds())
 		}()
 	}
+	// Feed the fleet; a cancelled context stops scheduling right here —
+	// workers then drain only what is already queued, and each of those
+	// evaluations short-circuits to Cancelled before compiling.
+feed:
 	for bi := range e.Benchmarks {
 		for ai := range archs {
-			jobs <- job{bi, ai}
+			select {
+			case jobs <- job{bi, ai}:
+			case <-ctx.Done():
+				break feed
+			}
 		}
 	}
 	close(jobs)
 	wg.Wait()
+
+	if ctx.Err() != nil {
+		return nil, cancelledErr(ctx)
+	}
 
 	// Baseline times and speedups. The baseline machine is evaluated
 	// like any other (it is in the space); if absent, evaluate it now.
@@ -252,7 +292,10 @@ func (e *Explorer) Run() (*Results, error) {
 		if baseIdx >= 0 {
 			baseTime = res.Eval[b.Name][baseIdx].Time
 		} else {
-			bev := ev.Evaluate(b, machine.Baseline)
+			bev := ev.EvaluateCtx(ctx, b, machine.Baseline)
+			if bev.Cancelled {
+				return nil, cancelledErr(ctx)
+			}
 			baseTime = bev.Time
 		}
 		if baseTime <= 0 {
@@ -276,6 +319,7 @@ func (e *Explorer) Run() (*Results, error) {
 		Benchmarks:    len(e.Benchmarks),
 		WallTime:      wall,
 		Failures:      failed.Load(),
+		Cancelled:     cancelled.Load(),
 		Phases: PhaseTimes{
 			Compile:   compileTime,
 			Simulate:  simTime,

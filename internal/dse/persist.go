@@ -25,8 +25,11 @@ type archJSON struct {
 	A, M, R, P2, L2, C int
 }
 
-// Save writes the results to path as JSON.
-func (r *Results) Save(path string) error {
+// JSON encodes the results in the persisted schema (the same bytes
+// Save writes). It is the wire format of cfp-serve's explore jobs, so
+// a server-side exploration round-trips through FromJSON into the
+// exact Results a local run would have produced.
+func (r *Results) JSON() ([]byte, error) {
 	out := resultsJSON{
 		Benches: r.Benches,
 		Cost:    r.Cost,
@@ -38,20 +41,16 @@ func (r *Results) Save(path string) error {
 	}
 	data, err := json.Marshal(out)
 	if err != nil {
-		return fmt.Errorf("dse: encode results: %w", err)
+		return nil, fmt.Errorf("dse: encode results: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return data, nil
 }
 
-// Load reads results saved by Save.
-func Load(path string) (*Results, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// FromJSON decodes results encoded by JSON (or saved by Save).
+func FromJSON(data []byte) (*Results, error) {
 	var in resultsJSON
 	if err := json.Unmarshal(data, &in); err != nil {
-		return nil, fmt.Errorf("dse: decode %s: %w", path, err)
+		return nil, fmt.Errorf("dse: decode results: %w", err)
 	}
 	r := &Results{
 		Benches: in.Benches,
@@ -63,6 +62,28 @@ func Load(path string) (*Results, error) {
 		r.Archs = append(r.Archs, machine.Arch{
 			ALUs: a.A, MULs: a.M, Regs: a.R, L2Ports: a.P2, L2Lat: a.L2, Clusters: a.C,
 		})
+	}
+	return r, nil
+}
+
+// Save writes the results to path as JSON.
+func (r *Results) Save(path string) error {
+	data, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads results saved by Save.
+func Load(path string) (*Results, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := FromJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("dse: %s: %w", path, err)
 	}
 	return r, nil
 }

@@ -110,10 +110,12 @@ type shard struct {
 }
 
 // flight coordinates singleflight computes: waiters block on done and
-// then read e.
+// then read e (or err, when the compute aborted without producing an
+// entry — nothing was stored, and waiters retry or propagate).
 type flight struct {
 	done chan struct{}
 	e    Entry
+	err  error
 }
 
 type header struct {
@@ -210,37 +212,55 @@ func (c *Cache) Put(shardName, key string, e Entry) {
 // cache (including a shared in-flight compute) rather than this
 // caller's own compute.
 func (c *Cache) Do(shardName, key string, compute func() Entry) (Entry, bool) {
+	e, hit, _ := c.DoErr(shardName, key, func() (Entry, error) { return compute(), nil })
+	return e, hit
+}
+
+// DoErr is Do for computes that can abort (typically on context
+// cancellation): a compute returning an error stores nothing — the key
+// stays cold, so a later caller recomputes it cleanly. Waiters
+// coalesced onto an aborted compute retry the lookup themselves rather
+// than inheriting the aborter's error; a waiter whose own compute then
+// aborts propagates its own error.
+func (c *Cache) DoErr(shardName, key string, compute func() (Entry, error)) (Entry, bool, error) {
 	fkey := shardName + "\x00" + key
-	c.mu.Lock()
-	s := c.loadLocked(shardName)
-	if el, ok := s.entries[key]; ok {
-		c.lru.MoveToFront(el)
-		c.hitLocked()
-		e := el.Value.(*node).e
+	for {
+		c.mu.Lock()
+		s := c.loadLocked(shardName)
+		if el, ok := s.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			c.hitLocked()
+			e := el.Value.(*node).e
+			c.mu.Unlock()
+			return e, true, nil
+		}
+		if f, ok := c.flight[fkey]; ok {
+			c.stats.Coalesced++
+			obs.GetCounter("evcache.coalesced").Inc()
+			c.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				continue // aborted in flight: retry with our own compute
+			}
+			return f.e, true, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flight[fkey] = f
+		c.missLocked()
 		c.mu.Unlock()
-		return e, true
-	}
-	if f, ok := c.flight[fkey]; ok {
-		c.stats.Coalesced++
-		obs.GetCounter("evcache.coalesced").Inc()
+
+		f.e, f.err = compute()
+
+		c.mu.Lock()
+		if f.err == nil {
+			c.insertLocked(s, shardName, key, f.e, c.dir != "")
+		}
+		delete(c.flight, fkey)
+		c.autoFlushLocked(shardName, s)
 		c.mu.Unlock()
-		<-f.done
-		return f.e, true
+		close(f.done)
+		return f.e, false, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	c.flight[fkey] = f
-	c.missLocked()
-	c.mu.Unlock()
-
-	f.e = compute()
-
-	c.mu.Lock()
-	c.insertLocked(s, shardName, key, f.e, c.dir != "")
-	delete(c.flight, fkey)
-	c.autoFlushLocked(shardName, s)
-	c.mu.Unlock()
-	close(f.done)
-	return f.e, false
 }
 
 // Flush persists every dirty shard via temp-file + atomic rename.

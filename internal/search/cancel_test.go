@@ -1,0 +1,87 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"customfit/internal/machine"
+)
+
+// TestCtxVariantsMatchLegacy: under an uncancelled context, every Ctx
+// strategy must be bit-identical to its legacy wrapper — the context
+// checks may never touch the RNG stream or the visit order.
+func TestCtxVariantsMatchLegacy(t *testing.T) {
+	space := SubLattice()
+	obj := costSpeedupObjective(10)
+	ctx := context.Background()
+	const seed = 7
+
+	if got, err := ExhaustiveCtx(ctx, space, obj, nil); err != nil {
+		t.Fatal(err)
+	} else if want := Exhaustive(space, obj); !reflect.DeepEqual(got, want) {
+		t.Errorf("ExhaustiveCtx %+v != Exhaustive %+v", got, want)
+	}
+	if got, err := HillClimbCtx(ctx, space, obj, 4, seed, nil); err != nil {
+		t.Fatal(err)
+	} else if want := HillClimb(space, obj, 4, seed); !reflect.DeepEqual(got, want) {
+		t.Errorf("HillClimbCtx %+v != HillClimb %+v", got, want)
+	}
+	if got, err := AnnealCtx(ctx, space, obj, 400, seed); err != nil {
+		t.Fatal(err)
+	} else if want := Anneal(space, obj, 400, seed); !reflect.DeepEqual(got, want) {
+		t.Errorf("AnnealCtx %+v != Anneal %+v", got, want)
+	}
+	if got, err := GeneticCtx(ctx, space, obj, 24, 12, seed); err != nil {
+		t.Fatal(err)
+	} else if want := Genetic(space, obj, 24, 12, seed); !reflect.DeepEqual(got, want) {
+		t.Errorf("GeneticCtx %+v != Genetic %+v", got, want)
+	}
+	if got, err := CompareCtx(ctx, space, obj, nil, seed); err != nil {
+		t.Fatal(err)
+	} else if want := Compare(space, obj, seed); !reflect.DeepEqual(got, want) {
+		t.Errorf("CompareCtx %+v != Compare %+v", got, want)
+	}
+}
+
+// TestCtxVariantsCancelPromptly: every strategy must stop quickly once
+// the context ends, returning an error that wraps context.Canceled.
+func TestCtxVariantsCancelPromptly(t *testing.T) {
+	space := SubLattice()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel after a handful of objective calls, mid-strategy.
+	calls := 0
+	obj := func(a machine.Arch) float64 {
+		calls++
+		if calls == 5 {
+			cancel()
+		}
+		return costSpeedupObjective(10)(a)
+	}
+	type run struct {
+		name string
+		fn   func() error
+	}
+	runs := []run{
+		{"Exhaustive", func() error { _, err := ExhaustiveCtx(ctx, space, obj, nil); return err }},
+		{"HillClimb", func() error { _, err := HillClimbCtx(ctx, space, obj, 4, 1, nil); return err }},
+		{"Anneal", func() error { _, err := AnnealCtx(ctx, space, obj, 10_000, 1); return err }},
+		{"Genetic", func() error { _, err := GeneticCtx(ctx, space, obj, 32, 64, 1); return err }},
+		{"Compare", func() error { _, err := CompareCtx(ctx, space, obj, nil, 1); return err }},
+	}
+	for _, r := range runs {
+		calls = 0
+		ctx, cancel = context.WithCancel(context.Background())
+		err := r.fn()
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v does not wrap context.Canceled", r.name, err)
+		}
+		// The check granularity is per neighbor/step/generation, so a
+		// strategy may finish its current unit; far below a full run.
+		if calls > 200 {
+			t.Errorf("%s: %d objective calls after cancellation at 5 — not prompt", r.name, calls)
+		}
+	}
+}

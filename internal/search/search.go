@@ -10,6 +10,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -88,7 +89,8 @@ func (c *counter) cutoff(a machine.Arch, incumbent float64) bool {
 
 // Exhaustive evaluates every point (the paper's method).
 func Exhaustive(space []machine.Arch, obj Objective) Result {
-	return ExhaustiveBounded(space, obj, nil)
+	r, _ := ExhaustiveCtx(context.Background(), space, obj, nil)
+	return r
 }
 
 // ExhaustiveBounded is Exhaustive with bound-guided pruning: points the
@@ -98,10 +100,24 @@ func Exhaustive(space []machine.Arch, obj Objective) Result {
 // improvement, which a pruned point cannot provide — while Evaluations
 // drops by exactly Pruned.
 func ExhaustiveBounded(space []machine.Arch, obj Objective, bound Bound) Result {
+	r, _ := ExhaustiveCtx(context.Background(), space, obj, bound)
+	return r
+}
+
+// ExhaustiveCtx is ExhaustiveBounded under a context. Cancellation is
+// observed before each candidate evaluation; a cancelled search stops
+// promptly and returns the best point seen so far together with the
+// context's error. An uncancelled run is identical to
+// ExhaustiveBounded (pass bound nil for plain Exhaustive).
+func ExhaustiveCtx(ctx context.Context, space []machine.Arch, obj Objective, bound Bound) (Result, error) {
 	c := newCounter(obj)
 	c.bound = bound
+	var err error
 	best, bestScore := machine.Arch{}, math.Inf(-1)
 	for _, a := range space {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		if c.cutoff(a, bestScore) {
 			continue
 		}
@@ -109,7 +125,7 @@ func ExhaustiveBounded(space []machine.Arch, obj Objective, bound Bound) Result 
 			best, bestScore = a, v
 		}
 	}
-	return Result{Strategy: "exhaustive", Best: best, BestScore: bestScore, Evaluations: c.evals, Pruned: c.pruned}
+	return Result{Strategy: "exhaustive", Best: best, BestScore: bestScore, Evaluations: c.evals, Pruned: c.pruned}, err
 }
 
 // neighbors returns the architectures one parameter step away from a,
@@ -193,12 +209,27 @@ func HillClimb(space []machine.Arch, obj Objective, restarts int, seed int64) Re
 // have been an improving move, so the climb trajectory (and the RNG
 // stream, which pruning never touches) is unchanged.
 func HillClimbBounded(space []machine.Arch, obj Objective, restarts int, seed int64, bound Bound) Result {
+	r, _ := HillClimbCtx(context.Background(), space, obj, restarts, seed, bound)
+	return r
+}
+
+// HillClimbCtx is HillClimbBounded under a context, checked before the
+// restart point and every neighbor evaluation. A cancelled climb
+// returns the best point reached so far plus the context's error;
+// cancellation never touches the RNG stream, so an uncancelled run is
+// identical to HillClimbBounded.
+func HillClimbCtx(ctx context.Context, space []machine.Arch, obj Objective, restarts int, seed int64, bound Bound) (Result, error) {
 	c := newCounter(obj)
 	c.bound = bound
 	rng := rand.New(rand.NewSource(seed))
 	inSpace := spaceSet(space)
+	var err error
 	best, bestScore := machine.Arch{}, math.Inf(-1)
+climb:
 	for r := 0; r < restarts; r++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		// Restart points are always evaluated: the climb needs a concrete
 		// starting score, and a bound on the start says nothing about the
 		// points the climb can reach.
@@ -207,6 +238,12 @@ func HillClimbBounded(space []machine.Arch, obj Objective, restarts int, seed in
 		for {
 			improved := false
 			for _, n := range neighbors(cur, inSpace) {
+				if err = ctx.Err(); err != nil {
+					if curScore > bestScore {
+						best, bestScore = cur, curScore
+					}
+					break climb
+				}
 				if c.cutoff(n, curScore) {
 					continue
 				}
@@ -223,11 +260,20 @@ func HillClimbBounded(space []machine.Arch, obj Objective, restarts int, seed in
 			best, bestScore = cur, curScore
 		}
 	}
-	return Result{Strategy: "hill-climb", Best: best, BestScore: bestScore, Evaluations: c.evals, Pruned: c.pruned}
+	return Result{Strategy: "hill-climb", Best: best, BestScore: bestScore, Evaluations: c.evals, Pruned: c.pruned}, err
 }
 
 // Anneal runs simulated annealing.
 func Anneal(space []machine.Arch, obj Objective, steps int, seed int64) Result {
+	r, _ := AnnealCtx(context.Background(), space, obj, steps, seed)
+	return r
+}
+
+// AnnealCtx is Anneal under a context, checked once per step. A
+// cancelled anneal returns the best point seen so far plus the
+// context's error; uncancelled runs are identical to Anneal (the RNG
+// stream is untouched by the checks).
+func AnnealCtx(ctx context.Context, space []machine.Arch, obj Objective, steps int, seed int64) (Result, error) {
 	c := newCounter(obj)
 	rng := rand.New(rand.NewSource(seed))
 	inSpace := spaceSet(space)
@@ -246,7 +292,11 @@ func Anneal(space []machine.Arch, obj Objective, steps int, seed int64) Result {
 	cur, curScore := pick()
 	best, bestScore := cur, curScore
 	t0 := 2.0
+	var err error
 	for i := 0; i < steps; i++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		temp := t0 * math.Exp(-3*float64(i)/float64(steps))
 		ns := neighbors(cur, inSpace)
 		if len(ns) == 0 || math.IsInf(curScore, -1) {
@@ -262,12 +312,20 @@ func Anneal(space []machine.Arch, obj Objective, steps int, seed int64) Result {
 			best, bestScore = cur, curScore
 		}
 	}
-	return Result{Strategy: "anneal", Best: best, BestScore: bestScore, Evaluations: c.evals}
+	return Result{Strategy: "anneal", Best: best, BestScore: bestScore, Evaluations: c.evals}, err
 }
 
 // Genetic runs a small generational GA with tournament selection,
 // parameter-wise crossover and step mutation.
 func Genetic(space []machine.Arch, obj Objective, generations, popSize int, seed int64) Result {
+	r, _ := GeneticCtx(context.Background(), space, obj, generations, popSize, seed)
+	return r
+}
+
+// GeneticCtx is Genetic under a context, checked once per generation.
+// A cancelled run returns the best individual bred so far plus the
+// context's error; uncancelled runs are identical to Genetic.
+func GeneticCtx(ctx context.Context, space []machine.Arch, obj Objective, generations, popSize int, seed int64) (Result, error) {
 	c := newCounter(obj)
 	rng := rand.New(rand.NewSource(seed))
 	inSpace := spaceSet(space)
@@ -307,7 +365,11 @@ func Genetic(space []machine.Arch, obj Objective, generations, popSize int, seed
 		return a, false
 	}
 	best, bestScore := machine.Arch{}, math.Inf(-1)
+	var err error
 	for g := 0; g < generations; g++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		next := make([]machine.Arch, 0, popSize)
 		for len(next) < popSize {
 			child := crossover(tournament(), tournament())
@@ -333,7 +395,7 @@ func Genetic(space []machine.Arch, obj Objective, generations, popSize int, seed
 			}
 		}
 	}
-	return Result{Strategy: "genetic", Best: best, BestScore: bestScore, Evaluations: c.evals}
+	return Result{Strategy: "genetic", Best: best, BestScore: bestScore, Evaluations: c.evals}, err
 }
 
 func spaceSet(space []machine.Arch) map[machine.Arch]bool {
@@ -357,17 +419,40 @@ func Compare(space []machine.Arch, obj Objective, seed int64) []Result {
 // trajectories depend on the values of non-improving moves, so pruning
 // would change their results rather than just their cost.
 func CompareWithBound(space []machine.Arch, obj Objective, bound Bound, seed int64) []Result {
-	ex := ExhaustiveBounded(space, obj, bound)
+	out, _ := CompareCtx(context.Background(), space, obj, bound, seed)
+	return out
+}
+
+// CompareCtx is CompareWithBound under a context. The strategies run in
+// sequence; cancellation stops the in-flight strategy promptly and
+// skips the rest, returning whatever completed (with Optimality
+// normalized to the possibly-partial exhaustive score) alongside the
+// context's error. Uncancelled, the results are identical to
+// CompareWithBound.
+func CompareCtx(ctx context.Context, space []machine.Arch, obj Objective, bound Bound, seed int64) ([]Result, error) {
+	ex, err := ExhaustiveCtx(ctx, space, obj, bound)
 	out := []Result{ex}
-	out = append(out, HillClimbBounded(space, obj, 4, seed, bound))
-	out = append(out, Anneal(space, obj, len(space)/3, seed))
-	out = append(out, Genetic(space, obj, 8, 12, seed))
+	if err == nil {
+		var hc Result
+		hc, err = HillClimbCtx(ctx, space, obj, 4, seed, bound)
+		out = append(out, hc)
+	}
+	if err == nil {
+		var an Result
+		an, err = AnnealCtx(ctx, space, obj, len(space)/3, seed)
+		out = append(out, an)
+	}
+	if err == nil {
+		var ga Result
+		ga, err = GeneticCtx(ctx, space, obj, 8, 12, seed)
+		out = append(out, ga)
+	}
 	for i := range out {
 		if ex.BestScore != 0 {
 			out[i].Optimality = out[i].BestScore / ex.BestScore
 		}
 	}
-	return out
+	return out, err
 }
 
 // SubLattice returns a dense, neighbor-closed subset of the design

@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase. Transitions are
+// queued → running → {done, failed, cancelled}, with cancellation also
+// possible straight from queued.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state admits no further transitions.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one server-sent event on a job's stream: "progress" carries
+// a snapshot, "done" the terminal JobStatus.
+type Event struct {
+	Name string
+	Data json.RawMessage
+}
+
+// JobStatus is the wire form of a job, returned by GET /v1/jobs/{id}
+// and as the "done" SSE event.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+	// Error is set for failed and cancelled jobs.
+	Error string `json:"error,omitempty"`
+	// Progress is the latest progress snapshot (explore/fit jobs).
+	Progress json.RawMessage `json:"progress,omitempty"`
+	// Result is the job's payload once done: the compile/simulate
+	// response object, the exploration's full persisted-results JSON, or
+	// the fit selection.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Job is one queued unit of work. All mutable fields are guarded by mu;
+// the identity fields are written once before the job is published.
+type Job struct {
+	ID   string
+	Kind string
+
+	// run does the work; its ctx is cancelled by DELETE and by server
+	// shutdown past the drain deadline. It receives the job itself so
+	// long runners can publish progress.
+	run    func(ctx context.Context, j *Job) (json.RawMessage, error)
+	ctx    context.Context
+	cancel context.CancelFunc
+	// coalesceKey indexes the server's in-flight map ("" = never
+	// coalesced).
+	coalesceKey string
+	created     time.Time
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	result   json.RawMessage
+	progress json.RawMessage
+	subs     map[chan Event]struct{}
+}
+
+// Status snapshots the job for the wire.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:       j.ID,
+		Kind:     j.Kind,
+		State:    j.state,
+		Error:    j.errMsg,
+		Progress: j.progress,
+		Result:   j.result,
+	}
+}
+
+// State returns the current lifecycle phase.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// startRunning moves queued → running. It returns false when the job
+// was cancelled while waiting in the queue, in which case the worker
+// must skip it.
+func (j *Job) startRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	return true
+}
+
+// setProgress records and publishes a progress snapshot. Publishes are
+// lossy (a slow subscriber drops intermediate snapshots, never the
+// terminal event).
+func (j *Job) setProgress(snapshot json.RawMessage) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.progress = snapshot
+	// Send under the lock: every send and close of a subscriber channel
+	// holds j.mu, so finish can never close a channel mid-send.
+	ev := Event{Name: "progress", Data: snapshot}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and wakes every subscriber
+// by closing its channel (the SSE handler then re-reads Status and
+// emits the "done" event, so the terminal notification can never be
+// dropped by a full buffer).
+func (j *Job) finish(state State, result json.RawMessage, errMsg string) {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	j.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+	}
+}
+
+// subscribe registers an SSE listener. The returned channel delivers
+// progress events and is closed once the job reaches a terminal state
+// (including before the call — a subscriber to a finished job gets an
+// immediately closed channel). unsubscribe is idempotent.
+func (j *Job) subscribe() (ch chan Event, unsubscribe func()) {
+	ch = make(chan Event, 8)
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	if j.subs == nil {
+		j.subs = make(map[chan Event]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	if j.progress != nil {
+		ch <- Event{Name: "progress", Data: j.progress}
+	}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// requestCancel cancels the job: immediately terminal when still
+// queued, via context when running (the worker then finishes it as
+// cancelled). Reports whether the job was still live.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	switch state {
+	case StateQueued:
+		j.finish(StateCancelled, nil, "cancelled before starting")
+		return true
+	case StateRunning:
+		j.cancel()
+		return true
+	default:
+		return false
+	}
+}

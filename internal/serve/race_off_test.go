@@ -1,0 +1,9 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary (see race_on_test.go). The full-space golden test skips
+// under the detector: instrumentation makes it minutes-slow without
+// exercising any concurrency the fast tests do not.
+const raceEnabled = false

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"customfit/internal/bench"
+	"customfit/internal/cli"
+	"customfit/internal/core"
+	"customfit/internal/dse"
+	"customfit/internal/machine"
+)
+
+// decodeJSON reads a request body into v (empty body = zero value, so
+// defaultable requests need no payload).
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil && err.Error() != "EOF" {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// resolveBenches maps names to benchmarks; empty means the full suite.
+func resolveBenches(names []string) ([]*bench.Benchmark, error) {
+	if len(names) == 0 {
+		return bench.All(), nil
+	}
+	out := make([]*bench.Benchmark, 0, len(names))
+	for _, n := range names {
+		b := bench.ByName(n)
+		if b == nil {
+			return nil, fmt.Errorf("unknown benchmark %q (have %v)", n, bench.Names())
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// CompileRequest asks for one kernel × architecture compilation.
+// Exactly one of Bench (a built-in benchmark tag) or Source (CKC text)
+// selects the kernel.
+type CompileRequest struct {
+	Bench  string `json:"bench,omitempty"`
+	Source string `json:"source,omitempty"`
+	// Arch is the paper's positional tuple "a m r p2 l2 c".
+	Arch   string `json:"arch"`
+	Unroll int    `json:"unroll,omitempty"` // default 1
+}
+
+// CompileResult is a compile job's payload.
+type CompileResult struct {
+	Kernel    string  `json:"kernel"`
+	Arch      string  `json:"arch"`
+	Unroll    int     `json:"unroll"`
+	Bundles   int     `json:"bundles"`
+	Ops       int     `json:"ops"`
+	StaticIPC float64 `json:"static_ipc"`
+	Spilled   int     `json:"spilled"`
+	Cost      float64 `json:"cost"`
+	Derate    float64 `json:"derate"`
+	Assembly  string  `json:"assembly"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	src := req.Source
+	if req.Bench != "" {
+		b := bench.ByName(req.Bench)
+		if b == nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown benchmark %q", req.Bench))
+			return
+		}
+		src = b.Source
+	}
+	if src == "" {
+		writeErr(w, http.StatusBadRequest, "one of bench or source is required")
+		return
+	}
+	arch, err := cli.ParseArch(req.Arch)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Unroll <= 0 {
+		req.Unroll = 1
+	}
+	key := coalesceKey("compile", struct {
+		Src    string
+		Arch   machine.Arch
+		Unroll int
+	}{src, arch, req.Unroll})
+	s.respondSubmit(w, "compile", key, func(ctx context.Context, _ *Job) (json.RawMessage, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", dse.ErrCancelled, context.Cause(ctx))
+		}
+		k, err := core.ParseKernel(src)
+		if err != nil {
+			return nil, err
+		}
+		c, err := k.Compile(arch, req.Unroll)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(CompileResult{
+			Kernel:    k.Name,
+			Arch:      arch.String(),
+			Unroll:    req.Unroll,
+			Bundles:   c.Prog.BundleCount(),
+			Ops:       c.Prog.OpCount(),
+			StaticIPC: c.Prog.IPC(),
+			Spilled:   c.Spilled,
+			Cost:      machine.DefaultCostModel.Cost(arch),
+			Derate:    machine.DefaultCycleModel.Derate(arch),
+			Assembly:  c.Assembly(),
+		})
+	})
+}
+
+// SimulateRequest asks for a cycle-accurate run of a built-in benchmark
+// against its generated workload, verified against the golden model.
+type SimulateRequest struct {
+	Bench  string `json:"bench"`
+	Arch   string `json:"arch"`
+	Unroll int    `json:"unroll,omitempty"` // default 1
+	Width  int    `json:"width,omitempty"`  // default 96
+	Seed   int64  `json:"seed,omitempty"`   // default 1
+}
+
+// SimulateResult is a simulate job's payload.
+type SimulateResult struct {
+	Bench       string  `json:"bench"`
+	Arch        string  `json:"arch"`
+	Cycles      int64   `json:"cycles"`
+	Time        float64 `json:"time"`
+	Ops         int64   `json:"ops"`
+	IPC         float64 `json:"ipc"`
+	MemAccesses int64   `json:"mem_accesses"`
+	StallCycles int64   `json:"stall_cycles"`
+	Bound       string  `json:"bound"`
+	Spilled     int     `json:"spilled"`
+	Cost        float64 `json:"cost"`
+	Verified    bool    `json:"verified"`
+	Mismatches  int     `json:"mismatches"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	b := bench.ByName(req.Bench)
+	if b == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown benchmark %q (have %v)", req.Bench, bench.Names()))
+		return
+	}
+	arch, err := cli.ParseArch(req.Arch)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Unroll <= 0 {
+		req.Unroll = 1
+	}
+	if req.Width <= 0 {
+		req.Width = 96
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	key := coalesceKey("simulate", req)
+	s.respondSubmit(w, "simulate", key, func(ctx context.Context, _ *Job) (json.RawMessage, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %w", dse.ErrCancelled, context.Cause(ctx))
+		}
+		k, err := core.ParseKernel(b.Source)
+		if err != nil {
+			return nil, err
+		}
+		c, err := k.Compile(arch, req.Unroll)
+		if err != nil {
+			return nil, err
+		}
+		cse := b.NewCase(req.Width, req.Seed)
+		run := cse.Clone()
+		st, err := c.Run(run.Args, run.Mem)
+		if err != nil {
+			return nil, err
+		}
+		mismatches := 0
+		for _, name := range cse.Outputs {
+			want, got := cse.Golden()[name], run.Mem[name]
+			for i := range want {
+				if want[i] != got[i] {
+					mismatches++
+				}
+			}
+		}
+		return json.Marshal(SimulateResult{
+			Bench:       b.Name,
+			Arch:        arch.String(),
+			Cycles:      st.Cycles,
+			Time:        st.Time,
+			Ops:         st.Ops,
+			IPC:         st.IPC,
+			MemAccesses: st.MemAccesses,
+			StallCycles: st.StallCycles,
+			Bound:       st.Bound,
+			Spilled:     c.Spilled,
+			Cost:        machine.DefaultCostModel.Cost(arch),
+			Verified:    mismatches == 0,
+			Mismatches:  mismatches,
+		})
+	})
+}
+
+// ExploreRequest asks for a design-space exploration. The zero value is
+// the paper's full Table-3 run (full space × full suite, width 96).
+type ExploreRequest struct {
+	// Benchmarks restricts the suite (empty = all).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Sample > 1 keeps every Nth machine of the space.
+	Sample int `json:"sample,omitempty"`
+	// Width is the reference workload width (default 96).
+	Width int `json:"width,omitempty"`
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	benches, err := resolveBenches(req.Benchmarks)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Sample < 1 {
+		req.Sample = 1
+	}
+	if req.Width <= 0 {
+		req.Width = 96
+	}
+	// The key carries exactly the result-affecting fields; worker counts
+	// and caching are excluded because the pipeline is deterministic
+	// regardless of them.
+	key := coalesceKey("explore", req)
+	s.respondSubmit(w, "explore", key, func(ctx context.Context, j *Job) (json.RawMessage, error) {
+		res, err := core.Explore(ctx, core.ExploreOptions{
+			Benchmarks:  benches,
+			Sample:      req.Sample,
+			Width:       req.Width,
+			Parallelism: s.opts.EvalParallelism,
+			Cache:       s.opts.Cache,
+			Progress:    progressPublisher(j),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The result is the exact schema dse.Save persists, so a client
+		// can feed it straight back to cfp-explore -load / cfp-frontier.
+		return res.JSON()
+	})
+}
+
+// FitRequest asks for the paper's custom-fit loop: explore, then select
+// the best architecture for the benchmarks under the cost cap.
+type FitRequest struct {
+	Benchmarks []string `json:"benchmarks,omitempty"` // empty = full suite
+	CostCap    float64  `json:"cost_cap"`
+	// Range > 0 backs off pure specialization: among feasible machines
+	// within Range of the best mean speedup, pick the cheapest.
+	Range  float64 `json:"range,omitempty"`
+	Sample int     `json:"sample,omitempty"`
+	Width  int     `json:"width,omitempty"`
+}
+
+// FitResultJSON is a fit job's payload.
+type FitResultJSON struct {
+	Best     string             `json:"best"`
+	Cost     float64            `json:"cost"`
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	var req FitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	benches, err := resolveBenches(req.Benchmarks)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.CostCap <= 0 {
+		writeErr(w, http.StatusBadRequest, "cost_cap must be positive")
+		return
+	}
+	if req.Sample < 1 {
+		req.Sample = 1
+	}
+	if req.Width <= 0 {
+		req.Width = 96
+	}
+	key := coalesceKey("fit", req)
+	s.respondSubmit(w, "fit", key, func(ctx context.Context, j *Job) (json.RawMessage, error) {
+		fit, err := core.CustomFitCtx(ctx, core.FitOptions{
+			Benchmarks:  benches,
+			CostCap:     req.CostCap,
+			Range:       req.Range,
+			Sample:      req.Sample,
+			Width:       req.Width,
+			Parallelism: s.opts.EvalParallelism,
+			Cache:       s.opts.Cache,
+			Progress:    progressPublisher(j),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(FitResultJSON{
+			Best:     fit.Best.String(),
+			Cost:     fit.Cost,
+			Speedups: fit.Speedups,
+		})
+	})
+}
+
+// progressPublisher adapts the explorer's progress callback to the
+// job's SSE stream.
+func progressPublisher(j *Job) func(dse.ProgressInfo) {
+	return func(p dse.ProgressInfo) {
+		if data, err := json.Marshal(p); err == nil {
+			j.setProgress(data)
+		}
+	}
+}
+
+// coalesceKey canonically encodes a request's result-affecting fields.
+func coalesceKey(kind string, v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Unencodable requests simply never coalesce.
+		return ""
+	}
+	return kind + ":" + string(data)
+}

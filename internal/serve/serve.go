@@ -1,0 +1,414 @@
+// Package serve is the cfp exploration service: an HTTP/JSON front end
+// over the custom-fit toolchain (compile, simulate, explore, fit)
+// backed by a bounded worker pool and job queue.
+//
+// Every POST /v1/{compile,simulate,explore,fit} submits a job and
+// returns 202 with its id; clients poll GET /v1/jobs/{id} or stream
+// GET /v1/jobs/{id}/events (server-sent events: "progress" snapshots,
+// then one "done" carrying the terminal status). DELETE /v1/jobs/{id}
+// cancels — promptly, because the whole evaluation stack underneath is
+// context-threaded (see dse.ErrCancelled).
+//
+// Identical explore/fit requests coalesce onto one in-flight job (the
+// pipeline is deterministic, so equal requests have equal answers), and
+// concurrent distinct explorations still share work through the
+// arch-signature memo and the optional persistent evaluation cache.
+// GET /healthz reports liveness (503 while draining); GET /metrics
+// dumps the obs collector's counters, gauges and span totals.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"customfit/internal/dse"
+	"customfit/internal/evcache"
+	"customfit/internal/obs"
+)
+
+// Options configures a Server. The zero value serves with two job
+// workers, a queue of 16, no persistent cache and the default metrics
+// collector.
+type Options struct {
+	// Workers is the number of jobs run concurrently (default 2). Each
+	// explore job additionally fans out EvalParallelism compile workers,
+	// so total CPU use is roughly Workers × EvalParallelism.
+	Workers int
+	// QueueDepth bounds the submit queue (default 16); submits beyond it
+	// are rejected with 503 rather than buffered without bound.
+	QueueDepth int
+	// EvalParallelism is the per-job compile worker count
+	// (0 = GOMAXPROCS).
+	EvalParallelism int
+	// Cache is a pre-opened persistent evaluation cache shared by every
+	// job (optional; caller keeps ownership and closes it after
+	// Shutdown).
+	Cache *evcache.Cache
+	// MaxJobs bounds retained terminal jobs (default 256); the oldest
+	// finished jobs are evicted first. Live jobs are never evicted.
+	MaxJobs int
+	// Collector backs /metrics. Nil uses the installed obs collector,
+	// installing a fresh one if none is active (a server wants its
+	// counters even when the operator asked for no -metrics file).
+	Collector *obs.Collector
+}
+
+// Server is the exploration service. Create with New, expose via
+// Handler, stop with Shutdown.
+type Server struct {
+	opts      Options
+	mux       *http.ServeMux
+	collector *obs.Collector
+
+	queue     chan *Job
+	wg        sync.WaitGroup
+	baseCtx   context.Context
+	baseStop  context.CancelFunc
+	closeOnce sync.Once
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string // insertion order, for eviction
+	inflight map[string]*Job
+	nextID   int64
+}
+
+// New starts a Server's worker pool. Callers must eventually Shutdown.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 16
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 256
+	}
+	col := opts.Collector
+	if col == nil {
+		col = obs.Active()
+	}
+	if col == nil {
+		col = obs.NewCollector()
+		obs.Install(col)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opts:      opts,
+		collector: col,
+		queue:     make(chan *Job, opts.QueueDepth),
+		baseCtx:   ctx,
+		baseStop:  stop,
+		jobs:      make(map[string]*Job),
+		inflight:  make(map[string]*Job),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /v1/fit", s.handleFit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler (mountable under httptest
+// or an http.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains: new submits are rejected (and /healthz turns 503),
+// queued and running jobs run to completion, workers exit. If ctx
+// expires first, the remaining jobs are cancelled (they finish as
+// "cancelled" promptly — the stack is context-threaded) and Shutdown
+// returns ctx.Err() after they do.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.closeOnce.Do(func() { close(s.queue) })
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseStop()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job and classifies its outcome. Cancellation
+// (anything wrapping dse.ErrCancelled or the context errors) is
+// recorded as "cancelled", not "failed" — operators must be able to
+// tell aborted work from genuinely broken requests.
+func (s *Server) runJob(j *Job) {
+	if !j.startRunning() {
+		s.clearInflight(j)
+		return
+	}
+	sp := obs.StartSpan("serve.job")
+	if sp != nil {
+		sp.Str("kind", j.Kind).Str("id", j.ID)
+	}
+	result, err := j.run(j.ctx, j)
+	sp.End()
+	s.clearInflight(j)
+	switch {
+	case err == nil:
+		j.finish(StateDone, result, "")
+		obs.GetCounter("serve.jobs_done").Inc()
+	case errors.Is(err, dse.ErrCancelled), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		j.finish(StateCancelled, nil, err.Error())
+		obs.GetCounter("serve.jobs_cancelled").Inc()
+	default:
+		j.finish(StateFailed, nil, err.Error())
+		obs.GetCounter("serve.jobs_failed").Inc()
+	}
+}
+
+// clearInflight drops the job from the coalescing index once it can no
+// longer absorb newcomers.
+func (s *Server) clearInflight(j *Job) {
+	if j.coalesceKey == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.inflight[j.coalesceKey] == j {
+		delete(s.inflight, j.coalesceKey)
+	}
+	s.mu.Unlock()
+}
+
+var (
+	errDraining  = errors.New("serve: shutting down, not accepting jobs")
+	errQueueFull = errors.New("serve: job queue full")
+)
+
+// submit creates (or coalesces onto) a job. coalesceKey must be a
+// canonical encoding of everything that affects the job's result —
+// identical keys share one execution and one job id.
+func (s *Server) submit(kind, coalesceKey string, run func(ctx context.Context, j *Job) (json.RawMessage, error)) (j *Job, coalesced bool, err error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false, errDraining
+	}
+	if coalesceKey != "" {
+		if live, ok := s.inflight[coalesceKey]; ok {
+			s.mu.Unlock()
+			obs.GetCounter("serve.jobs_coalesced").Inc()
+			return live, true, nil
+		}
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%d", s.nextID)
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j = &Job{
+		ID:          id,
+		Kind:        kind,
+		run:         run,
+		ctx:         ctx,
+		cancel:      cancel,
+		coalesceKey: coalesceKey,
+		created:     time.Now(),
+		state:       StateQueued,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		obs.GetCounter("serve.queue_rejects").Inc()
+		return nil, false, errQueueFull
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	if coalesceKey != "" {
+		s.inflight[coalesceKey] = j
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+	obs.GetCounter("serve.jobs_submitted").Inc()
+	return j, false, nil
+}
+
+// evictLocked trims the oldest terminal jobs beyond MaxJobs.
+func (s *Server) evictLocked() {
+	if len(s.jobs) <= s.opts.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		if len(s.jobs) > s.opts.MaxJobs && j.State().Terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// job looks up a job by id.
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// SubmitResponse acknowledges a submit.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Coalesced marks that an identical request was already in flight
+	// and this id refers to its job.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// respondSubmit runs the common tail of every submit handler.
+func (s *Server) respondSubmit(w http.ResponseWriter, kind, key string, run func(ctx context.Context, j *Job) (json.RawMessage, error)) {
+	j, coalesced, err := s.submit(kind, key, run)
+	switch {
+	case errors.Is(err, errDraining), errors.Is(err, errQueueFull):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.ID, State: j.State(), Coalesced: coalesced})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.requestCancel() {
+		obs.GetCounter("serve.cancel_requests").Inc()
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// handleJobEvents streams SSE: replayed + live "progress" events, then
+// exactly one "done" with the terminal JobStatus. The job finishing
+// closes the subscription channel; the handler then emits "done" from a
+// fresh Status read, so the terminal event cannot be lost to a full
+// buffer.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ch, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				data, _ := json.Marshal(j.Status())
+				fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+				fl.Flush()
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, ev.Data)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" or "draining"
+	Jobs   int    `json:"jobs"`
+	Queued int    `json:"queued"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	n := len(s.jobs)
+	s.mu.Unlock()
+	h := HealthResponse{Status: "ok", Jobs: n, Queued: len(s.queue)}
+	code := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := s.collector.WriteMetrics(w); err != nil {
+		// Too late for a status code; the truncated body says enough.
+		return
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ErrorResponse is the body of every non-2xx JSON reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
