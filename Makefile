@@ -6,18 +6,20 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 20m ./...
 
 vet:
 	$(GO) vet ./...
 
 # The telemetry subsystem, the parallel explorer, the backend's
-# shared-kernel/scratch machinery, the persistent evaluation cache, and
-# the job-queueing HTTP server (plus the context-cancellation paths
-# threaded through all of them) are the places where data races could
-# hide; run them under the race detector.
+# shared-kernel/scratch machinery, the persistent evaluation cache,
+# the job-queueing HTTP server, and the distributed-exploration
+# coordinator (plus the context-cancellation paths threaded through
+# all of them) are the places where data races could hide; run them
+# under the race detector. Explicit -timeout so a deadlock fails the
+# build with goroutine dumps instead of hanging CI to its job limit.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/dse/... ./internal/sched/... ./internal/evcache/... ./internal/serve/...
+	$(GO) test -race -timeout 20m ./internal/obs/... ./internal/dse/... ./internal/sched/... ./internal/evcache/... ./internal/serve/... ./internal/dist/...
 
 # One-iteration pass over the exploration benchmarks: catches bit-rot in
 # the benchmark harness without paying for a real measurement.

@@ -35,6 +35,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"customfit/internal/cli"
 )
 
 // Benchmark is one parsed result line.
@@ -74,7 +76,12 @@ func main() {
 		regressBench  = flag.String("regress-bench", "BenchmarkExploreSubset", "with -against: benchmark to gate on")
 		regressMetric = flag.String("regress-metric", "ns/op", "with -against: metric to gate on")
 	)
+	tool := cli.NewTool("cfp-benchjson")
 	flag.Parse()
+	if err := tool.Start(); err != nil {
+		tool.Fatal(err)
+	}
+	defer tool.Close()
 
 	cur, err := parse(os.Stdin)
 	if err != nil {

@@ -37,14 +37,42 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"customfit/internal/bench"
 	"customfit/internal/cli"
+	"customfit/internal/dist"
 	"customfit/internal/dse"
 	"customfit/internal/machine"
 	"customfit/internal/tables"
 )
+
+// parseWorkers interprets the dual-mode -workers flag: a bare integer
+// is the local compile-worker count; anything else is a comma-separated
+// list of cfp-serve base URLs ("http://" assumed when no scheme is
+// given) selecting a distributed run.
+func parseWorkers(s string) (fleet []string, local int, err error) {
+	s = strings.TrimSpace(s)
+	if n, aerr := strconv.Atoi(s); aerr == nil {
+		return nil, n, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if !strings.Contains(part, "://") {
+			part = "http://" + part
+		}
+		fleet = append(fleet, part)
+	}
+	if len(fleet) == 0 {
+		return nil, 0, fmt.Errorf("-workers %q: want a worker count or a comma-separated list of cfp-serve URLs", s)
+	}
+	return fleet, 0, nil
+}
 
 var tool *cli.Tool
 
@@ -55,7 +83,7 @@ func main() {
 		ascii      = flag.Bool("ascii", true, "render figures as ASCII scatter plots (false = CSV)")
 		svgDir     = flag.String("svg", "", "also write figures as SVG files into this directory")
 		width      = flag.Int("width", 96, "reference workload width in pixels")
-		workers    = flag.Int("workers", 0, "parallel compile workers (0 = GOMAXPROCS)")
+		workers    = flag.String("workers", "0", "parallel compile workers (0 = GOMAXPROCS), or a comma-separated list of cfp-serve URLs for a distributed run (e.g. http://h1:8080,http://h2:8080 — see docs/DISTRIBUTED.md)")
 		save       = flag.String("save", "", "save exploration results to this JSON file")
 		load       = flag.String("load", "", "load previously saved results instead of exploring")
 		sample     = flag.Int("sample", 1, "evaluate every Nth machine (1 = full space)")
@@ -124,53 +152,68 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		e := dse.NewExplorer()
-		e.Width = *width
-		e.Workers = *workers
-		e.DisableMemo = *noMemo
-		cache, err := tool.OpenCache()
-		if err != nil {
-			fatal(err)
+		fleet, localWorkers, werr := parseWorkers(*workers)
+		if werr != nil {
+			fatal(werr)
 		}
-		e.Cache = cache
-		if *sample > 1 {
-			full := machine.FullSpace()
-			var archs []machine.Arch
-			for i := 0; i < len(full); i += *sample {
-				archs = append(archs, full[i])
-			}
-			// The baseline must be present for speedups.
-			hasBase := false
-			for _, a := range archs {
-				if a == machine.Baseline {
-					hasBase = true
-				}
-			}
-			if !hasBase {
-				archs = append(archs, machine.Baseline)
-			}
-			e.Archs = archs
-		}
-		if *progress {
-			e.Progress = func(p dse.ProgressInfo) {
-				if p.Done%25 == 0 || p.Done == p.Total {
-					fmt.Fprintf(os.Stderr, "\rexploring: %d/%d evaluations  %.1f/s  ETA %-8v failures %d",
-						p.Done, p.Total, p.RatePerSec, p.ETA.Round(time.Second), p.Failed)
-					if p.Cancelled > 0 {
-						fmt.Fprintf(os.Stderr, " cancelled %d", p.Cancelled)
-					}
-					fmt.Fprint(os.Stderr, " ")
-					if p.Done == p.Total {
-						fmt.Fprintln(os.Stderr)
-					}
-				}
-			}
-		}
-		// Ctrl-C stops scheduling new evaluations and exits promptly
+		// Ctrl-C stops scheduling new evaluations (and, distributed,
+		// drains the fleet's in-flight shard jobs) and exits promptly
 		// instead of killing the process mid-flight (telemetry and the
 		// cache still flush).
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		res, err = e.RunCtx(ctx)
+		if len(fleet) > 0 {
+			// Distributed run: shard the grid across cfp-serve workers
+			// and merge to the same Results a local run would produce.
+			res, err = dist.Explore(ctx, dist.Options{
+				Workers: fleet,
+				Width:   *width,
+				Sample:  *sample,
+			})
+		} else {
+			e := dse.NewExplorer()
+			e.Width = *width
+			e.Workers = localWorkers
+			e.DisableMemo = *noMemo
+			cache, cerr := tool.OpenCache()
+			if cerr != nil {
+				fatal(cerr)
+			}
+			e.Cache = cache
+			if *sample > 1 {
+				full := machine.FullSpace()
+				var archs []machine.Arch
+				for i := 0; i < len(full); i += *sample {
+					archs = append(archs, full[i])
+				}
+				// The baseline must be present for speedups.
+				hasBase := false
+				for _, a := range archs {
+					if a == machine.Baseline {
+						hasBase = true
+					}
+				}
+				if !hasBase {
+					archs = append(archs, machine.Baseline)
+				}
+				e.Archs = archs
+			}
+			if *progress {
+				e.Progress = func(p dse.ProgressInfo) {
+					if p.Done%25 == 0 || p.Done == p.Total {
+						fmt.Fprintf(os.Stderr, "\rexploring: %d/%d evaluations  %.1f/s  ETA %-8v failures %d",
+							p.Done, p.Total, p.RatePerSec, p.ETA.Round(time.Second), p.Failed)
+						if p.Cancelled > 0 {
+							fmt.Fprintf(os.Stderr, " cancelled %d", p.Cancelled)
+						}
+						fmt.Fprint(os.Stderr, " ")
+						if p.Done == p.Total {
+							fmt.Fprintln(os.Stderr)
+						}
+					}
+				}
+			}
+			res, err = e.RunCtx(ctx)
+		}
 		stop()
 		if errors.Is(err, dse.ErrCancelled) {
 			fmt.Fprintln(os.Stderr, "\ncfp-explore: interrupted, exploration abandoned")

@@ -16,13 +16,21 @@
 //	GET    /v1/jobs/{id}/events  server-sent progress + done events
 //	DELETE /v1/jobs/{id}         cancel a job (prompt: the evaluation
 //	                             stack is context-threaded end to end)
-//	GET    /healthz              liveness (503 while draining)
+//	GET    /healthz              liveness (503 while draining), capacity
+//	                             and backend fingerprint
 //	GET    /metrics              obs counters/gauges/span totals as JSON
 //
 // Identical explore/fit requests coalesce onto one in-flight job, and
 // -cache-dir shares the persistent evaluation cache across every
 // request, so a warm exploration answers near-instantly and
 // bit-identically to the cold one (and to cfp-explore).
+//
+// A cfp-serve node is also a distributed-exploration worker: point
+// `cfp-explore -workers http://h1:8717,http://h2:8717` at a fleet and
+// the coordinator shards the grid over POST /v1/explore, using /healthz
+// for capacity discovery and fingerprint admission (see
+// docs/DISTRIBUTED.md). Give each worker its own -cache-dir to make
+// re-runs near-instant.
 //
 // SIGINT/SIGTERM drains: in-flight jobs finish (up to -drain-timeout,
 // then they are cancelled), the cache and telemetry flush, and the

@@ -13,10 +13,13 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
+	"runtime"
+	"runtime/debug"
 
 	"customfit/internal/evcache"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
+	"customfit/internal/sched"
 )
 
 // ParseArch parses the paper's positional architecture tuple
@@ -118,8 +121,22 @@ type Tool struct {
 	// Prune is non-nil when WithPrune registered -prune.
 	Prune *bool
 
+	version     *bool
 	cache       *evcache.Cache
 	cacheOpened bool
+}
+
+// VersionString renders the tool's identity line: module version, Go
+// runtime, and the backend code-generation fingerprint. The fingerprint
+// is the part that matters operationally — the distributed coordinator
+// refuses workers whose fingerprint differs from its own, since mixed
+// backends would silently break bit-identical merges.
+func VersionString(name string) string {
+	ver := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		ver = bi.Main.Version
+	}
+	return fmt.Sprintf("%s %s %s backend %s", name, ver, runtime.Version(), sched.Fingerprint())
 }
 
 // ToolOption customizes NewTool.
@@ -149,6 +166,8 @@ func NewTool(name string, opts ...ToolOption) *Tool {
 // NewToolOn is NewTool on an explicit flag set (tests).
 func NewToolOn(fs *flag.FlagSet, name string, opts ...ToolOption) *Tool {
 	t := &Tool{Name: name, Telemetry: AddTelemetryFlagsTo(fs)}
+	t.version = fs.Bool("version", false,
+		"print the tool version (module version, Go runtime, backend fingerprint) and exit")
 	for _, o := range opts {
 		o(t, fs)
 	}
@@ -156,8 +175,16 @@ func NewToolOn(fs *flag.FlagSet, name string, opts ...ToolOption) *Tool {
 }
 
 // Start brings up everything the parsed flags asked for (telemetry
-// collector, pprof listener). Call after flag.Parse.
-func (t *Tool) Start() error { return t.Telemetry.Start() }
+// collector, pprof listener). Call after flag.Parse. When -version was
+// given it prints the identity line and exits 0 before starting
+// anything.
+func (t *Tool) Start() error {
+	if t.version != nil && *t.version {
+		fmt.Println(VersionString(t.Name))
+		os.Exit(0)
+	}
+	return t.Telemetry.Start()
+}
 
 // OpenCache lazily opens the configured evaluation cache, or returns
 // nil when the tool has no cache flags, -cache-dir was not given, or

@@ -2,10 +2,12 @@ package cli
 
 import (
 	"flag"
+	"runtime"
 	"strings"
 	"testing"
 
 	"customfit/internal/machine"
+	"customfit/internal/sched"
 )
 
 func TestParseArch(t *testing.T) {
@@ -48,7 +50,7 @@ func TestToolFlagRegistrationAndCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every standard cross-cutting flag must be registered exactly once.
-	for _, name := range []string{"trace", "metrics", "pprof", "cache-dir", "cache", "prune"} {
+	for _, name := range []string{"trace", "metrics", "pprof", "cache-dir", "cache", "prune", "version"} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)
 		}
@@ -94,4 +96,23 @@ func TestToolCacheOffModes(t *testing.T) {
 		t.Errorf("-cache=off OpenCache = (%v, %v), want (nil, nil)", c, err)
 	}
 	off.Close()
+}
+
+// TestVersionString pins the identity line every tool prints for
+// -version: tool name, Go runtime, and the backend code-generation
+// fingerprint the distributed coordinator gates fleet admission on.
+func TestVersionString(t *testing.T) {
+	v := VersionString("cfp-test")
+	if !strings.HasPrefix(v, "cfp-test ") {
+		t.Errorf("VersionString = %q, want tool-name prefix", v)
+	}
+	if !strings.Contains(v, runtime.Version()) {
+		t.Errorf("VersionString = %q, missing Go runtime %q", v, runtime.Version())
+	}
+	if !strings.Contains(v, sched.Fingerprint()) {
+		t.Errorf("VersionString = %q, missing backend fingerprint %q", v, sched.Fingerprint())
+	}
+	if strings.Contains(v, "\n") {
+		t.Errorf("VersionString = %q, want a single line", v)
+	}
 }

@@ -39,6 +39,13 @@ type ExploreOptions struct {
 	// Sample > 1 keeps every Nth machine of the space, always retaining
 	// the baseline so speedups stay defined.
 	Sample int
+	// ExactArchs explores exactly Archs as given: Sample is ignored and
+	// the baseline machine is not appended when absent (speedups are
+	// still measured against it — the explorer evaluates an out-of-grid
+	// baseline and accounts those compilations in Stats.BaselineRuns).
+	// Shard dispatch (internal/dist) relies on this to keep distributed
+	// runs accounting-identical to a single local run.
+	ExactArchs bool
 	// Width is the reference workload width in pixels (default 96).
 	Width int
 	// Parallelism bounds concurrent compile workers (default
@@ -61,11 +68,15 @@ type ExploreOptions struct {
 	Progress func(dse.ProgressInfo)
 }
 
-// resolveArchs applies Archs and Sample, keeping the baseline present.
+// resolveArchs applies Archs and Sample, keeping the baseline present
+// (unless ExactArchs pins the grid verbatim).
 func (o *ExploreOptions) resolveArchs() []machine.Arch {
 	archs := o.Archs
 	if archs == nil {
 		archs = machine.FullSpace()
+	}
+	if o.ExactArchs {
+		return archs
 	}
 	if o.Sample > 1 {
 		var thinned []machine.Arch

@@ -1,0 +1,579 @@
+// Package dist is the distributed exploration coordinator: it shards a
+// design-space exploration across a fleet of cfp-serve workers over
+// their HTTP/JSON job API and merges the shard results into a
+// dse.Results bit-identical to a single local run.
+//
+// Determinism is the design center. The grid is resolved exactly like a
+// local run (Sample thinning, baseline ensured), shards are whole
+// backend-signature classes (dse.SigKey) so per-class memoization — and
+// with it the paper's Table-3 logical runs accounting — reproduces
+// per-shard, and the merge subtracts every shard's out-of-grid baseline
+// work (Stats.BaselineRuns) so the merged Runs equals a local run's.
+// Per-cell Evaluations are bit-identical because the whole pipeline is
+// deterministic and speedups are single IEEE divisions against the same
+// baseline time.
+//
+// Robustness is first-class: workers are admitted via /healthz (which
+// also publishes capacity and the backend fingerprint — a
+// fingerprint-mismatched worker is refused), failed shard attempts
+// retry with exponential backoff and jitter on the surviving fleet,
+// a worker that keeps failing is taken out of rotation, stragglers are
+// hedged (the slowest shard is duplicated on an idle worker, first
+// result wins, the loser is cancelled with DELETE), and cancelling the
+// coordinator's context drains the fleet. See docs/DISTRIBUTED.md.
+//
+// Telemetry: counters dist.shards, dist.retries, dist.hedges,
+// dist.worker_failures; spans dist.explore (root) and dist.shard (one
+// per attempt, attributed with bench, arch count and worker).
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"customfit/internal/bench"
+	"customfit/internal/dse"
+	"customfit/internal/machine"
+	"customfit/internal/obs"
+	"customfit/internal/sched"
+	"customfit/internal/serve"
+)
+
+// Options configures a distributed exploration. Workers is required;
+// everything else defaults to the local-run equivalents.
+type Options struct {
+	// Workers are the base URLs of the cfp-serve nodes ("http://host:port").
+	Workers []string
+	// Benchmarks restricts the suite (nil = the paper's full suite).
+	Benchmarks []*bench.Benchmark
+	// Archs restricts the space (nil = machine.FullSpace()).
+	Archs []machine.Arch
+	// Sample > 1 keeps every Nth machine, baseline always retained —
+	// identical to a local run's thinning.
+	Sample int
+	// Width is the reference workload width (default 96).
+	Width int
+	// ShardsPerWorker scales the shard count: the grid is cut into
+	// roughly fleet-capacity × ShardsPerWorker units (default 3), small
+	// enough to rebalance around a dead worker, large enough to amortize
+	// per-shard overhead.
+	ShardsPerWorker int
+	// MaxRetries bounds per-shard redispatch attempts (default 4);
+	// exceeding it fails the whole exploration.
+	MaxRetries int
+	// RetryBackoff is the base backoff before a shard retry (default
+	// 500ms), doubled per retry with ±50% jitter.
+	RetryBackoff time.Duration
+	// HedgeAfter is how long a shard may run with the rest of the fleet
+	// idle before it is duplicated on another worker (default 30s;
+	// negative disables hedging).
+	HedgeAfter time.Duration
+	// PollInterval is the job-status polling period (default 200ms).
+	PollInterval time.Duration
+	// Client overrides the HTTP client (tests; default http.DefaultClient).
+	Client *http.Client
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Width <= 0 {
+		out.Width = 96
+	}
+	if out.ShardsPerWorker <= 0 {
+		out.ShardsPerWorker = 3
+	}
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 4
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = 500 * time.Millisecond
+	}
+	if out.HedgeAfter == 0 {
+		out.HedgeAfter = 30 * time.Second
+	}
+	if out.PollInterval <= 0 {
+		out.PollInterval = 200 * time.Millisecond
+	}
+	if out.Client == nil {
+		out.Client = http.DefaultClient
+	}
+	return out
+}
+
+// workerState is the coordinator's view of one fleet member.
+type workerState struct {
+	url      string
+	capacity int
+	inflight int
+	// fails counts consecutive failed attempts; two in a row take the
+	// worker out of rotation (dist.worker_failures).
+	fails int
+	dead  bool
+}
+
+// attempt is one dispatch of one unit to one worker. jobID and aborted
+// are written by different goroutines (the attempt's own and the
+// coordinator's) under mu.
+type attempt struct {
+	id     int
+	u      *unit
+	worker *workerState
+	start  time.Time
+
+	mu      sync.Mutex
+	jobID   string
+	aborted bool
+}
+
+func (a *attempt) setJob(id string) {
+	a.mu.Lock()
+	a.jobID = id
+	a.mu.Unlock()
+}
+
+func (a *attempt) job() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.jobID
+}
+
+// abort marks the attempt coordinator-cancelled and returns the job to
+// DELETE ("" when none was submitted yet).
+func (a *attempt) abort() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.aborted = true
+	return a.jobID
+}
+
+func (a *attempt) isAborted() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.aborted
+}
+
+// outcome is an attempt's terminal report into the coordinator loop.
+type outcome struct {
+	a   *attempt
+	res *dse.Results
+	err error
+	// requeue re-enqueues a unit after its backoff (a is nil then).
+	requeue *unit
+}
+
+// Explore runs the sharded exploration across opts.Workers and returns
+// Results bit-identical (modulo wall-clock timing fields) to a local
+// run with the same Benchmarks/Archs/Sample/Width. Cancelling ctx
+// cancels every in-flight shard job on the fleet and returns an error
+// wrapping dse.ErrCancelled.
+func Explore(ctx context.Context, opts Options) (*dse.Results, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers given")
+	}
+	o := opts.withDefaults()
+	benches := o.Benchmarks
+	if benches == nil {
+		benches = bench.All()
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("dist: no benchmarks given")
+	}
+
+	sp := obs.StartSpan("dist.explore")
+	defer sp.End()
+
+	cl := &client{http: o.Client, poll: o.PollInterval}
+	fleet, err := admitFleet(ctx, cl, o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	capacity := 0
+	for _, w := range fleet {
+		capacity += w.capacity
+	}
+	grid := resolveGrid(o.Archs, o.Sample)
+	units := partitionUnits(grid, benches, capacity*o.ShardsPerWorker)
+	dispatchable := 0
+	for _, u := range units {
+		if u.aliasOf == nil {
+			dispatchable++
+		}
+	}
+	obs.GetCounter("dist.shards").Add(int64(dispatchable))
+	sp.Int("workers", int64(len(fleet))).Int("shards", int64(dispatchable)).Int("archs", int64(len(grid)))
+
+	c := &coordinator{
+		opts:     o,
+		client:   cl,
+		fleet:    fleet,
+		units:    units,
+		grid:     grid,
+		benches:  benches,
+		events:   make(chan outcome, len(units)+len(fleet)),
+		loopDone: make(chan struct{}),
+	}
+	return c.run(ctx)
+}
+
+// admitFleet health-checks every worker and refuses a fleet that cannot
+// produce a correct run: an unreachable or draining worker is an error
+// (the operator listed it explicitly), and so is a backend fingerprint
+// differing from the coordinator's — mixed code generators would merge
+// non-identical shards silently.
+func admitFleet(ctx context.Context, cl *client, urls []string) ([]*workerState, error) {
+	want := sched.Fingerprint()
+	fleet := make([]*workerState, 0, len(urls))
+	for _, raw := range urls {
+		url := strings.TrimRight(raw, "/")
+		h, err := cl.health(ctx, url)
+		if err != nil {
+			return nil, fmt.Errorf("dist: worker %s failed health check: %w", url, err)
+		}
+		if h.Fingerprint != want {
+			return nil, fmt.Errorf("dist: worker %s backend fingerprint %q does not match coordinator %q; refusing (mixed backends break bit-identical merges)",
+				url, h.Fingerprint, want)
+		}
+		capacity := h.Workers
+		if capacity < 1 {
+			capacity = 1
+		}
+		fleet = append(fleet, &workerState{url: url, capacity: capacity})
+	}
+	return fleet, nil
+}
+
+// coordinator owns the dispatch loop. All unit/worker state is touched
+// only from run's goroutine; attempts communicate through events.
+type coordinator struct {
+	opts    Options
+	client  *client
+	fleet   []*workerState
+	units   []*unit
+	grid    []machine.Arch
+	benches []*bench.Benchmark
+
+	events   chan outcome
+	loopDone chan struct{}
+	bg       sync.WaitGroup // background job cancellations
+	rng      *rand.Rand
+
+	nextAttempt int
+	pending     []*unit
+	doneUnits   int
+	needUnits   int
+}
+
+func (c *coordinator) run(ctx context.Context) (*dse.Results, error) {
+	start := time.Now()
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+	c.rng = rand.New(rand.NewSource(1)) // jitter only; determinism of results never depends on it
+
+	for _, u := range c.units {
+		if u.aliasOf == nil {
+			c.pending = append(c.pending, u)
+			c.needUnits++
+		}
+	}
+
+	tick := c.opts.HedgeAfter / 4
+	if tick <= 0 || c.opts.HedgeAfter < 0 {
+		tick = time.Second
+	}
+	if tick < c.opts.PollInterval {
+		tick = c.opts.PollInterval
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	fail := func(err error) (*dse.Results, error) {
+		stopRun()
+		c.shutdown()
+		return nil, err
+	}
+
+	for c.doneUnits < c.needUnits {
+		if err := c.dispatch(runCtx); err != nil {
+			return fail(err)
+		}
+		select {
+		case oc := <-c.events:
+			if err := c.handle(oc); err != nil {
+				return fail(err)
+			}
+		case <-ticker.C:
+			c.maybeHedge(runCtx)
+		case <-ctx.Done():
+			return fail(fmt.Errorf("%w: %w", dse.ErrCancelled, context.Cause(ctx)))
+		}
+	}
+	c.shutdown()
+	return c.merge(start)
+}
+
+// shutdown ends the loop's side channels and reaps every outstanding
+// job on the fleet (best effort, bounded wait) so an aborted or
+// cancelled coordinator leaves no stray work running.
+func (c *coordinator) shutdown() {
+	close(c.loopDone)
+	for _, u := range c.units {
+		for _, a := range u.attempts {
+			if id := a.abort(); id != "" {
+				c.cancelJob(a.worker.url, id)
+			}
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		c.bg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+	}
+}
+
+// cancelJob DELETEs a job in the background.
+func (c *coordinator) cancelJob(workerURL, jobID string) {
+	c.bg.Add(1)
+	go func() {
+		defer c.bg.Done()
+		c.client.cancel(workerURL, jobID)
+	}()
+}
+
+// dispatch assigns pending units to free fleet slots (FIFO units,
+// first free worker). A fully dead fleet is a hard error.
+func (c *coordinator) dispatch(ctx context.Context) error {
+	alive := false
+	for _, w := range c.fleet {
+		if !w.dead {
+			alive = true
+			break
+		}
+	}
+	if !alive {
+		return fmt.Errorf("dist: all %d workers failed", len(c.fleet))
+	}
+	for len(c.pending) > 0 {
+		u := c.pending[0]
+		w := c.freeWorker(nil)
+		if w == nil {
+			return nil
+		}
+		c.pending = c.pending[1:]
+		c.launch(ctx, u, w)
+	}
+	return nil
+}
+
+// freeWorker returns the first alive worker with spare capacity,
+// excluding `not` (hedges must land on a different machine than the
+// attempt they duplicate).
+func (c *coordinator) freeWorker(not *workerState) *workerState {
+	for _, w := range c.fleet {
+		if !w.dead && w != not && w.inflight < w.capacity {
+			return w
+		}
+	}
+	return nil
+}
+
+// launch starts one attempt of u on w.
+func (c *coordinator) launch(ctx context.Context, u *unit, w *workerState) {
+	c.nextAttempt++
+	a := &attempt{id: c.nextAttempt, u: u, worker: w, start: time.Now()}
+	u.attempts[a.id] = a
+	w.inflight++
+	req := serve.ExploreRequest{
+		Benchmarks: []string{u.bench},
+		Width:      c.opts.Width,
+		Archs:      u.tuples,
+	}
+	go func() {
+		sp := obs.StartSpan("dist.shard")
+		sp.Str("bench", u.bench).Int("archs", int64(len(u.tuples))).
+			Str("worker", w.url).Int("unit", int64(u.id))
+		res, err := c.client.runShard(ctx, a, req)
+		sp.End()
+		select {
+		case c.events <- outcome{a: a, res: res, err: err}:
+		case <-c.loopDone:
+		}
+	}()
+}
+
+// handle folds one attempt outcome (or a backoff-elapsed requeue) into
+// the coordinator state.
+func (c *coordinator) handle(oc outcome) error {
+	if oc.requeue != nil {
+		c.pending = append(c.pending, oc.requeue)
+		return nil
+	}
+	a, u, w := oc.a, oc.a.u, oc.a.worker
+	w.inflight--
+	delete(u.attempts, a.id)
+
+	switch {
+	case oc.err == nil:
+		w.fails = 0
+		if !u.done {
+			u.done = true
+			u.res = oc.res
+			c.doneUnits++
+			// First result wins: reap the losing hedge, if any.
+			for _, loser := range u.attempts {
+				if id := loser.abort(); id != "" {
+					c.cancelJob(loser.worker.url, id)
+				}
+			}
+		}
+		return nil
+
+	case errors.Is(oc.err, errAttemptAborted):
+		// We cancelled it ourselves (hedge loser); nothing to do.
+		return nil
+
+	case isPermanent(oc.err):
+		return fmt.Errorf("dist: shard %d (%s, %d archs): %w", u.id, u.bench, len(u.tuples), oc.err)
+	}
+
+	// Retryable failure: penalize the worker, then retry or hedge-absorb.
+	if w.fails++; w.fails >= 2 && !w.dead {
+		w.dead = true
+		obs.GetCounter("dist.worker_failures").Inc()
+	}
+	if u.done || len(u.attempts) > 0 {
+		// A sibling attempt already finished the unit or is still
+		// running it; this failure costs nothing.
+		return nil
+	}
+	u.retries++
+	obs.GetCounter("dist.retries").Inc()
+	if u.retries > c.opts.MaxRetries {
+		return fmt.Errorf("dist: shard %d (%s, %d archs) failed %d times, giving up: %w",
+			u.id, u.bench, len(u.tuples), u.retries, oc.err)
+	}
+	// Exponential backoff with ±50% jitter, off the loop goroutine.
+	delay := c.opts.RetryBackoff << (u.retries - 1)
+	delay = time.Duration(float64(delay) * (0.5 + c.rng.Float64()))
+	timer := time.NewTimer(delay)
+	go func() {
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			select {
+			case c.events <- outcome{requeue: u}:
+			case <-c.loopDone:
+			}
+		case <-c.loopDone:
+		}
+	}()
+	return nil
+}
+
+// maybeHedge duplicates the longest-running lone shard onto an idle
+// worker once the queue is drained: a straggler (slow or silently dying
+// worker) must not hold the whole run hostage. One hedge per unit;
+// first result wins and the loser is cancelled.
+func (c *coordinator) maybeHedge(ctx context.Context) {
+	if c.opts.HedgeAfter < 0 || len(c.pending) > 0 {
+		return
+	}
+	var oldest *attempt
+	for _, u := range c.units {
+		if u.done || u.hedged || u.aliasOf != nil || len(u.attempts) != 1 {
+			continue
+		}
+		for _, a := range u.attempts {
+			if time.Since(a.start) >= c.opts.HedgeAfter && (oldest == nil || a.start.Before(oldest.start)) {
+				oldest = a
+			}
+		}
+	}
+	if oldest == nil {
+		return
+	}
+	w := c.freeWorker(oldest.worker)
+	if w == nil {
+		return
+	}
+	oldest.u.hedged = true
+	obs.GetCounter("dist.hedges").Inc()
+	c.launch(ctx, oldest.u, w)
+}
+
+// merge assembles the shard results into the Results a local run over
+// the same grid would have produced. Cell values are copied verbatim
+// (the pipeline is deterministic, so they are bit-identical); costs are
+// computed locally with the default model (same IEEE arithmetic); and
+// Runs is Σ(shard.Runs − shard.BaselineRuns) — each shard's out-of-grid
+// baseline work is subtracted, leaving exactly the logical runs a
+// single run over the full grid counts (the baseline's own grid cell is
+// inside exactly one shard, where BaselineRuns is 0).
+func (c *coordinator) merge(start time.Time) (*dse.Results, error) {
+	res := &dse.Results{
+		Archs:   c.grid,
+		Eval:    map[string][]dse.Evaluation{},
+		CostMdl: machine.DefaultCostModel,
+	}
+	for _, b := range c.benches {
+		res.Benches = append(res.Benches, b.Name)
+		res.Eval[b.Name] = make([]dse.Evaluation, len(c.grid))
+	}
+	res.Cost = make([]float64, len(c.grid))
+	for i, a := range c.grid {
+		res.Cost[i] = machine.DefaultCostModel.Cost(a)
+	}
+
+	var runs, failures int64
+	var phases dse.PhaseTimes
+	for _, u := range c.units {
+		src := u
+		if u.aliasOf != nil {
+			src = u.aliasOf
+		}
+		r := src.res
+		if r == nil {
+			return nil, fmt.Errorf("dist: shard %d has no result", u.id)
+		}
+		evs := r.Eval[u.bench]
+		if len(evs) != len(u.indices) {
+			return nil, fmt.Errorf("dist: shard %d returned %d evaluations for %d archs", u.id, len(evs), len(u.indices))
+		}
+		for k, gi := range u.indices {
+			res.Eval[u.bench][gi] = evs[k]
+		}
+		if u.aliasOf == nil {
+			runs += r.Stats.Runs - r.Stats.BaselineRuns
+			failures += r.Stats.Failures
+			phases.Compile += r.Stats.Phases.Compile
+			phases.Simulate += r.Stats.Phases.Simulate
+			phases.CostModel += r.Stats.Phases.CostModel
+		}
+	}
+	wall := time.Since(start)
+	res.Stats = dse.Stats{
+		Runs:          runs,
+		Architectures: len(c.grid),
+		DesignPoints:  len(machine.DesignSpace()),
+		Benchmarks:    len(c.benches),
+		WallTime:      wall,
+		Failures:      failures,
+		Phases:        phases,
+	}
+	if len(c.grid) > 0 {
+		res.Stats.PerArch = wall / time.Duration(len(c.grid))
+	}
+	if runs > 0 {
+		res.Stats.PerRun = wall / time.Duration(runs)
+	}
+	return res, nil
+}

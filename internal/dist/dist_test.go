@@ -1,0 +1,411 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"customfit/internal/bench"
+	"customfit/internal/core"
+	"customfit/internal/dse"
+	"customfit/internal/machine"
+	"customfit/internal/obs"
+	"customfit/internal/sched"
+	"customfit/internal/serve"
+)
+
+// startWorker spins up a real cfp-serve node behind httptest.
+func startWorker(t *testing.T, opts serve.Options) *httptest.Server {
+	t.Helper()
+	s := serve.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		ts.Close()
+	})
+	return ts
+}
+
+// installCollector isolates obs counters per test (serve.New would
+// otherwise install a process-wide one on first use).
+func installCollector(t *testing.T) *obs.Collector {
+	t.Helper()
+	col := obs.NewCollector()
+	obs.Install(col)
+	t.Cleanup(func() { obs.Install(nil) })
+	return col
+}
+
+// canonicalJSON strips the wall-clock timing fields (the only
+// legitimately nondeterministic part of Results) and returns the rest
+// as one JSON string, so equality means bit-identical measurements,
+// grid, costs and accounting.
+func canonicalJSON(t *testing.T, res *dse.Results) string {
+	t.Helper()
+	res.Stats.WallTime = 0
+	res.Stats.PerArch = 0
+	res.Stats.PerRun = 0
+	res.Stats.Phases = dse.PhaseTimes{}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// fastOpts tightens the latency knobs for tests.
+func fastOpts(workers ...string) Options {
+	return Options{
+		Workers:      workers,
+		PollInterval: 10 * time.Millisecond,
+		RetryBackoff: 2 * time.Millisecond,
+	}
+}
+
+func benchesByName(names ...string) []*bench.Benchmark {
+	var out []*bench.Benchmark
+	for _, n := range names {
+		out = append(out, bench.ByName(n))
+	}
+	return out
+}
+
+// TestDistributedMatchesLocalSampled runs a thinned grid on a
+// two-worker fleet and requires the merged Results to be bit-identical
+// (canonical JSON) to a local run with the same options — including the
+// logical runs accounting.
+func TestDistributedMatchesLocalSampled(t *testing.T) {
+	col := installCollector(t)
+	w1 := startWorker(t, serve.Options{Workers: 2, Collector: col})
+	w2 := startWorker(t, serve.Options{Workers: 2, Collector: col})
+
+	opts := fastOpts(w1.URL, w2.URL)
+	opts.Benchmarks = benchesByName("G")
+	opts.Sample = 24
+	opts.Width = 32
+	got, err := Explore(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := core.Explore(context.Background(), core.ExploreOptions{
+		Benchmarks: benchesByName("G"),
+		Sample:     24,
+		Width:      32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := canonicalJSON(t, got), canonicalJSON(t, want); g != w {
+		t.Errorf("distributed results diverge from local run\ndistributed: %.400s\nlocal:       %.400s", g, w)
+	}
+	if got.Stats.BaselineRuns != 0 {
+		t.Errorf("merged BaselineRuns = %d, want 0 (baseline is in the grid)", got.Stats.BaselineRuns)
+	}
+	if v := col.Counter("dist.shards").Value(); v < 2 {
+		t.Errorf("dist.shards = %d, want at least one shard per fleet slot", v)
+	}
+}
+
+// TestGoldenDistributedFullSpace is the distributed leg of the golden
+// full-space equivalence: the full 762-arch grid on the golden
+// benchmarks, sharded over two workers, must merge to the exact golden
+// snapshot a local run pins (testdata shared with internal/dse).
+func TestGoldenDistributedFullSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explores the full 762-arch space")
+	}
+	if raceEnabled {
+		t.Skip("full-space exploration is minutes-slow under the race detector")
+	}
+	col := installCollector(t)
+	w1 := startWorker(t, serve.Options{Workers: 2, Collector: col})
+	w2 := startWorker(t, serve.Options{Workers: 2, Collector: col})
+
+	opts := fastOpts(w1.URL, w2.URL)
+	opts.Benchmarks = benchesByName("G", "F", "DH")
+	opts.Width = 48
+	got, err := Explore(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dse.Load("../dse/testdata/golden_fullspace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := canonicalJSON(t, got), canonicalJSON(t, want); g != w {
+		if got.Stats.Runs != want.Stats.Runs {
+			t.Errorf("merged Runs = %d, golden has %d (distributed accounting must preserve Table 3)",
+				got.Stats.Runs, want.Stats.Runs)
+		}
+		t.Errorf("distributed full-space results diverge from the golden snapshot")
+	}
+}
+
+// flakyWorker proxies a serve handler until killed, after which every
+// request (including in-flight polls) gets a 500 — the coordinator's
+// view of a worker dying mid-run.
+type flakyWorker struct {
+	h      http.Handler
+	killed atomic.Bool
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.killed.Load() {
+		http.Error(w, "worker killed by test", http.StatusInternalServerError)
+		return
+	}
+	f.h.ServeHTTP(w, r)
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/explore" {
+		f.killed.Store(true)
+	}
+}
+
+// TestWorkerDiesMidShard kills a worker right after it accepts its
+// first shard: the coordinator must retry the orphaned shards on the
+// survivor and still merge bit-identically to a local run.
+func TestWorkerDiesMidShard(t *testing.T) {
+	col := installCollector(t)
+	survivor := startWorker(t, serve.Options{Workers: 2, Collector: col})
+
+	dying := serve.New(serve.Options{Workers: 2, Collector: col})
+	flaky := &flakyWorker{h: dying.Handler()}
+	dyingTS := httptest.NewServer(flaky)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = dying.Shutdown(ctx)
+		dyingTS.Close()
+	})
+
+	// The dying worker is listed first so dispatch sends it shards.
+	opts := fastOpts(dyingTS.URL, survivor.URL)
+	opts.Benchmarks = benchesByName("G")
+	opts.Sample = 24
+	opts.Width = 32
+	opts.MaxRetries = 6
+	got, err := Explore(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Explore(context.Background(), core.ExploreOptions{
+		Benchmarks: benchesByName("G"),
+		Sample:     24,
+		Width:      32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := canonicalJSON(t, got), canonicalJSON(t, want); g != w {
+		t.Errorf("results after worker death diverge from local run")
+	}
+	if v := col.Counter("dist.retries").Value(); v == 0 {
+		t.Error("dist.retries = 0, want retries after the worker died")
+	}
+	if v := col.Counter("dist.worker_failures").Value(); v == 0 {
+		t.Error("dist.worker_failures = 0, want the dead worker out of rotation")
+	}
+}
+
+// fakeWorker is a minimal hand-rolled worker: healthy, accepts every
+// shard, but its jobs never finish. It drives the hedging and
+// cancellation paths deterministically.
+type fakeWorker struct {
+	fingerprint string
+	capacity    int
+	deletes     atomic.Int64
+	submits     atomic.Int64
+}
+
+func (f *fakeWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
+		fmt.Fprintf(w, `{"status":"ok","workers":%d,"fingerprint":%q}`, f.capacity, f.fingerprint)
+	case r.Method == http.MethodPost && r.URL.Path == "/v1/explore":
+		id := f.submits.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, `{"id":"stuck%d","state":"queued"}`, id)
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+		fmt.Fprint(w, `{"id":"stuck","kind":"explore","state":"running"}`)
+	case r.Method == http.MethodDelete && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+		f.deletes.Add(1)
+		fmt.Fprint(w, `{"id":"stuck","kind":"explore","state":"cancelled"}`)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// TestHedgeStraggler wedges one shard on a black-hole worker: the
+// coordinator must duplicate it on the healthy worker (first result
+// wins), cancel the loser with DELETE, and still merge bit-identically.
+func TestHedgeStraggler(t *testing.T) {
+	col := installCollector(t)
+	healthy := startWorker(t, serve.Options{Workers: 2, Collector: col})
+	stuck := &fakeWorker{fingerprint: sched.Fingerprint(), capacity: 1}
+	stuckTS := httptest.NewServer(stuck)
+	t.Cleanup(stuckTS.Close)
+
+	// Black hole first in the list so dispatch parks a shard there.
+	opts := fastOpts(stuckTS.URL, healthy.URL)
+	opts.Benchmarks = benchesByName("G")
+	opts.Sample = 24
+	opts.Width = 32
+	opts.HedgeAfter = time.Millisecond
+	got, err := Explore(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Explore(context.Background(), core.ExploreOptions{
+		Benchmarks: benchesByName("G"),
+		Sample:     24,
+		Width:      32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := canonicalJSON(t, got), canonicalJSON(t, want); g != w {
+		t.Errorf("hedged results diverge from local run")
+	}
+	if v := col.Counter("dist.hedges").Value(); v == 0 {
+		t.Error("dist.hedges = 0, want the wedged shard hedged onto the healthy worker")
+	}
+	if stuck.deletes.Load() == 0 {
+		t.Error("losing hedge attempt was never cancelled with DELETE")
+	}
+}
+
+// TestFingerprintMismatch: a worker whose backend fingerprint differs
+// from the coordinator's must be refused before any work is dispatched.
+func TestFingerprintMismatch(t *testing.T) {
+	installCollector(t)
+	good := startWorker(t, serve.Options{Workers: 1})
+	bad := httptest.NewServer(&fakeWorker{fingerprint: "backend-v0;bogus", capacity: 1})
+	t.Cleanup(bad.Close)
+
+	opts := fastOpts(good.URL, bad.URL)
+	opts.Benchmarks = benchesByName("G")
+	opts.Sample = 64
+	opts.Width = 32
+	_, err := Explore(context.Background(), opts)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("Explore error = %v, want fingerprint refusal", err)
+	}
+}
+
+// TestCancellation: cancelling the coordinator's context must abort the
+// run with ErrCancelled and DELETE the in-flight shard jobs.
+func TestCancellation(t *testing.T) {
+	installCollector(t)
+	stuck := &fakeWorker{fingerprint: sched.Fingerprint(), capacity: 2}
+	stuckTS := httptest.NewServer(stuck)
+	t.Cleanup(stuckTS.Close)
+
+	opts := fastOpts(stuckTS.URL)
+	opts.Benchmarks = benchesByName("G")
+	opts.Sample = 64
+	opts.Width = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Let at least one shard get submitted, then pull the plug.
+		for stuck.submits.Load() == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+		cancel()
+	}()
+	_, err := Explore(ctx, opts)
+	if !errors.Is(err, dse.ErrCancelled) {
+		t.Fatalf("Explore error = %v, want ErrCancelled", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for stuck.deletes.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled run never issued DELETE for its in-flight jobs")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPartitionInvariants checks the sharding algebra directly: classes
+// stay whole, every grid cell is covered exactly once per benchmark,
+// and duplicate-arch grids alias rather than re-dispatch.
+func TestPartitionInvariants(t *testing.T) {
+	grid := resolveGrid(nil, 8)
+	benches := benchesByName("G", "F")
+	units := partitionUnits(grid, benches, 6)
+
+	classOfUnit := map[string]map[string]int{} // bench -> sig -> unit id
+	covered := map[string]map[int]bool{}
+	for _, u := range units {
+		if classOfUnit[u.bench] == nil {
+			classOfUnit[u.bench] = map[string]int{}
+			covered[u.bench] = map[int]bool{}
+		}
+		for _, gi := range u.indices {
+			if covered[u.bench][gi] {
+				t.Fatalf("grid cell (%s, %d) covered twice", u.bench, gi)
+			}
+			covered[u.bench][gi] = true
+			sig := dse.SigKey(grid[gi])
+			if prev, ok := classOfUnit[u.bench][sig]; ok && prev != u.id {
+				t.Fatalf("signature class %q split across units %d and %d", sig, prev, u.id)
+			}
+			classOfUnit[u.bench][sig] = u.id
+		}
+	}
+	for _, b := range benches {
+		if len(covered[b.Name]) != len(grid) {
+			t.Fatalf("%s: %d of %d grid cells covered", b.Name, len(covered[b.Name]), len(grid))
+		}
+	}
+
+	// Baseline must be in the resolved grid even when thinning skips it.
+	found := false
+	for _, a := range grid {
+		if a == machine.Baseline {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("resolveGrid dropped the baseline")
+	}
+
+	// A duplicated grid dedups into aliases sharing one dispatch.
+	dup := []machine.Arch{machine.Baseline, machine.Baseline}
+	du := partitionUnits(dup, benchesByName("G"), 4)
+	aliases := 0
+	for _, u := range du {
+		if u.aliasOf != nil {
+			aliases++
+		}
+	}
+	if len(du) > 1 && aliases == 0 {
+		t.Errorf("duplicate-arch grid produced %d units and no aliases", len(du))
+	}
+}
+
+// TestShardKeyStability pins the dedup key to its canonical encoding:
+// identical work must always coalesce, different work never.
+func TestShardKeyStability(t *testing.T) {
+	a := shardKey("G", []string{"1 1 64 1 8 1"})
+	b := shardKey("G", []string{"1 1 64 1 8 1"})
+	c := shardKey("F", []string{"1 1 64 1 8 1"})
+	if a != b {
+		t.Error("identical shards got different keys")
+	}
+	if a == c {
+		t.Error("different benches share a key")
+	}
+	var decoded struct{ Bench string }
+	if err := json.Unmarshal([]byte(a), &decoded); err != nil || decoded.Bench != "G" {
+		t.Errorf("shard key is not canonical JSON: %q", a)
+	}
+}

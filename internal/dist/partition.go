@@ -1,0 +1,169 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"customfit/internal/bench"
+	"customfit/internal/dse"
+	"customfit/internal/machine"
+)
+
+// archTuple renders an architecture in the positional wire form the
+// serve API parses ("a m r p2 l2 c" — cli.ParseArch's input, without
+// Arch.String's parentheses).
+func archTuple(a machine.Arch) string {
+	return fmt.Sprintf("%d %d %d %d %d %d", a.ALUs, a.MULs, a.Regs, a.L2Ports, a.L2Lat, a.Clusters)
+}
+
+// resolveGrid applies Archs and Sample exactly like a local run
+// (core.ExploreOptions.resolveArchs): nil means the full concrete
+// space, Sample > 1 keeps every Nth machine, and the baseline is
+// appended when absent. The coordinator always explores a grid that
+// contains the baseline — that is what makes the merged Stats.Runs
+// equal a single local run's (every shard's out-of-grid baseline work
+// is subtracted; the one grid cell that owns the baseline is counted
+// once, here).
+func resolveGrid(archs []machine.Arch, sample int) []machine.Arch {
+	if archs == nil {
+		archs = machine.FullSpace()
+	}
+	if sample > 1 {
+		var thinned []machine.Arch
+		for i := 0; i < len(archs); i += sample {
+			thinned = append(thinned, archs[i])
+		}
+		archs = thinned
+	}
+	for _, a := range archs {
+		if a == machine.Baseline {
+			return archs
+		}
+	}
+	return append(append([]machine.Arch(nil), archs...), machine.Baseline)
+}
+
+// unit is one shard of the (benchmark × architecture) grid: a single
+// benchmark against a subset of the grid built from whole backend
+// signature classes. indices are positions in the coordinator's grid,
+// ascending; tuples is the parallel wire form. A unit whose key matches
+// an earlier unit's (possible only when the grid holds duplicate archs)
+// becomes an alias: it is never dispatched and shares the primary's
+// result at merge time — the coordinator-side analogue of serve's
+// in-flight coalescing.
+type unit struct {
+	id      int
+	bench   string
+	indices []int
+	tuples  []string
+	key     string
+	aliasOf *unit
+
+	// Scheduling state, owned by the coordinator loop.
+	retries  int
+	hedged   bool
+	attempts map[int]*attempt
+	done     bool
+	res      *dse.Results
+}
+
+// partitionUnits shards the exploration. Archs are grouped by backend
+// signature class (dse.SigKey) in first-seen grid order and whole
+// classes are packed into chunks, so every shard reproduces exactly the
+// per-class memoization a local run would have had for its cells: one
+// physical sweep per (benchmark, class), every member arch charged the
+// class sweep's logical runs. Each benchmark is split into roughly
+// targetUnits/len(benches) chunks of near-equal arch count (never
+// splitting a class).
+func partitionUnits(grid []machine.Arch, benches []*bench.Benchmark, targetUnits int) []*unit {
+	// Signature classes, first-seen order, members in grid order.
+	var classes [][]int
+	classAt := map[string]int{}
+	for i, a := range grid {
+		k := dse.SigKey(a)
+		ci, ok := classAt[k]
+		if !ok {
+			ci = len(classes)
+			classAt[k] = ci
+			classes = append(classes, nil)
+		}
+		classes[ci] = append(classes[ci], i)
+	}
+
+	perBench := targetUnits / len(benches)
+	if perBench < 1 {
+		perBench = 1
+	}
+	if perBench > len(classes) {
+		perBench = len(classes)
+	}
+	chunks := chunkClasses(classes, perBench, len(grid))
+
+	var units []*unit
+	byKey := map[string]*unit{}
+	for _, b := range benches {
+		for _, chunk := range chunks {
+			u := &unit{
+				id:       len(units),
+				bench:    b.Name,
+				indices:  chunk,
+				attempts: map[int]*attempt{},
+			}
+			for _, gi := range chunk {
+				u.tuples = append(u.tuples, archTuple(grid[gi]))
+			}
+			u.key = shardKey(u.bench, u.tuples)
+			if prior, ok := byKey[u.key]; ok {
+				u.aliasOf = prior
+			} else {
+				byKey[u.key] = u
+			}
+			units = append(units, u)
+		}
+	}
+	return units
+}
+
+// chunkClasses packs whole classes into k chunks of near-equal total
+// arch count, preserving class order. Deterministic: the same grid
+// always shards the same way. k must be ≤ len(classes).
+func chunkClasses(classes [][]int, k, total int) [][]int {
+	chunks := make([][]int, 0, k)
+	remaining := total
+	ci := 0
+	for c := 0; c < k; c++ {
+		chunksLeft := k - c
+		target := (remaining + chunksLeft - 1) / chunksLeft
+		var chunk []int
+		for ci < len(classes) {
+			if c == k-1 {
+				// Last chunk takes everything left.
+				chunk = append(chunk, classes[ci]...)
+				ci++
+				continue
+			}
+			classesLeft := len(classes) - ci
+			// Leave at least one class for each later chunk, and stop
+			// once this chunk has reached its share.
+			if len(chunk) > 0 && (classesLeft <= chunksLeft-1 || len(chunk)+len(classes[ci]) > target) {
+				break
+			}
+			chunk = append(chunk, classes[ci]...)
+			ci++
+		}
+		remaining -= len(chunk)
+		chunks = append(chunks, chunk)
+	}
+	return chunks
+}
+
+// shardKey canonically encodes everything that affects a shard's
+// result, mirroring serve's coalesce key: two units with equal keys are
+// the same work.
+func shardKey(bench string, tuples []string) string {
+	data, _ := json.Marshal(struct {
+		Bench string
+		Archs []string
+	}{bench, tuples})
+	return string(data)
+}

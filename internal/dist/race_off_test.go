@@ -1,0 +1,9 @@
+//go:build !race
+
+package dist
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary (see race_on_test.go). The heavyweight full-space test
+// skips under the detector: instrumentation makes it minutes-slow
+// without exercising any concurrency the fast tests do not.
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package dist
+
+// raceEnabled: the race detector is on. See race_off_test.go.
+const raceEnabled = true

@@ -103,6 +103,15 @@ type Stats struct {
 	// Cancelled counts evaluations abandoned because the exploration's
 	// context ended. Always zero for a run that completed.
 	Cancelled int64 `json:",omitempty"`
+	// BaselineRuns counts the compilations (logical, like Runs — and
+	// included in it) spent evaluating the baseline machine when it is
+	// not part of the explored grid. Zero whenever the baseline is in
+	// Archs (the full space includes it), so files saved from full runs
+	// are unchanged. The distributed coordinator (internal/dist)
+	// subtracts it when merging shards: every shard evaluates the
+	// baseline for its speedup denominators, but only the shard that
+	// owns the baseline's grid cell may count it.
+	BaselineRuns int64 `json:",omitempty"`
 	// Phases attributes cumulative time to compile vs simulate vs
 	// cost-model work. Zero-valued in files saved before this field
 	// existed.
@@ -279,7 +288,10 @@ feed:
 	}
 
 	// Baseline times and speedups. The baseline machine is evaluated
-	// like any other (it is in the space); if absent, evaluate it now.
+	// like any other (it is in the space); if absent, evaluate it now
+	// and attribute those runs to Stats.BaselineRuns (grid runs and
+	// out-of-grid baseline runs must stay separable for distributed
+	// merges).
 	baseIdx := -1
 	for i, a := range archs {
 		if a == machine.Baseline {
@@ -287,6 +299,7 @@ feed:
 			break
 		}
 	}
+	preBaselineRuns := ev.Compilations.Load()
 	for _, b := range e.Benchmarks {
 		var baseTime float64
 		if baseIdx >= 0 {
@@ -320,6 +333,7 @@ feed:
 		WallTime:      wall,
 		Failures:      failed.Load(),
 		Cancelled:     cancelled.Load(),
+		BaselineRuns:  runs - preBaselineRuns,
 		Phases: PhaseTimes{
 			Compile:   compileTime,
 			Simulate:  simTime,

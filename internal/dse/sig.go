@@ -51,6 +51,15 @@ func (s archSig) key() string {
 	return k
 }
 
+// SigKey returns the architecture's backend-signature key: the stable
+// string identifying its signature class. Two architectures with equal
+// keys are compiled identically (see archSig), so anything that
+// partitions the design space across evaluators — the distributed
+// coordinator in internal/dist — should keep equal-keyed architectures
+// in one partition: the memo layer then deduplicates their backend
+// work exactly as a single local run would.
+func SigKey(a machine.Arch) string { return sigOf(a).key() }
+
 // sigOf maps an architecture to its backend signature.
 func sigOf(a machine.Arch) archSig {
 	return archSig{

@@ -21,8 +21,10 @@
 //
 // Telemetry (when an obs collector is installed): `evcache.hits`,
 // `evcache.misses`, `evcache.coalesced` (misses absorbed by an
-// in-flight compute), `evcache.bytes` (shard bytes read + written) and
-// `evcache.invalidated` (shards discarded on schema mismatch).
+// in-flight compute), `evcache.bytes` (shard bytes read + written),
+// `evcache.invalidated` (shards discarded on schema mismatch) and
+// `evcache.corrupt_lines` (undecodable shard lines skipped at load,
+// typically a line truncated by a crash mid-flush).
 package evcache
 
 import (
@@ -78,6 +80,10 @@ type Stats struct {
 	Coalesced int64 // misses served by waiting on an in-flight compute
 	BytesRead int64
 	BytesWrit int64
+	// CorruptLines counts shard lines skipped at load because they did
+	// not decode (typically one truncated trailing line from a crash
+	// mid-flush). The rest of the shard still loads.
+	CorruptLines int64
 }
 
 // Cache is the two-level store. The zero value is not usable; call
@@ -331,9 +337,12 @@ func (c *Cache) loadLocked(name string) *shard {
 	for sc.Scan() {
 		b := sc.Bytes()
 		var r record
-		// A torn tail line (crash mid-write predates atomic rename, but
-		// belt and braces) or junk is skipped, not fatal.
+		// A torn tail line (a crash mid-flush before the atomic rename
+		// landed, or filesystem truncation) or junk is skipped, not
+		// fatal: one bad line must never cost the rest of the shard.
 		if json.Unmarshal(b, &r) != nil || r.Key == "" {
+			c.stats.CorruptLines++
+			obs.GetCounter("evcache.corrupt_lines").Inc()
 			continue
 		}
 		read += int64(len(b))

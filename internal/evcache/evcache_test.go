@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"customfit/internal/obs"
 )
 
 func testEntry(i int) Entry {
@@ -280,5 +282,82 @@ func TestSanitizeShardNames(t *testing.T) {
 	}
 	if !c2.Contains("../evil/name", "k") || !c2.Contains("", "k") {
 		t.Error("sanitized shards not retrievable")
+	}
+}
+
+// TestCorruptTrailingLineSkipped hand-corrupts a flushed shard the way
+// a crash mid-append or filesystem truncation would — a torn final JSON
+// line plus a junk line — and verifies the reopen skips exactly the bad
+// lines (bumping Stats.CorruptLines and the evcache.corrupt_lines
+// counter) while every intact record survives.
+func TestCorruptTrailingLineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c1.Put("G", fmt.Sprintf("k%d", i), testEntry(i))
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record mid-JSON and append a junk line after it.
+	path := filepath.Join(dir, "G.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("shard has %d lines, want header + records", len(lines))
+	}
+	last := lines[len(lines)-1]
+	lines[len(lines)-1] = last[:len(last)/2] // torn tail
+	lines = append(lines, "!!not json!!")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	col := obs.NewCollector()
+	obs.Install(col)
+	defer obs.Install(nil)
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything before the torn tail must survive; exactly one record
+	// (the torn one) is gone.
+	survivors := 0
+	for i := 0; i < 8; i++ {
+		if c2.Contains("G", fmt.Sprintf("k%d", i)) {
+			survivors++
+		}
+	}
+	if survivors != 7 {
+		t.Errorf("%d of 8 records survived the torn tail, want 7", survivors)
+	}
+	if st := c2.Stats(); st.CorruptLines != 2 {
+		t.Errorf("Stats.CorruptLines = %d, want 2 (torn tail + junk line)", st.CorruptLines)
+	}
+	if v := col.Counter("evcache.corrupt_lines").Value(); v != 2 {
+		t.Errorf("evcache.corrupt_lines counter = %d, want 2", v)
+	}
+
+	// The shard stays writable: the next flush rewrites a clean file.
+	c2.Put("G", "fresh", testEntry(42))
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c3.Contains("G", "fresh") || !c3.Contains("G", "k0") {
+		t.Error("records lost after flushing a previously corrupted shard")
+	}
+	if st := c3.Stats(); st.CorruptLines != 0 {
+		t.Errorf("rewritten shard still reports %d corrupt lines", st.CorruptLines)
 	}
 }

@@ -26,9 +26,12 @@ func (s State) Terminal() bool {
 }
 
 // Event is one server-sent event on a job's stream: "progress" carries
-// a snapshot, "done" the terminal JobStatus.
+// a snapshot, "done" the terminal JobStatus. ID is the job-scoped SSE
+// event id (monotonically increasing), so a client that reconnects with
+// Last-Event-ID can tell replayed state from new state.
 type Event struct {
 	Name string
+	ID   int64
 	Data json.RawMessage
 }
 
@@ -71,6 +74,13 @@ type Job struct {
 	result   json.RawMessage
 	progress json.RawMessage
 	subs     map[chan Event]struct{}
+	// seq numbers the job's SSE events; progressSeq/doneSeq remember
+	// which ids the latest progress snapshot and the terminal event
+	// carry, so reconnects with Last-Event-ID skip already-seen replays
+	// (the done event is always re-sent — it must never be missed).
+	seq         int64
+	progressSeq int64
+	doneSeq     int64
 }
 
 // Status snapshots the job for the wire.
@@ -117,9 +127,11 @@ func (j *Job) setProgress(snapshot json.RawMessage) {
 		return
 	}
 	j.progress = snapshot
+	j.seq++
+	j.progressSeq = j.seq
 	// Send under the lock: every send and close of a subscriber channel
 	// holds j.mu, so finish can never close a channel mid-send.
-	ev := Event{Name: "progress", Data: snapshot}
+	ev := Event{Name: "progress", ID: j.seq, Data: snapshot}
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -142,6 +154,8 @@ func (j *Job) finish(state State, result json.RawMessage, errMsg string) {
 	j.state = state
 	j.result = result
 	j.errMsg = errMsg
+	j.seq++
+	j.doneSeq = j.seq
 	for ch := range j.subs {
 		close(ch)
 	}
@@ -155,8 +169,11 @@ func (j *Job) finish(state State, result json.RawMessage, errMsg string) {
 // subscribe registers an SSE listener. The returned channel delivers
 // progress events and is closed once the job reaches a terminal state
 // (including before the call — a subscriber to a finished job gets an
-// immediately closed channel). unsubscribe is idempotent.
-func (j *Job) subscribe() (ch chan Event, unsubscribe func()) {
+// immediately closed channel). afterID is the reconnecting client's
+// Last-Event-ID (0 for a fresh connection): the stored progress
+// snapshot is replayed only when it is newer, so reconnects never see
+// state they already consumed. unsubscribe is idempotent.
+func (j *Job) subscribe(afterID int64) (ch chan Event, unsubscribe func()) {
 	ch = make(chan Event, 8)
 	j.mu.Lock()
 	if j.state.Terminal() {
@@ -168,8 +185,8 @@ func (j *Job) subscribe() (ch chan Event, unsubscribe func()) {
 		j.subs = make(map[chan Event]struct{})
 	}
 	j.subs[ch] = struct{}{}
-	if j.progress != nil {
-		ch <- Event{Name: "progress", Data: j.progress}
+	if j.progress != nil && j.progressSeq > afterID {
+		ch <- Event{Name: "progress", ID: j.progressSeq, Data: j.progress}
 	}
 	j.mu.Unlock()
 	return ch, func() {
@@ -179,6 +196,14 @@ func (j *Job) subscribe() (ch chan Event, unsubscribe func()) {
 		}
 		j.mu.Unlock()
 	}
+}
+
+// doneEventID returns the SSE id of the terminal event (meaningful once
+// the job is terminal; monotonically the largest id the job assigns).
+func (j *Job) doneEventID() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doneSeq
 }
 
 // requestCancel cancels the job: immediately terminal when still

@@ -230,6 +230,15 @@ type ExploreRequest struct {
 	Sample int `json:"sample,omitempty"`
 	// Width is the reference workload width (default 96).
 	Width int `json:"width,omitempty"`
+	// Archs, when non-empty, explores exactly these architectures
+	// (positional tuples "a m r p2 l2 c") instead of the sampled full
+	// space; Sample must then be unset. The baseline machine is NOT
+	// appended implicitly — shard dispatch needs exact grids — but
+	// speedups are still measured against it (evaluated out of grid
+	// when absent, accounted in Stats.BaselineRuns). This is the wire
+	// form the distributed coordinator (internal/dist) uses to farm
+	// shards out to workers.
+	Archs []string `json:"archs,omitempty"`
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -242,6 +251,19 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if len(req.Archs) > 0 && req.Sample > 1 {
+		writeErr(w, http.StatusBadRequest, "archs and sample are mutually exclusive")
+		return
+	}
+	var archs []machine.Arch
+	for _, tuple := range req.Archs {
+		a, err := cli.ParseArch(tuple)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		archs = append(archs, a)
 	}
 	if req.Sample < 1 {
 		req.Sample = 1
@@ -256,6 +278,8 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	s.respondSubmit(w, "explore", key, func(ctx context.Context, j *Job) (json.RawMessage, error) {
 		res, err := core.Explore(ctx, core.ExploreOptions{
 			Benchmarks:  benches,
+			Archs:       archs,
+			ExactArchs:  len(archs) > 0,
 			Sample:      req.Sample,
 			Width:       req.Width,
 			Parallelism: s.opts.EvalParallelism,

@@ -23,12 +23,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"customfit/internal/dse"
 	"customfit/internal/evcache"
 	"customfit/internal/obs"
+	"customfit/internal/sched"
 )
 
 // Options configures a Server. The zero value serves with two job
@@ -333,7 +335,10 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // exactly one "done" with the terminal JobStatus. The job finishing
 // closes the subscription channel; the handler then emits "done" from a
 // fresh Status read, so the terminal event cannot be lost to a full
-// buffer.
+// buffer. Every event carries an id, and a reconnecting client sending
+// Last-Event-ID (the standard EventSource behavior) skips progress it
+// already consumed; the done event is re-sent regardless, so a client
+// that drops mid-job can never miss the terminal state.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
@@ -345,22 +350,24 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+	// A malformed header is treated as a fresh connection (replay all).
+	lastID, _ := strconv.ParseInt(r.Header.Get("Last-Event-ID"), 10, 64)
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
-	ch, unsubscribe := j.subscribe()
+	ch, unsubscribe := j.subscribe(lastID)
 	defer unsubscribe()
 	for {
 		select {
 		case ev, open := <-ch:
 			if !open {
 				data, _ := json.Marshal(j.Status())
-				fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+				fmt.Fprintf(w, "id: %d\nevent: done\ndata: %s\n\n", j.doneEventID(), data)
 				fl.Flush()
 				return
 			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, ev.Data)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Name, ev.Data)
 			fl.Flush()
 		case <-r.Context().Done():
 			return
@@ -368,11 +375,21 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// HealthResponse is the GET /healthz body.
+// HealthResponse is the GET /healthz body. Beyond liveness it carries
+// what a distributed coordinator (internal/dist) needs for capacity
+// discovery and fleet admission: the job-worker capacity and the
+// backend fingerprint (a coordinator refuses workers whose fingerprint
+// differs from its own — mixed backends would break the determinism
+// guarantee).
 type HealthResponse struct {
 	Status string `json:"status"` // "ok" or "draining"
 	Jobs   int    `json:"jobs"`
 	Queued int    `json:"queued"`
+	// Workers is the concurrent-job capacity (Options.Workers).
+	Workers int `json:"workers"`
+	// Fingerprint is sched.Fingerprint(): the backend's code-generation
+	// identity.
+	Fingerprint string `json:"fingerprint"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -380,7 +397,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	n := len(s.jobs)
 	s.mu.Unlock()
-	h := HealthResponse{Status: "ok", Jobs: n, Queued: len(s.queue)}
+	h := HealthResponse{
+		Status:      "ok",
+		Jobs:        n,
+		Queued:      len(s.queue),
+		Workers:     s.opts.Workers,
+		Fingerprint: sched.Fingerprint(),
+	}
 	code := http.StatusOK
 	if draining {
 		h.Status = "draining"
