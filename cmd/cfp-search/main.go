@@ -55,7 +55,7 @@ func main() {
 	}
 	space := search.SubLattice()
 	fmt.Printf("fitting %s under cost %.1f over %d machines (search sub-lattice)\n",
-		b.Name, *costCap, (len(space)+*sample-1) / max(*sample, 1))
+		b.Name, *costCap, (len(space)+*sample-1)/max(*sample, 1))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	results, err := core.SearchCompare(ctx, core.SearchOptions{

@@ -41,7 +41,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +48,7 @@ import (
 	"time"
 
 	"customfit/internal/cli"
+	olog "customfit/internal/obs/log"
 	"customfit/internal/serve"
 )
 
@@ -85,23 +85,23 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "cfp-serve: draining...")
+		olog.Info("draining").Str("tool", "cfp-serve").Dur("timeout", *drainTimeout).Log()
 		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Drain jobs first so SSE streams see their done events, then
 		// close the HTTP side.
 		if err := srv.Shutdown(dctx); err != nil {
-			fmt.Fprintln(os.Stderr, "cfp-serve: drain timeout, jobs cancelled")
+			olog.Warn("drain timeout, jobs cancelled").Str("tool", "cfp-serve").Log()
 		}
 		hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer hcancel()
 		_ = hs.Shutdown(hctx)
 	}()
 
-	fmt.Fprintf(os.Stderr, "cfp-serve: listening on http://%s (workers %d, queue %d)\n",
-		*addr, *workers, *queueDepth)
+	olog.Info("listening").Str("tool", "cfp-serve").Str("addr", "http://"+*addr).
+		Int("workers", int64(*workers)).Int("queue", int64(*queueDepth)).Log()
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		tool.Fatal(err)
 	}
-	fmt.Fprintln(os.Stderr, "cfp-serve: stopped")
+	olog.Info("stopped").Str("tool", "cfp-serve").Log()
 }

@@ -19,6 +19,7 @@ import (
 	"customfit/internal/evcache"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
+	olog "customfit/internal/obs/log"
 	"customfit/internal/sched"
 )
 
@@ -121,6 +122,11 @@ type Tool struct {
 	// Prune is non-nil when WithPrune registered -prune.
 	Prune *bool
 
+	// LogFormat and LogLevel hold the -log-format/-log-level values;
+	// Start builds the process-global structured logger from them.
+	LogFormat string
+	LogLevel  string
+
 	version     *bool
 	cache       *evcache.Cache
 	cacheOpened bool
@@ -168,6 +174,10 @@ func NewToolOn(fs *flag.FlagSet, name string, opts ...ToolOption) *Tool {
 	t := &Tool{Name: name, Telemetry: AddTelemetryFlagsTo(fs)}
 	t.version = fs.Bool("version", false,
 		"print the tool version (module version, Go runtime, backend fingerprint) and exit")
+	fs.StringVar(&t.LogFormat, "log-format", "text",
+		`structured log output on stderr: "text" (key=value) or "json" (one object per line)`)
+	fs.StringVar(&t.LogLevel, "log-level", "info",
+		"minimum log level: debug, info, warn or error")
 	for _, o := range opts {
 		o(t, fs)
 	}
@@ -183,6 +193,11 @@ func (t *Tool) Start() error {
 		fmt.Println(VersionString(t.Name))
 		os.Exit(0)
 	}
+	lg, err := olog.Setup(os.Stderr, t.LogFormat, t.LogLevel)
+	if err != nil {
+		return fmt.Errorf("cli: %w", err)
+	}
+	olog.Install(lg)
 	return t.Telemetry.Start()
 }
 

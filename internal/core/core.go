@@ -30,7 +30,14 @@ type Kernel struct {
 // ParseKernel compiles CKC source containing exactly one kernel.
 // Frontend failures wrap ErrBadKernel.
 func ParseKernel(src string) (*Kernel, error) {
-	sp := obs.StartSpan("frontend")
+	return ParseKernelCtx(context.Background(), src)
+}
+
+// ParseKernelCtx is ParseKernel with its frontend span parented under
+// the context's current span (obs.SpanFromContext), so a traced job's
+// parse work lands inside the job's trace.
+func ParseKernelCtx(ctx context.Context, src string) (*Kernel, error) {
+	sp := obs.StartSpanCtx(ctx, "frontend")
 	fn, err := cc.CompileKernelSpan(sp, src)
 	sp.End()
 	if err != nil {
@@ -55,10 +62,16 @@ type Compiled struct {
 // running the full pipeline: optimize, unroll, partition, schedule,
 // allocate (with spilling if needed), validate.
 func (k *Kernel) Compile(arch machine.Arch, unroll int) (*Compiled, error) {
+	return k.CompileCtx(context.Background(), arch, unroll)
+}
+
+// CompileCtx is Compile with the compile span parented under the
+// context's current span (see ParseKernelCtx).
+func (k *Kernel) CompileCtx(ctx context.Context, arch machine.Arch, unroll int) (*Compiled, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("compile")
+	sp := obs.StartSpanCtx(ctx, "compile")
 	if sp != nil {
 		sp.Str("kernel", k.Name).Str("arch", arch.String()).Int("unroll", int64(unroll))
 	}
@@ -133,11 +146,17 @@ func newRunStats(st *sim.Stats, arch machine.Arch) *RunStats {
 // args are scalar parameters in declaration order; mem binds arrays by
 // name (mutated in place).
 func (c *Compiled) Run(args []int32, mem map[string][]int32) (*RunStats, error) {
+	return c.RunCtx(context.Background(), args, mem)
+}
+
+// RunCtx is Run with the simulation span parented under the context's
+// current span (see ParseKernelCtx).
+func (c *Compiled) RunCtx(ctx context.Context, args []int32, mem map[string][]int32) (*RunStats, error) {
 	env := ir.NewEnv(args...)
 	for name, data := range mem {
 		env.Bind(name, data)
 	}
-	st, err := sim.Run(c.Prog, env)
+	st, err := sim.RunCtx(ctx, c.Prog, env)
 	if err != nil {
 		return nil, err
 	}

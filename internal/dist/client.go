@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"customfit/internal/dse"
+	"customfit/internal/obs"
 	"customfit/internal/serve"
 )
 
@@ -76,6 +77,11 @@ func (c *client) submit(ctx context.Context, workerURL string, ereq serve.Explor
 		return "", permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if ereq.TraceParent != "" {
+		// Also as a header, so trace-aware proxies between coordinator
+		// and worker see the propagation (the body field wins server-side).
+		req.Header.Set("traceparent", ereq.TraceParent)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return "", err
@@ -134,13 +140,14 @@ func (c *client) cancel(workerURL, jobID string) {
 }
 
 // runShard submits one attempt's shard and polls it to a terminal
-// state, returning the decoded shard Results. Worker death mid-run
-// surfaces as consecutive poll failures (connection errors) and is
-// reported as a retryable error.
-func (c *client) runShard(ctx context.Context, a *attempt, ereq serve.ExploreRequest) (*dse.Results, error) {
+// state, returning the decoded shard Results plus the worker-side spans
+// the job captured (non-nil only when ereq carried a TraceParent).
+// Worker death mid-run surfaces as consecutive poll failures
+// (connection errors) and is reported as a retryable error.
+func (c *client) runShard(ctx context.Context, a *attempt, ereq serve.ExploreRequest) (*dse.Results, []obs.WireSpan, error) {
 	jobID, err := c.submit(ctx, a.worker.url, ereq)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	a.setJob(jobID)
 	pollFails := 0
@@ -151,16 +158,16 @@ func (c *client) runShard(ctx context.Context, a *attempt, ereq serve.ExploreReq
 		case <-timer.C:
 		case <-ctx.Done():
 			go c.cancel(a.worker.url, jobID)
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 		st, err := c.jobStatus(ctx, a.worker.url, jobID)
 		if err != nil {
 			if ctx.Err() != nil {
 				go c.cancel(a.worker.url, jobID)
-				return nil, ctx.Err()
+				return nil, nil, ctx.Err()
 			}
 			if pollFails++; pollFails >= 3 {
-				return nil, fmt.Errorf("worker %s unreachable polling job %s: %w", a.worker.url, jobID, err)
+				return nil, nil, fmt.Errorf("worker %s unreachable polling job %s: %w", a.worker.url, jobID, err)
 			}
 			timer.Reset(c.poll)
 			continue
@@ -170,18 +177,18 @@ func (c *client) runShard(ctx context.Context, a *attempt, ereq serve.ExploreReq
 		case serve.StateDone:
 			res, err := dse.FromJSON(st.Result)
 			if err != nil {
-				return nil, permanent(fmt.Errorf("worker %s job %s: %w", a.worker.url, jobID, err))
+				return nil, nil, permanent(fmt.Errorf("worker %s job %s: %w", a.worker.url, jobID, err))
 			}
-			return res, nil
+			return res, st.Spans, nil
 		case serve.StateFailed:
 			// Deterministic pipeline: a failed shard fails everywhere.
-			return nil, permanent(fmt.Errorf("worker %s job %s failed: %s", a.worker.url, jobID, st.Error))
+			return nil, nil, permanent(fmt.Errorf("worker %s job %s failed: %s", a.worker.url, jobID, st.Error))
 		case serve.StateCancelled:
 			if a.isAborted() {
-				return nil, errAttemptAborted
+				return nil, nil, errAttemptAborted
 			}
 			// Cancelled server-side (drain past deadline): retry elsewhere.
-			return nil, fmt.Errorf("worker %s cancelled job %s: %s", a.worker.url, jobID, st.Error)
+			return nil, nil, fmt.Errorf("worker %s cancelled job %s: %s", a.worker.url, jobID, st.Error)
 		}
 		timer.Reset(c.poll)
 	}

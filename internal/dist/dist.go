@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"customfit/internal/dse"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
+	olog "customfit/internal/obs/log"
 	"customfit/internal/sched"
 	"customfit/internal/serve"
 )
@@ -111,6 +113,10 @@ type workerState struct {
 	url      string
 	capacity int
 	inflight int
+	// load is the worker's reported queued+running job count at
+	// admission: the fleet is ordered idle-first, so dispatch prefers
+	// workers with no pre-existing traffic.
+	load int
 	// fails counts consecutive failed attempts; two in a row take the
 	// worker out of rotation (dist.worker_failures).
 	fails int
@@ -185,7 +191,7 @@ func Explore(ctx context.Context, opts Options) (*dse.Results, error) {
 		return nil, fmt.Errorf("dist: no benchmarks given")
 	}
 
-	sp := obs.StartSpan("dist.explore")
+	sp := obs.StartSpanCtx(ctx, "dist.explore")
 	defer sp.End()
 
 	cl := &client{http: o.Client, poll: o.PollInterval}
@@ -207,6 +213,10 @@ func Explore(ctx context.Context, opts Options) (*dse.Results, error) {
 	}
 	obs.GetCounter("dist.shards").Add(int64(dispatchable))
 	sp.Int("workers", int64(len(fleet))).Int("shards", int64(dispatchable)).Int("archs", int64(len(grid)))
+	olog.Info("distributed exploration starting").
+		Int("workers", int64(len(fleet))).Int("shards", int64(dispatchable)).
+		Int("archs", int64(len(grid))).
+		Str("trace", sp.Context().Trace.String()).Log()
 
 	c := &coordinator{
 		opts:     o,
@@ -215,6 +225,7 @@ func Explore(ctx context.Context, opts Options) (*dse.Results, error) {
 		units:    units,
 		grid:     grid,
 		benches:  benches,
+		root:     sp,
 		events:   make(chan outcome, len(units)+len(fleet)),
 		loopDone: make(chan struct{}),
 	}
@@ -243,8 +254,17 @@ func admitFleet(ctx context.Context, cl *client, urls []string) ([]*workerState,
 		if capacity < 1 {
 			capacity = 1
 		}
-		fleet = append(fleet, &workerState{url: url, capacity: capacity})
+		load := h.Queued + h.Running
+		olog.Debug("worker admitted").
+			Str("worker", url).Int("capacity", int64(capacity)).
+			Int("load", int64(load)).Log()
+		fleet = append(fleet, &workerState{url: url, capacity: capacity, load: load})
 	}
+	// Idle-first: dispatch picks the first free worker, so ordering the
+	// fleet by reported load routes shards away from busy nodes. Stable,
+	// so equally loaded workers keep the operator's listing order (and
+	// the common all-idle fleet is ordered exactly as listed).
+	sort.SliceStable(fleet, func(i, j int) bool { return fleet[i].load < fleet[j].load })
 	return fleet, nil
 }
 
@@ -257,6 +277,10 @@ type coordinator struct {
 	units   []*unit
 	grid    []machine.Arch
 	benches []*bench.Benchmark
+
+	// root is the run's dist.explore span; every dist.shard span forks
+	// from it, so the whole fleet's telemetry shares one trace.
+	root *obs.Span
 
 	events   chan outcome
 	loopDone chan struct{}
@@ -386,22 +410,30 @@ func (c *coordinator) freeWorker(not *workerState) *workerState {
 	return nil
 }
 
-// launch starts one attempt of u on w.
+// launch starts one attempt of u on w. The attempt's dist.shard span
+// forks from the run's dist.explore root, and its span context rides
+// the explore request as a traceparent: the worker then records the
+// job's spans into the same trace and ships them back with the result,
+// where AdoptRemote grafts them under this shard span — one fleet, one
+// trace. A disabled coordinator (no collector) sends no traceparent,
+// so workers skip span capture entirely.
 func (c *coordinator) launch(ctx context.Context, u *unit, w *workerState) {
 	c.nextAttempt++
 	a := &attempt{id: c.nextAttempt, u: u, worker: w, start: time.Now()}
 	u.attempts[a.id] = a
 	w.inflight++
+	sp := c.root.Fork("dist.shard")
+	sp.Str("bench", u.bench).Int("archs", int64(len(u.tuples))).
+		Str("worker", w.url).Int("unit", int64(u.id))
 	req := serve.ExploreRequest{
-		Benchmarks: []string{u.bench},
-		Width:      c.opts.Width,
-		Archs:      u.tuples,
+		Benchmarks:  []string{u.bench},
+		Width:       c.opts.Width,
+		Archs:       u.tuples,
+		TraceParent: sp.Context().TraceParent(),
 	}
 	go func() {
-		sp := obs.StartSpan("dist.shard")
-		sp.Str("bench", u.bench).Int("archs", int64(len(u.tuples))).
-			Str("worker", w.url).Int("unit", int64(u.id))
-		res, err := c.client.runShard(ctx, a, req)
+		res, spans, err := c.client.runShard(ctx, a, req)
+		sp.AdoptRemote(spans)
 		sp.End()
 		select {
 		case c.events <- outcome{a: a, res: res, err: err}:
@@ -446,9 +478,14 @@ func (c *coordinator) handle(oc outcome) error {
 	}
 
 	// Retryable failure: penalize the worker, then retry or hedge-absorb.
+	olog.Warn("shard attempt failed").
+		Int("shard", int64(u.id)).Str("bench", u.bench).
+		Str("worker", w.url).Err(oc.err).Log()
 	if w.fails++; w.fails >= 2 && !w.dead {
 		w.dead = true
 		obs.GetCounter("dist.worker_failures").Inc()
+		olog.Warn("worker removed from rotation").
+			Str("worker", w.url).Int("consecutive_failures", int64(w.fails)).Log()
 	}
 	if u.done || len(u.attempts) > 0 {
 		// A sibling attempt already finished the unit or is still
@@ -461,6 +498,8 @@ func (c *coordinator) handle(oc outcome) error {
 		return fmt.Errorf("dist: shard %d (%s, %d archs) failed %d times, giving up: %w",
 			u.id, u.bench, len(u.tuples), u.retries, oc.err)
 	}
+	olog.Info("shard retry scheduled").
+		Int("shard", int64(u.id)).Int("retry", int64(u.retries)).Log()
 	// Exponential backoff with ±50% jitter, off the loop goroutine.
 	delay := c.opts.RetryBackoff << (u.retries - 1)
 	delay = time.Duration(float64(delay) * (0.5 + c.rng.Float64()))
@@ -507,6 +546,10 @@ func (c *coordinator) maybeHedge(ctx context.Context) {
 	}
 	oldest.u.hedged = true
 	obs.GetCounter("dist.hedges").Inc()
+	olog.Info("hedging straggler shard").
+		Int("shard", int64(oldest.u.id)).
+		Str("slow_worker", oldest.worker.url).Str("hedge_worker", w.url).
+		Dur("running_for", time.Since(oldest.start)).Log()
 	c.launch(ctx, oldest.u, w)
 }
 

@@ -256,7 +256,9 @@ func (e *Evaluator) EvaluateScratch(b *bench.Benchmark, arch machine.Arch, sc *s
 // EvaluateScratchCtx is EvaluateScratch under a context (see
 // EvaluateCtx for the cancellation contract).
 func (e *Evaluator) EvaluateScratchCtx(ctx context.Context, b *bench.Benchmark, arch machine.Arch, sc *sched.Scratch) Evaluation {
-	esp := obs.StartSpan("evaluate")
+	// StartSpanCtx parents the evaluation under the exploration's span
+	// when one rides ctx (each evaluation forks its own track).
+	esp := obs.StartSpanCtx(ctx, "evaluate")
 	if esp != nil {
 		esp.Str("bench", b.Name).Str("arch", arch.String())
 		defer esp.End()

@@ -140,6 +140,14 @@ func (e *Explorer) Run() (*Results, error) {
 // ErrCancelled; no partial Results are returned. When ctx is never
 // cancelled the Results are bit-identical to Run's.
 func (e *Explorer) RunCtx(ctx context.Context) (*Results, error) {
+	// The run's root span: parented under the context's span when one is
+	// there (a serve.job continuing a coordinator's trace), a standalone
+	// root otherwise. Threading it back through ctx parents every
+	// per-evaluation span underneath.
+	rsp := obs.StartSpanCtx(ctx, "dse.explore")
+	defer rsp.End()
+	ctx = obs.ContextWithSpan(ctx, rsp)
+
 	archs := e.Archs
 	if archs == nil {
 		archs = machine.FullSpace()
@@ -189,7 +197,7 @@ func (e *Explorer) RunCtx(ctx context.Context) (*Results, error) {
 			continue
 		}
 		for _, u := range UnrollFactors {
-			ev.prepare(nil, b, u)
+			ev.prepare(rsp, b, u)
 		}
 	}
 

@@ -328,15 +328,16 @@ func TestCorruptTrailingLineSkipped(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Everything before the torn tail must survive; exactly one record
-	// (the torn one) is gone.
-	survivors := 0
+	// (the torn one) is gone. Which one was last in the file — and so
+	// torn — depends on flush order, so track the survivors by key.
+	var survivors []string
 	for i := 0; i < 8; i++ {
-		if c2.Contains("G", fmt.Sprintf("k%d", i)) {
-			survivors++
+		if k := fmt.Sprintf("k%d", i); c2.Contains("G", k) {
+			survivors = append(survivors, k)
 		}
 	}
-	if survivors != 7 {
-		t.Errorf("%d of 8 records survived the torn tail, want 7", survivors)
+	if len(survivors) != 7 {
+		t.Errorf("%d of 8 records survived the torn tail, want 7", len(survivors))
 	}
 	if st := c2.Stats(); st.CorruptLines != 2 {
 		t.Errorf("Stats.CorruptLines = %d, want 2 (torn tail + junk line)", st.CorruptLines)
@@ -354,8 +355,13 @@ func TestCorruptTrailingLineSkipped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !c3.Contains("G", "fresh") || !c3.Contains("G", "k0") {
-		t.Error("records lost after flushing a previously corrupted shard")
+	if !c3.Contains("G", "fresh") {
+		t.Error("fresh record lost after flushing a previously corrupted shard")
+	}
+	for _, k := range survivors {
+		if !c3.Contains("G", k) {
+			t.Errorf("record %s lost after flushing a previously corrupted shard", k)
+		}
 	}
 	if st := c3.Stats(); st.CorruptLines != 0 {
 		t.Errorf("rewritten shard still reports %d corrupt lines", st.CorruptLines)

@@ -1,0 +1,170 @@
+// Package log is the toolchain's structured logging layer on top of
+// log/slog: a process-global logger with text or JSON output selected
+// by the -log-format/-log-level flags on every command (see cli.Tool),
+// and job-ID/shard-ID/trace-ID attributes threaded through serve and
+// dist so a line on a worker correlates with the coordinator's shard
+// and trace (docs/OBSERVABILITY.md "Correlated logging").
+//
+// Like obs spans, disabled logging must cost nothing on hot paths. The
+// API is therefore a nil-receiver builder rather than slog's variadic
+// calls: Info(msg) returns nil unless the level is enabled, and every
+// chained attribute method no-ops on nil — no allocation, not even the
+// variadic backing array Go would otherwise materialize at the call
+// site regardless of the level check inside.
+package log
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Logger wraps an slog.Logger. A nil *Logger is the disabled path:
+// every method no-ops.
+type Logger struct {
+	s   *slog.Logger
+	lvl slog.Level
+}
+
+// def is the process-global logger; nil means logging is disabled.
+var def atomic.Pointer[Logger]
+
+// Install sets the process-global logger. Install(nil) disables it.
+func Install(l *Logger) { def.Store(l) }
+
+// Default returns the installed logger, or nil when disabled.
+func Default() *Logger { return def.Load() }
+
+// Setup builds a Logger writing to w. format is "text" or "json";
+// level is one of slog's names (debug, info, warn, error), case-
+// insensitive. It does not install the logger — callers decide.
+func Setup(w io.Writer, format, level string) (*Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("log level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("log format %q: want text or json", format)
+	}
+	return &Logger{s: slog.New(h), lvl: lvl}, nil
+}
+
+// New wraps an existing slog.Logger at the given minimum level.
+func New(s *slog.Logger, lvl slog.Level) *Logger {
+	if s == nil {
+		return nil
+	}
+	return &Logger{s: s, lvl: lvl}
+}
+
+// With returns a logger whose every entry carries attrs. Nil-safe.
+func (l *Logger) With(attrs ...slog.Attr) *Logger {
+	if l == nil || len(attrs) == 0 {
+		return l
+	}
+	args := make([]any, len(attrs))
+	for i, a := range attrs {
+		args[i] = a
+	}
+	return &Logger{s: l.s.With(args...), lvl: l.lvl}
+}
+
+// Entry is one in-flight log record being built. A nil *Entry (level
+// disabled or logger nil) no-ops through the whole chain.
+type Entry struct {
+	l     *Logger
+	lv    slog.Level
+	msg   string
+	attrs []slog.Attr
+}
+
+func (l *Logger) entry(lv slog.Level, msg string) *Entry {
+	if l == nil || lv < l.lvl {
+		return nil
+	}
+	return &Entry{l: l, lv: lv, msg: msg}
+}
+
+// Debug starts a debug-level entry (nil when the level is disabled).
+func (l *Logger) Debug(msg string) *Entry { return l.entry(slog.LevelDebug, msg) }
+
+// Info starts an info-level entry (nil when the level is disabled).
+func (l *Logger) Info(msg string) *Entry { return l.entry(slog.LevelInfo, msg) }
+
+// Warn starts a warn-level entry (nil when the level is disabled).
+func (l *Logger) Warn(msg string) *Entry { return l.entry(slog.LevelWarn, msg) }
+
+// Error starts an error-level entry (nil when the level is disabled).
+func (l *Logger) Error(msg string) *Entry { return l.entry(slog.LevelError, msg) }
+
+// Str attaches a string attribute; returns e for chaining.
+func (e *Entry) Str(key, v string) *Entry {
+	if e != nil {
+		e.attrs = append(e.attrs, slog.String(key, v))
+	}
+	return e
+}
+
+// Int attaches an integer attribute; returns e for chaining.
+func (e *Entry) Int(key string, v int64) *Entry {
+	if e != nil {
+		e.attrs = append(e.attrs, slog.Int64(key, v))
+	}
+	return e
+}
+
+// Float attaches a float attribute; returns e for chaining.
+func (e *Entry) Float(key string, v float64) *Entry {
+	if e != nil {
+		e.attrs = append(e.attrs, slog.Float64(key, v))
+	}
+	return e
+}
+
+// Dur attaches a duration attribute; returns e for chaining.
+func (e *Entry) Dur(key string, v time.Duration) *Entry {
+	if e != nil {
+		e.attrs = append(e.attrs, slog.Duration(key, v))
+	}
+	return e
+}
+
+// Err attaches the error under key "err" (skipped when err is nil).
+func (e *Entry) Err(err error) *Entry {
+	if e != nil && err != nil {
+		e.attrs = append(e.attrs, slog.String("err", err.Error()))
+	}
+	return e
+}
+
+// Log emits the entry. Terminal: the entry must not be reused.
+func (e *Entry) Log() {
+	if e == nil {
+		return
+	}
+	e.l.s.LogAttrs(context.Background(), e.lv, e.msg, e.attrs...)
+}
+
+// Debug starts a debug entry on the installed logger (nil when
+// disabled, so the whole chain no-ops).
+func Debug(msg string) *Entry { return Default().Debug(msg) }
+
+// Info starts an info entry on the installed logger.
+func Info(msg string) *Entry { return Default().Info(msg) }
+
+// Warn starts a warn entry on the installed logger.
+func Warn(msg string) *Entry { return Default().Warn(msg) }
+
+// Error starts an error entry on the installed logger.
+func Error(msg string) *Entry { return Default().Error(msg) }

@@ -1,0 +1,99 @@
+package log
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSetupTextAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := Setup(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped").Str("k", "v").Log()
+	l.Warn("kept").Int("n", 7).Log()
+	out := buf.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("info line emitted at warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "n=7") {
+		t.Errorf("warn line missing or unattributed:\n%s", out)
+	}
+}
+
+func TestSetupJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := Setup(&buf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("shard dispatched").
+		Str("job", "j-42").
+		Int("archs", 96).
+		Float("ratio", 0.25).
+		Dur("dur", 1500*time.Millisecond).
+		Err(errors.New("boom")).
+		Log()
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "shard dispatched" || rec["job"] != "j-42" ||
+		rec["archs"] != float64(96) || rec["err"] != "boom" {
+		t.Errorf("record missing attrs: %v", rec)
+	}
+}
+
+func TestSetupRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Setup(&buf, "yaml", "info"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := Setup(&buf, "text", "loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var l *Logger
+	// Every chain on a nil logger must no-op without panicking.
+	l.Info("x").Str("a", "b").Int("n", 1).Err(errors.New("e")).Log()
+	l.With(slog.String("a", "b")).Error("y").Log()
+	if New(nil, slog.LevelInfo) != nil {
+		t.Error("New(nil) != nil")
+	}
+}
+
+func TestWithAttachesAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := Setup(&buf, "text", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl := l.With(slog.String("job", "j-7"), slog.String("trace", "abc"))
+	jl.Info("running").Log()
+	out := buf.String()
+	if !strings.Contains(out, "job=j-7") || !strings.Contains(out, "trace=abc") {
+		t.Errorf("With attrs missing:\n%s", out)
+	}
+}
+
+func TestInstallDefault(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := Setup(&buf, "text", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(l)
+	defer Install(nil)
+	Info("global line").Log()
+	if !strings.Contains(buf.String(), "global line") {
+		t.Errorf("package-level Info not routed to installed logger:\n%s", buf.String())
+	}
+}

@@ -6,13 +6,17 @@ import (
 	"os"
 )
 
-// histJSON is the exported summary of one histogram.
+// histJSON is the exported summary of one histogram. P50/P95/P99 are
+// reservoir estimates (see Histogram.Quantiles).
 type histJSON struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
 	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 // spanJSON aggregates all completed spans sharing one name — the
@@ -59,6 +63,8 @@ func (c *Collector) WriteMetrics(w io.Writer) error {
 		hj := histJSON{Count: count, Sum: sum, Min: min, Max: max}
 		if count > 0 {
 			hj.Mean = sum / float64(count)
+			qs := h.Quantiles(0.5, 0.95, 0.99)
+			hj.P50, hj.P95, hj.P99 = qs[0], qs[1], qs[2]
 		}
 		out.Histograms[name] = hj
 	}

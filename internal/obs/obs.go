@@ -14,6 +14,8 @@
 package obs
 
 import (
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -109,32 +111,56 @@ func (a Attr) Value() interface{} {
 
 // Event is one completed span.
 type Event struct {
-	Name  string
-	TID   int64 // track: root spans get fresh tracks, children inherit
-	Start time.Duration
-	Dur   time.Duration
-	Attrs []Attr
+	Name string
+	TID  int64 // track: root spans get fresh tracks, children inherit
+	// Trace/ID/Parent are the span's distributed identity: every span
+	// carries a trace ID shared by its whole tree (across processes,
+	// via traceparent propagation — see SpanContext) and a unique span
+	// ID; Parent is the zero SpanID for trace roots.
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  []Attr
 }
 
 // Span is an in-flight timed region. A nil *Span is the disabled path:
 // every method no-ops and Child returns nil, so instrumented code never
 // branches on Enabled().
 type Span struct {
-	c     *Collector
-	name  string
-	tid   int64
-	start time.Duration
-	attrs []Attr
+	c      *Collector
+	name   string
+	tid    int64
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	start  time.Duration
+	attrs  []Attr
 }
 
-// StartSpan begins a root span on a fresh track. Returns nil (a no-op
-// span) when no collector is installed.
+// StartSpan begins a root span of a fresh trace on a fresh track.
+// Returns nil (a no-op span) when no collector is installed.
 func StartSpan(name string) *Span {
 	c := active.Load()
 	if c == nil {
 		return nil
 	}
-	return &Span{c: c, name: name, tid: c.nextTID.Add(1), start: c.now()}
+	return &Span{c: c, name: name, tid: c.nextTID.Add(1),
+		trace: newTraceID(), id: newSpanID(), start: c.now()}
+}
+
+// StartSpanIn begins a root span continuing a propagated trace: the
+// span joins sc's trace with sc's span as its parent (the cross-process
+// analogue of Child). An invalid sc degrades to StartSpan. Returns nil
+// when no collector is installed.
+func StartSpanIn(sc SpanContext, name string) *Span {
+	s := StartSpan(name)
+	if s != nil && sc.Valid() {
+		s.trace = sc.Trace
+		s.parent = sc.Span
+	}
+	return s
 }
 
 // Under returns a child of parent when parent is non-nil, otherwise a
@@ -147,12 +173,26 @@ func Under(parent *Span, name string) *Span {
 	return StartSpan(name)
 }
 
-// Child begins a nested span on the parent's track.
+// Child begins a nested span on the parent's track, inheriting the
+// parent's trace.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{c: s.c, name: name, tid: s.tid, start: s.c.now()}
+	return &Span{c: s.c, name: name, tid: s.tid,
+		trace: s.trace, id: newSpanID(), parent: s.id, start: s.c.now()}
+}
+
+// Fork begins a child span on its own fresh track: same trace, parented
+// under s, but rendered as an independent timeline. Use it for
+// concurrent subtasks whose spans would overlap illegibly on the
+// parent's track (the explorer forks one track per evaluation).
+func (s *Span) Fork(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{c: s.c, name: name, tid: s.c.nextTID.Add(1),
+		trace: s.trace, id: newSpanID(), parent: s.id, start: s.c.now()}
 }
 
 // Int attaches an integer attribute; returns s for chaining.
@@ -187,11 +227,14 @@ func (s *Span) End() {
 	end := s.c.now()
 	s.c.mu.Lock()
 	s.c.events = append(s.c.events, Event{
-		Name:  s.name,
-		TID:   s.tid,
-		Start: s.start,
-		Dur:   end - s.start,
-		Attrs: s.attrs,
+		Name:   s.name,
+		TID:    s.tid,
+		Trace:  s.trace,
+		ID:     s.id,
+		Parent: s.parent,
+		Start:  s.start,
+		Dur:    end - s.start,
+		Attrs:  s.attrs,
 	})
 	s.c.mu.Unlock()
 }
@@ -242,13 +285,23 @@ func GetCounter(name string) *Counter {
 	return c.Counter(name)
 }
 
-// Histogram is a race-safe summary (count/sum/min/max) of observations.
-// A nil *Histogram no-ops.
+// histReservoirSize bounds the per-histogram sample reservoir backing
+// quantile estimates. 1024 samples keep p99 within a few percent while
+// capping memory per histogram.
+const histReservoirSize = 1024
+
+// Histogram is a race-safe summary (count/sum/min/max plus reservoir
+// quantile estimates) of observations. A nil *Histogram no-ops.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
 	sum      float64
 	min, max float64
+	// sample is a uniform reservoir over all observations; rng is a
+	// per-histogram xorshift64 state (deterministic seed, so tests and
+	// repeated runs see stable sampling decisions).
+	sample []float64
+	rng    uint64
 }
 
 // Observe records one sample.
@@ -265,7 +318,50 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if len(h.sample) < histReservoirSize {
+		h.sample = append(h.sample, v)
+	} else {
+		// Classic reservoir replacement: the nth observation displaces a
+		// random slot with probability size/n.
+		if h.rng == 0 {
+			h.rng = 0x9E3779B97F4A7C15
+		}
+		h.rng ^= h.rng << 13
+		h.rng ^= h.rng >> 7
+		h.rng ^= h.rng << 17
+		if i := h.rng % uint64(h.count); i < histReservoirSize {
+			h.sample[i] = v
+		}
+	}
 	h.mu.Unlock()
+}
+
+// Quantiles returns reservoir-estimated quantiles for each q in qs
+// (each in [0,1], nearest-rank on the sampled distribution). Zeros when
+// no observations were recorded; nil for a nil histogram.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	s := append([]float64(nil), h.sample...)
+	h.mu.Unlock()
+	out := make([]float64, len(qs))
+	if len(s) == 0 {
+		return out
+	}
+	sort.Float64s(s)
+	for i, q := range qs {
+		rank := int(math.Ceil(q * float64(len(s))))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(s) {
+			rank = len(s)
+		}
+		out[i] = s[rank-1]
+	}
+	return out
 }
 
 // Summary returns (count, sum, min, max); zeros for a nil histogram.

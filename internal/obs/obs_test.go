@@ -2,10 +2,14 @@ package obs
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"sync"
 	"testing"
 	"time"
+
+	olog "customfit/internal/obs/log"
 )
 
 // install swaps in a fresh collector and restores the disabled state
@@ -147,6 +151,7 @@ func TestCountersConcurrent(t *testing.T) {
 // allocate (this is what keeps bench_test.go numbers honest).
 func TestDisabledPathAllocatesNothing(t *testing.T) {
 	Install(nil)
+	ctx := context.Background()
 	allocs := testing.AllocsPerRun(1000, func() {
 		sp := StartSpan("compile")
 		child := sp.Child("opt").Int("instrs", 42).Float("ratio", 0.5).Str("arch", "a")
@@ -158,11 +163,40 @@ func TestDisabledPathAllocatesNothing(t *testing.T) {
 		GetHistogram("dse.busy").Observe(1.5)
 		SetGauge("dse.rate", 2.5)
 		_ = Enabled()
+		// Propagation surface: contexts, wire conversion, forking.
+		csp := StartSpanCtx(ctx, "evaluate")
+		_ = ContextWithSpan(ctx, csp)
+		_ = csp.Context()
+		csp.Fork("dist.shard").End()
+		csp.AdoptRemote(nil)
+		_ = csp.TakeSubtree()
+		csp.End()
+		_ = SpanFromContext(ctx)
 	})
 	if allocs != 0 {
 		t.Errorf("disabled path allocates %.1f per op, want 0", allocs)
 	}
 }
+
+// TestDisabledLoggingAllocatesNothing pins the nil-logger fast path of
+// obs/log: with no logger installed, a full builder chain must not
+// allocate (the builder API exists precisely to dodge the variadic
+// backing array slog's own call shape would force).
+func TestDisabledLoggingAllocatesNothing(t *testing.T) {
+	olog.Install(nil)
+	err := errForAllocTest
+	allocs := testing.AllocsPerRun(1000, func() {
+		olog.Info("job finished").Str("job", "j-1").Int("n", 3).
+			Float("ratio", 0.5).Dur("dur", time.Second).Err(err).Log()
+		olog.Debug("detail").Str("k", "v").Log()
+		olog.Default().Warn("w").Log()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled logging allocates %.1f per op, want 0", allocs)
+	}
+}
+
+var errForAllocTest = errors.New("boom")
 
 func TestMetricsDump(t *testing.T) {
 	c := install(t)

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusLints(t *testing.T) {
+	c := install(t)
+	fakeClock(c, 250*time.Microsecond)
+	GetCounter("dse.compiles").Add(12)
+	GetCounter("serve.jobs_submitted").Inc()
+	SetGauge("serve.queue_depth", 3)
+	SetGauge("dse.compiles_per_sec", 48.5)
+	h := GetHistogram("dse.eval_seconds")
+	for i := 0; i < 50; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	sp := StartSpan("evaluate")
+	sp.Child("sched").End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition does not lint: %v\n%s", err, out)
+	}
+
+	for _, want := range []string{
+		"# TYPE cfp_dse_compiles_total counter",
+		"cfp_dse_compiles_total 12",
+		"# TYPE cfp_serve_queue_depth gauge",
+		"cfp_serve_queue_depth 3",
+		"# TYPE cfp_dse_eval_seconds summary",
+		`cfp_dse_eval_seconds{quantile="0.5"}`,
+		`cfp_dse_eval_seconds{quantile="0.99"}`,
+		"cfp_dse_eval_seconds_sum",
+		"cfp_dse_eval_seconds_count 50",
+		`cfp_span_seconds_total{span="evaluate"}`,
+		`cfp_span_count_total{span="sched"}`,
+		"cfp_uptime_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestLintPrometheusRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"no value\n",                     // sample without value
+		"cfp_x{label=unquoted} 1\n",      // unquoted label value
+		"cfp_x 1\ncfp_x 2\ncfp_y nan3\n", // malformed float
+		"# TYPE cfp_x counter\n",         // family with no samples
+		"9leading_digit 1\n",             // invalid metric name
+	}
+	for _, s := range bad {
+		if err := LintPrometheus(strings.NewReader(s)); err == nil {
+			t.Errorf("LintPrometheus accepted %q", s)
+		}
+	}
+	good := "# HELP cfp_x help text\n# TYPE cfp_x counter\ncfp_x{a=\"b\",c=\"d e\"} 1 1712000000\n"
+	if err := LintPrometheus(strings.NewReader(good)); err != nil {
+		t.Errorf("LintPrometheus rejected valid input: %v", err)
+	}
+}

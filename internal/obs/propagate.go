@@ -1,0 +1,373 @@
+package obs
+
+// Cross-process trace propagation: span identity (TraceID/SpanID), the
+// traceparent wire header, context threading, per-subtree capture, and
+// the WireSpan JSON form that lets a cfp-serve worker ship a job's
+// spans back to the dist coordinator for re-parenting into one fleet
+// trace (see docs/OBSERVABILITY.md "One fleet, one trace").
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies a whole span tree, across processes. The zero
+// value is invalid.
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace. The zero value is invalid
+// (it marks "no parent" on trace roots).
+type SpanID [8]byte
+
+// String renders the ID as lowercase hex ("" for the zero ID).
+func (t TraceID) String() string {
+	if t == (TraceID{}) {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// String renders the ID as lowercase hex ("" for the zero ID).
+func (s SpanID) String() string {
+	if s == (SpanID{}) {
+		return ""
+	}
+	return hex.EncodeToString(s[:])
+}
+
+// idState drives the lock-free ID generator: a counter on a golden-ratio
+// stride pushed through a splitmix64 finalizer, seeded once from
+// crypto/rand. Unique within a process and collision-resistant across a
+// fleet without taking a lock or allocating on span start.
+var idState atomic.Uint64
+
+func init() {
+	var seed [8]byte
+	// crypto/rand.Read never fails on supported platforms; a zero seed
+	// would still yield unique in-process IDs.
+	_, _ = crand.Read(seed[:])
+	idState.Store(binary.LittleEndian.Uint64(seed[:]))
+}
+
+func nextID() uint64 {
+	x := idState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+func newTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], nextID())
+	binary.BigEndian.PutUint64(t[8:], nextID())
+	return t
+}
+
+func newSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}
+
+// SpanContext is the propagatable identity of a span: enough for a
+// remote process to start children in the same trace.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether both IDs are non-zero.
+func (sc SpanContext) Valid() bool {
+	return sc.Trace != (TraceID{}) && sc.Span != (SpanID{})
+}
+
+// TraceParent renders the context as a W3C traceparent-style header
+// value: "00-<32 hex trace>-<16 hex span>-01". Empty for an invalid
+// context.
+func (sc SpanContext) TraceParent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], sc.Trace[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], sc.Span[:])
+	buf[52], buf[53], buf[54] = '-', '0', '1'
+	return string(buf[:])
+}
+
+// ParseTraceParent parses a traceparent-style header value
+// ("00-<32 hex>-<16 hex>-<2 hex>"). It accepts any 2-hex version and
+// flags field; ok is false for malformed values or all-zero IDs.
+func ParseTraceParent(v string) (sc SpanContext, ok bool) {
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return SpanContext{}, false
+	}
+	if !isHex(v[:2]) || !isHex(v[53:]) {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.Trace[:], []byte(v[3:35])); err != nil {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(v[36:52])); err != nil {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}
+
+// Context returns the span's propagatable identity (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id}
+}
+
+// spanCtxKey keys the current span in a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp as the current span. A nil sp
+// returns ctx unchanged, so the disabled path stays allocation-free.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the current span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// StartSpanCtx begins a span parented under the context's current span
+// (on its own track, via Fork — callers are typically concurrent), or a
+// fresh root span when ctx carries none. Nil/no-op when disabled.
+func StartSpanCtx(ctx context.Context, name string) *Span {
+	if parent := SpanFromContext(ctx); parent != nil {
+		return parent.Fork(name)
+	}
+	return StartSpan(name)
+}
+
+// TakeSubtree removes and returns every recorded event in s's subtree —
+// s's own event (if already ended) plus all transitive children — in
+// recording order. Other traces and unrelated spans of the same trace
+// stay in the collector untouched. Used by serve to extract exactly one
+// job's spans for the wire, which also keeps a long-running server's
+// collector from accumulating events without bound. Nil-safe.
+func (s *Span) TakeSubtree() []Event {
+	if s == nil {
+		return nil
+	}
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Children index over this trace only; parent links always point at
+	// already-started spans, so one pass suffices.
+	kids := make(map[SpanID][]int)
+	for i, e := range c.events {
+		if e.Trace == s.trace && e.Parent != (SpanID{}) {
+			kids[e.Parent] = append(kids[e.Parent], i)
+		}
+	}
+	take := make(map[int]bool)
+	stack := []SpanID{s.id}
+	for i, e := range c.events {
+		if e.Trace == s.trace && e.ID == s.id {
+			take[i] = true // s's own event, if s already ended
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, i := range kids[id] {
+			if !take[i] {
+				take[i] = true
+				stack = append(stack, c.events[i].ID)
+			}
+		}
+	}
+	if len(take) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(take))
+	rest := c.events[:0]
+	for i, e := range c.events {
+		if take[i] {
+			out = append(out, e)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	// Zero the tail so dropped events don't pin attr slices.
+	for i := len(rest); i < len(c.events); i++ {
+		c.events[i] = Event{}
+	}
+	c.events = rest
+	return out
+}
+
+// WireSpan is the JSON form of one completed span as shipped between
+// processes (a worker returns its job's spans in JobStatus.Spans).
+// Times are microseconds relative to the earliest span in the batch, so
+// the receiver can rebase them onto its own clock.
+type WireSpan struct {
+	Name    string         `json:"name"`
+	TraceID string         `json:"trace_id"`
+	SpanID  string         `json:"span_id"`
+	Parent  string         `json:"parent_id,omitempty"`
+	Track   int64          `json:"track"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// ToWire converts events (as returned by TakeSubtree) to their wire
+// form, rebasing start times to the batch's earliest span.
+func ToWire(events []Event) []WireSpan {
+	if len(events) == 0 {
+		return nil
+	}
+	base := events[0].Start
+	for _, e := range events[1:] {
+		if e.Start < base {
+			base = e.Start
+		}
+	}
+	out := make([]WireSpan, 0, len(events))
+	for _, e := range events {
+		w := WireSpan{
+			Name:    e.Name,
+			TraceID: e.Trace.String(),
+			SpanID:  e.ID.String(),
+			Parent:  e.Parent.String(),
+			Track:   e.TID,
+			StartUS: int64((e.Start - base) / time.Microsecond),
+			DurUS:   int64(e.Dur / time.Microsecond),
+		}
+		if len(e.Attrs) > 0 {
+			w.Attrs = make(map[string]any, len(e.Attrs))
+			for _, a := range e.Attrs {
+				w.Attrs[a.Key] = a.Value()
+			}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// AdoptRemote grafts wire spans from another process into s's trace:
+// their trace ID is rewritten to s's, remote roots (spans whose parent
+// is absent from the batch) are re-parented under s, each distinct
+// remote track gets a fresh local track, and start times are rebased
+// onto s's start (clocks across processes aren't comparable; the batch
+// keeps its internal relative timing). Nil-safe: a disabled coordinator
+// drops the spans.
+func (s *Span) AdoptRemote(spans []WireSpan) {
+	if s == nil || len(spans) == 0 {
+		return
+	}
+	c := s.c
+	present := make(map[string]bool, len(spans))
+	for _, w := range spans {
+		present[w.SpanID] = true
+	}
+	tracks := make(map[int64]int64)
+	evs := make([]Event, 0, len(spans))
+	for _, w := range spans {
+		e := Event{
+			Name:  w.Name,
+			Trace: s.trace,
+			Start: s.start + time.Duration(w.StartUS)*time.Microsecond,
+			Dur:   time.Duration(w.DurUS) * time.Microsecond,
+		}
+		e.ID = parseSpanID(w.SpanID)
+		if w.Parent != "" && present[w.Parent] {
+			e.Parent = parseSpanID(w.Parent)
+		} else {
+			e.Parent = s.id
+		}
+		tid, ok := tracks[w.Track]
+		if !ok {
+			tid = c.nextTID.Add(1)
+			tracks[w.Track] = tid
+		}
+		e.TID = tid
+		e.Attrs = attrsFromMap(w.Attrs)
+		evs = append(evs, e)
+	}
+	c.mu.Lock()
+	c.events = append(c.events, evs...)
+	c.mu.Unlock()
+}
+
+func parseSpanID(s string) SpanID {
+	var id SpanID
+	if len(s) == 16 {
+		_, _ = hex.Decode(id[:], []byte(s))
+	}
+	return id
+}
+
+// attrsFromMap rebuilds span attributes from their wire form in
+// deterministic (sorted-key) order. JSON round-tripping collapses ints
+// to float64; values are restored by dynamic type.
+func attrsFromMap(m map[string]any) []Attr {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	attrs := make([]Attr, 0, len(m))
+	for _, k := range keys {
+		switch v := m[k].(type) {
+		case string:
+			attrs = append(attrs, Attr{Key: k, kind: attrStr, s: v})
+		case float64:
+			if v == float64(int64(v)) {
+				attrs = append(attrs, Attr{Key: k, kind: attrInt, i: int64(v)})
+			} else {
+				attrs = append(attrs, Attr{Key: k, kind: attrFloat, f: v})
+			}
+		case int64:
+			attrs = append(attrs, Attr{Key: k, kind: attrInt, i: v})
+		case bool:
+			s := "false"
+			if v {
+				s = "true"
+			}
+			attrs = append(attrs, Attr{Key: k, kind: attrStr, s: s})
+		}
+	}
+	return attrs
+}

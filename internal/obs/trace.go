@@ -11,13 +11,19 @@ import (
 // ("ph":"X") event, loadable in chrome://tracing and Perfetto.
 // Timestamps and durations are microseconds since collector start.
 type traceEvent struct {
-	Name string                 `json:"name"`
-	Ph   string                 `json:"ph"`
-	TS   float64                `json:"ts"`
-	Dur  float64                `json:"dur"`
-	PID  int                    `json:"pid"`
-	TID  int64                  `json:"tid"`
-	Args map[string]interface{} `json:"args,omitempty"`
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int64   `json:"tid"`
+	// Trace/Span/Parent carry the span's distributed identity alongside
+	// the Chrome fields; viewers ignore them, tests and tooling use them
+	// to check cross-process parentage.
+	Trace  string                 `json:"trace_id,omitempty"`
+	Span   string                 `json:"span_id,omitempty"`
+	Parent string                 `json:"parent_id,omitempty"`
+	Args   map[string]interface{} `json:"args,omitempty"`
 }
 
 // traceFile is the JSON Object Format variant of the trace format (an
@@ -44,12 +50,15 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 	out := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
 	for _, e := range evs {
 		te := traceEvent{
-			Name: e.Name,
-			Ph:   "X",
-			TS:   float64(e.Start.Nanoseconds()) / 1e3,
-			Dur:  float64(e.Dur.Nanoseconds()) / 1e3,
-			PID:  1,
-			TID:  e.TID,
+			Name:   e.Name,
+			Ph:     "X",
+			TS:     float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:    float64(e.Dur.Nanoseconds()) / 1e3,
+			PID:    1,
+			TID:    e.TID,
+			Trace:  e.Trace.String(),
+			Span:   e.ID.String(),
+			Parent: e.Parent.String(),
 		}
 		if len(e.Attrs) > 0 {
 			te.Args = make(map[string]interface{}, len(e.Attrs))

@@ -13,10 +13,13 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // goldenCollector records a fixed little pipeline trace under a
-// deterministic clock (each now() call advances exactly 1ms).
+// deterministic clock (each now() call advances exactly 1ms) and a
+// deterministic ID sequence (idState reset, so trace/span IDs are
+// stable across runs).
 func goldenCollector() *Collector {
 	c := NewCollector()
 	fakeClock(c, time.Millisecond)
+	idState.Store(0)
 	Install(c)
 	defer Install(nil)
 

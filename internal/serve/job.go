@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"sync"
 	"time"
+
+	"customfit/internal/obs"
 )
 
 // State is a job's lifecycle phase. Transitions are
@@ -49,6 +51,10 @@ type JobStatus struct {
 	// response object, the exploration's full persisted-results JSON, or
 	// the fit selection.
 	Result json.RawMessage `json:"result,omitempty"`
+	// Spans carries the job's telemetry spans when the submit carried a
+	// traceparent (the dist coordinator grafts them under its own shard
+	// span for one fleet-wide trace). Populated only on terminal jobs.
+	Spans []obs.WireSpan `json:"spans,omitempty"`
 }
 
 // Job is one queued unit of work. All mutable fields are guarded by mu;
@@ -67,12 +73,17 @@ type Job struct {
 	// coalesced).
 	coalesceKey string
 	created     time.Time
+	// remote is the submitter's propagated span context (zero when the
+	// request carried no traceparent). When valid, the job's spans are
+	// recorded under the remote trace and returned in JobStatus.Spans.
+	remote obs.SpanContext
 
 	mu       sync.Mutex
 	state    State
 	errMsg   string
 	result   json.RawMessage
 	progress json.RawMessage
+	spans    []obs.WireSpan
 	subs     map[chan Event]struct{}
 	// seq numbers the job's SSE events; progressSeq/doneSeq remember
 	// which ids the latest progress snapshot and the terminal event
@@ -94,7 +105,16 @@ func (j *Job) Status() JobStatus {
 		Error:    j.errMsg,
 		Progress: j.progress,
 		Result:   j.result,
+		Spans:    j.spans,
 	}
+}
+
+// setSpans stores the job's captured telemetry spans. Must run before
+// finish so the terminal status (polled or streamed) carries them.
+func (j *Job) setSpans(spans []obs.WireSpan) {
+	j.mu.Lock()
+	j.spans = spans
+	j.mu.Unlock()
 }
 
 // State returns the current lifecycle phase.

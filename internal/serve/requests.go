@@ -11,6 +11,7 @@ import (
 	"customfit/internal/core"
 	"customfit/internal/dse"
 	"customfit/internal/machine"
+	"customfit/internal/obs"
 )
 
 // decodeJSON reads a request body into v (empty body = zero value, so
@@ -96,15 +97,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Arch   machine.Arch
 		Unroll int
 	}{src, arch, req.Unroll})
-	s.respondSubmit(w, "compile", key, func(ctx context.Context, _ *Job) (json.RawMessage, error) {
+	s.respondSubmit(w, remoteContext(r), "compile", key, func(ctx context.Context, _ *Job) (json.RawMessage, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("%w: %w", dse.ErrCancelled, context.Cause(ctx))
 		}
-		k, err := core.ParseKernel(src)
+		k, err := core.ParseKernelCtx(ctx, src)
 		if err != nil {
 			return nil, err
 		}
-		c, err := k.Compile(arch, req.Unroll)
+		c, err := k.CompileCtx(ctx, arch, req.Unroll)
 		if err != nil {
 			return nil, err
 		}
@@ -176,21 +177,21 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		req.Seed = 1
 	}
 	key := coalesceKey("simulate", req)
-	s.respondSubmit(w, "simulate", key, func(ctx context.Context, _ *Job) (json.RawMessage, error) {
+	s.respondSubmit(w, remoteContext(r), "simulate", key, func(ctx context.Context, _ *Job) (json.RawMessage, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("%w: %w", dse.ErrCancelled, context.Cause(ctx))
 		}
-		k, err := core.ParseKernel(b.Source)
+		k, err := core.ParseKernelCtx(ctx, b.Source)
 		if err != nil {
 			return nil, err
 		}
-		c, err := k.Compile(arch, req.Unroll)
+		c, err := k.CompileCtx(ctx, arch, req.Unroll)
 		if err != nil {
 			return nil, err
 		}
 		cse := b.NewCase(req.Width, req.Seed)
 		run := cse.Clone()
-		st, err := c.Run(run.Args, run.Mem)
+		st, err := c.RunCtx(ctx, run.Args, run.Mem)
 		if err != nil {
 			return nil, err
 		}
@@ -239,6 +240,11 @@ type ExploreRequest struct {
 	// form the distributed coordinator (internal/dist) uses to farm
 	// shards out to workers.
 	Archs []string `json:"archs,omitempty"`
+	// TraceParent propagates the submitter's trace ("00-<trace>-<span>-01",
+	// same syntax as the traceparent header, which it overrides). The
+	// job's spans then join that trace and come back in JobStatus.Spans.
+	// Excluded from coalescing: it never affects the result.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -271,11 +277,19 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	if req.Width <= 0 {
 		req.Width = 96
 	}
-	// The key carries exactly the result-affecting fields; worker counts
-	// and caching are excluded because the pipeline is deterministic
-	// regardless of them.
-	key := coalesceKey("explore", req)
-	s.respondSubmit(w, "explore", key, func(ctx context.Context, j *Job) (json.RawMessage, error) {
+	remote := remoteContext(r)
+	if req.TraceParent != "" {
+		if sc, ok := obs.ParseTraceParent(req.TraceParent); ok {
+			remote = sc
+		}
+	}
+	// The key carries exactly the result-affecting fields; worker counts,
+	// caching and trace identity are excluded because the pipeline is
+	// deterministic regardless of them.
+	keyReq := req
+	keyReq.TraceParent = ""
+	key := coalesceKey("explore", keyReq)
+	s.respondSubmit(w, remote, "explore", key, func(ctx context.Context, j *Job) (json.RawMessage, error) {
 		res, err := core.Explore(ctx, core.ExploreOptions{
 			Benchmarks:  benches,
 			Archs:       archs,
@@ -336,7 +350,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		req.Width = 96
 	}
 	key := coalesceKey("fit", req)
-	s.respondSubmit(w, "fit", key, func(ctx context.Context, j *Job) (json.RawMessage, error) {
+	s.respondSubmit(w, remoteContext(r), "fit", key, func(ctx context.Context, j *Job) (json.RawMessage, error) {
 		fit, err := core.CustomFitCtx(ctx, core.FitOptions{
 			Benchmarks:  benches,
 			CostCap:     req.CostCap,

@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"customfit/internal/dse"
 	"customfit/internal/evcache"
 	"customfit/internal/obs"
+	olog "customfit/internal/obs/log"
 	"customfit/internal/sched"
 )
 
@@ -58,6 +60,13 @@ type Options struct {
 	// installing a fresh one if none is active (a server wants its
 	// counters even when the operator asked for no -metrics file).
 	Collector *obs.Collector
+	// SpanLimit bounds the spans returned per traced job (default
+	// 16384); overflow is dropped and counted on serve.spans_dropped.
+	SpanLimit int
+	// Logger receives the server's structured log entries. Nil falls
+	// back to the process-global obs/log logger at each call (so a
+	// logger installed by cli.Tool is picked up without plumbing).
+	Logger *olog.Logger
 }
 
 // Server is the exploration service. Create with New, expose via
@@ -66,6 +75,7 @@ type Server struct {
 	opts      Options
 	mux       *http.ServeMux
 	collector *obs.Collector
+	started   time.Time
 
 	queue     chan *Job
 	wg        sync.WaitGroup
@@ -92,6 +102,9 @@ func New(opts Options) *Server {
 	if opts.MaxJobs <= 0 {
 		opts.MaxJobs = 256
 	}
+	if opts.SpanLimit <= 0 {
+		opts.SpanLimit = 16384
+	}
 	col := opts.Collector
 	if col == nil {
 		col = obs.Active()
@@ -104,6 +117,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:      opts,
 		collector: col,
+		started:   time.Now(),
 		queue:     make(chan *Job, opts.QueueDepth),
 		baseCtx:   ctx,
 		baseStop:  stop,
@@ -140,6 +154,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.logger().Info("draining").Log()
 	s.closeOnce.Do(func() { close(s.queue) })
 	done := make(chan struct{})
 	go func() {
@@ -168,30 +183,63 @@ func (s *Server) worker() {
 // (anything wrapping dse.ErrCancelled or the context errors) is
 // recorded as "cancelled", not "failed" — operators must be able to
 // tell aborted work from genuinely broken requests.
+//
+// The job's serve.job span continues the submitter's trace when the
+// request carried a traceparent, and the span rides j's context so the
+// whole evaluation stack underneath (dse.explore, evaluate, compile,
+// sched, sim) parents under it. After the job ends, its span subtree is
+// removed from the collector — keeping a long-lived server's event
+// buffer bounded — and, for traced jobs, returned in JobStatus.Spans.
 func (s *Server) runJob(j *Job) {
 	if !j.startRunning() {
 		s.clearInflight(j)
 		return
 	}
-	sp := obs.StartSpan("serve.job")
-	if sp != nil {
-		sp.Str("kind", j.Kind).Str("id", j.ID)
-	}
-	result, err := j.run(j.ctx, j)
+	start := time.Now()
+	sp := obs.StartSpanIn(j.remote, "serve.job")
+	sp.Str("kind", j.Kind).Str("id", j.ID)
+	result, err := j.run(obs.ContextWithSpan(j.ctx, sp), j)
 	sp.End()
+	evs := sp.TakeSubtree()
+	if j.remote.Valid() && len(evs) > 0 {
+		if len(evs) > s.opts.SpanLimit {
+			obs.GetCounter("serve.spans_dropped").Add(int64(len(evs) - s.opts.SpanLimit))
+			evs = evs[:s.opts.SpanLimit]
+		}
+		j.setSpans(obs.ToWire(evs))
+	}
 	s.clearInflight(j)
+	var state State
 	switch {
 	case err == nil:
+		state = StateDone
 		j.finish(StateDone, result, "")
 		obs.GetCounter("serve.jobs_done").Inc()
 	case errors.Is(err, dse.ErrCancelled), errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
+		state = StateCancelled
 		j.finish(StateCancelled, nil, err.Error())
 		obs.GetCounter("serve.jobs_cancelled").Inc()
 	default:
+		state = StateFailed
 		j.finish(StateFailed, nil, err.Error())
 		obs.GetCounter("serve.jobs_failed").Inc()
 	}
+	s.logger().Info("job finished").
+		Str("job", j.ID).Str("kind", j.Kind).Str("state", string(state)).
+		Dur("dur", time.Since(start)).
+		Str("trace", sp.Context().Trace.String()).
+		Err(err).Log()
+}
+
+// logger returns the server's log sink: the explicit Options.Logger, or
+// the process-global one at call time (nil — a silent no-op chain —
+// when neither is configured).
+func (s *Server) logger() *olog.Logger {
+	if s.opts.Logger != nil {
+		return s.opts.Logger
+	}
+	return olog.Default()
 }
 
 // clearInflight drops the job from the coalescing index once it can no
@@ -214,8 +262,11 @@ var (
 
 // submit creates (or coalesces onto) a job. coalesceKey must be a
 // canonical encoding of everything that affects the job's result —
-// identical keys share one execution and one job id.
-func (s *Server) submit(kind, coalesceKey string, run func(ctx context.Context, j *Job) (json.RawMessage, error)) (j *Job, coalesced bool, err error) {
+// identical keys share one execution and one job id. remote is the
+// submitter's propagated span context (zero = untraced); a request that
+// coalesces onto an in-flight job keeps that job's original trace — the
+// newcomer's traceparent is dropped, since the work runs once.
+func (s *Server) submit(kind, coalesceKey string, remote obs.SpanContext, run func(ctx context.Context, j *Job) (json.RawMessage, error)) (j *Job, coalesced bool, err error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -239,6 +290,7 @@ func (s *Server) submit(kind, coalesceKey string, run func(ctx context.Context, 
 		cancel:      cancel,
 		coalesceKey: coalesceKey,
 		created:     time.Now(),
+		remote:      remote,
 		state:       StateQueued,
 	}
 	select {
@@ -247,6 +299,7 @@ func (s *Server) submit(kind, coalesceKey string, run func(ctx context.Context, 
 		s.mu.Unlock()
 		cancel()
 		obs.GetCounter("serve.queue_rejects").Inc()
+		s.logger().Warn("queue full, job rejected").Str("kind", kind).Log()
 		return nil, false, errQueueFull
 	}
 	s.jobs[id] = j
@@ -257,6 +310,9 @@ func (s *Server) submit(kind, coalesceKey string, run func(ctx context.Context, 
 	s.evictLocked()
 	s.mu.Unlock()
 	obs.GetCounter("serve.jobs_submitted").Inc()
+	s.logger().Debug("job accepted").
+		Str("job", id).Str("kind", kind).
+		Str("trace", remote.Trace.String()).Log()
 	return j, false, nil
 }
 
@@ -296,9 +352,17 @@ type SubmitResponse struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 }
 
+// remoteContext extracts the submitter's span context from the
+// traceparent request header (zero when absent or malformed — an
+// unparseable header degrades to an untraced job, never an error).
+func remoteContext(r *http.Request) obs.SpanContext {
+	sc, _ := obs.ParseTraceParent(r.Header.Get("traceparent"))
+	return sc
+}
+
 // respondSubmit runs the common tail of every submit handler.
-func (s *Server) respondSubmit(w http.ResponseWriter, kind, key string, run func(ctx context.Context, j *Job) (json.RawMessage, error)) {
-	j, coalesced, err := s.submit(kind, key, run)
+func (s *Server) respondSubmit(w http.ResponseWriter, remote obs.SpanContext, kind, key string, run func(ctx context.Context, j *Job) (json.RawMessage, error)) {
+	j, coalesced, err := s.submit(kind, key, remote, run)
 	switch {
 	case errors.Is(err, errDraining), errors.Is(err, errQueueFull):
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
@@ -385,11 +449,30 @@ type HealthResponse struct {
 	Status string `json:"status"` // "ok" or "draining"
 	Jobs   int    `json:"jobs"`
 	Queued int    `json:"queued"`
+	// Running is the in-flight job count (jobs currently executing).
+	// Together with Queued it lets a coordinator or load balancer prefer
+	// idle workers: Running+Queued is the worker's present load.
+	Running int `json:"running"`
 	// Workers is the concurrent-job capacity (Options.Workers).
 	Workers int `json:"workers"`
 	// Fingerprint is sched.Fingerprint(): the backend's code-generation
 	// identity.
 	Fingerprint string `json:"fingerprint"`
+}
+
+// jobStateCounts tallies retained jobs by lifecycle state.
+func (s *Server) jobStateCounts() map[State]int {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	counts := make(map[State]int, 5)
+	for _, j := range jobs {
+		counts[j.State()]++
+	}
+	return counts
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -401,6 +484,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:      "ok",
 		Jobs:        n,
 		Queued:      len(s.queue),
+		Running:     s.jobStateCounts()[StateRunning],
 		Workers:     s.opts.Workers,
 		Fingerprint: sched.Fingerprint(),
 	}
@@ -412,7 +496,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, h)
 }
 
+// setLiveGauges refreshes the collector's live server-state gauges so
+// every scrape (JSON or Prometheus) sees current values rather than
+// whatever the last exploration left behind.
+func (s *Server) setLiveGauges() {
+	counts := s.jobStateCounts()
+	c := s.collector
+	c.SetGauge("serve.queue_depth", float64(len(s.queue)))
+	c.SetGauge("serve.worker_capacity", float64(s.opts.Workers))
+	c.SetGauge("serve.active_workers", float64(counts[StateRunning]))
+	c.SetGauge("serve.jobs_state_queued", float64(counts[StateQueued]))
+	c.SetGauge("serve.jobs_state_running", float64(counts[StateRunning]))
+	c.SetGauge("serve.jobs_state_done", float64(counts[StateDone]))
+	c.SetGauge("serve.jobs_state_failed", float64(counts[StateFailed]))
+	c.SetGauge("serve.jobs_state_cancelled", float64(counts[StateCancelled]))
+	c.SetGauge("serve.uptime_seconds", time.Since(s.started).Seconds())
+}
+
+// handleMetrics serves the collector in two formats, content-negotiated
+// on Accept: Prometheus text exposition (version 0.0.4) when the client
+// asks for text/plain or openmetrics (or ?format=prometheus), the
+// original JSON dump otherwise. Stock Prometheus sends an Accept header
+// matching the former, so a fleet is scrapeable unconfigured.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.setLiveGauges()
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") ||
+		r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = s.collector.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if err := s.collector.WriteMetrics(w); err != nil {

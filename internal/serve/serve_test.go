@@ -209,7 +209,7 @@ func TestCoalescing(t *testing.T) {
 	// Park the single worker on a job we control, so the explores below
 	// stay deterministically queued while we submit them.
 	release := make(chan struct{})
-	blocker, _, err := s.submit("block", "", func(ctx context.Context, _ *Job) (json.RawMessage, error) {
+	blocker, _, err := s.submit("block", "", obs.SpanContext{}, func(ctx context.Context, _ *Job) (json.RawMessage, error) {
 		<-release
 		return json.RawMessage(`{}`), nil
 	})

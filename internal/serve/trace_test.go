@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"customfit/internal/obs"
+)
+
+// postJSONTraced is postJSON with a traceparent header attached.
+func postJSONTraced(t *testing.T, url, traceparent string, body, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", traceparent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestTracedJobReturnsSpans pins the worker half of cross-process
+// tracing: a compile submitted with a traceparent header finishes with
+// its span subtree in the job status — a serve.job root carrying the
+// caller's trace ID, with the pipeline phases underneath.
+func TestTracedJobReturnsSpans(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 1})
+	const traceHex = "4bf92f3577b34da6a3ce929d0e0e4736"
+	tp := "00-" + traceHex + "-00f067aa0ba902b7-01"
+	var sub SubmitResponse
+	if code := postJSONTraced(t, ts.URL+"/v1/compile", tp,
+		CompileRequest{Bench: "A", Arch: "2 1 64 1 4 1"}, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit returned %d, want 202", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", st.State, st.Error)
+	}
+	if len(st.Spans) == 0 {
+		t.Fatal("traced job returned no spans")
+	}
+	var root *obs.WireSpan
+	names := map[string]bool{}
+	for i := range st.Spans {
+		w := &st.Spans[i]
+		names[w.Name] = true
+		if w.TraceID != traceHex {
+			t.Errorf("span %s has trace %s, want %s", w.Name, w.TraceID, traceHex)
+		}
+		if w.Name == "serve.job" {
+			root = w
+		}
+	}
+	if root == nil {
+		t.Fatalf("no serve.job root in %v", names)
+	}
+	if root.Parent != "00f067aa0ba902b7" {
+		t.Errorf("serve.job parent %s, want the caller's span ID", root.Parent)
+	}
+	for _, phase := range []string{"frontend", "compile"} {
+		if !names[phase] {
+			t.Errorf("traced compile missing %q span (got %v)", phase, names)
+		}
+	}
+}
+
+// TestUntracedJobReturnsNoSpans: without a traceparent, the job result
+// must not carry spans (local work stays local).
+func TestUntracedJobReturnsNoSpans(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 1})
+	var sub SubmitResponse
+	if code := postJSON(t, ts.URL+"/v1/compile",
+		CompileRequest{Bench: "A", Arch: "2 1 64 1 4 1"}, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job finished %s, want done", st.State)
+	}
+	if len(st.Spans) != 0 {
+		t.Errorf("untraced job returned %d spans, want 0", len(st.Spans))
+	}
+}
+
+// TestTraceParentBodyField: the explore request's traceparent JSON
+// field works without the header (and is excluded from coalescing, so
+// two differently-traced identical requests still coalesce).
+func TestTraceParentBodyField(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 1})
+	const traceHex = "0af7651916cd43dd8448eb211c80319c"
+	req := ExploreRequest{
+		Benchmarks:  []string{"G"},
+		Sample:      12,
+		Width:       32,
+		TraceParent: "00-" + traceHex + "-b7ad6b7169203331-01",
+	}
+	var sub SubmitResponse
+	if code := postJSON(t, ts.URL+"/v1/explore", req, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	// An identical request with a different traceparent coalesces.
+	req2 := req
+	req2.TraceParent = "00-ffffffffffffffffffffffffffffffff-b7ad6b7169203331-01"
+	var sub2 SubmitResponse
+	if code := postJSON(t, ts.URL+"/v1/explore", req2, &sub2); code != http.StatusAccepted {
+		t.Fatalf("second submit returned %d", code)
+	}
+	if sub2.ID != sub.ID || !sub2.Coalesced {
+		t.Errorf("differently-traced identical explores did not coalesce: %+v vs %+v", sub, sub2)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID, 60*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s), want done", st.State, st.Error)
+	}
+	if len(st.Spans) == 0 {
+		t.Fatal("body-field traced explore returned no spans")
+	}
+	names := map[string]bool{}
+	for _, w := range st.Spans {
+		names[w.Name] = true
+		if w.TraceID != traceHex {
+			t.Errorf("span %s trace %s, want %s (first submitter wins)", w.Name, w.TraceID, traceHex)
+		}
+	}
+	for _, phase := range []string{"serve.job", "dse.explore", "evaluate"} {
+		if !names[phase] {
+			t.Errorf("traced explore missing %q span (got %v)", phase, names)
+		}
+	}
+}
+
+// TestSpanLimitTruncates: a tiny SpanLimit drops overflow and counts it.
+func TestSpanLimitTruncates(t *testing.T) {
+	_, ts, col := newTestServer(t, Options{Workers: 1, SpanLimit: 2})
+	tp := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	var sub SubmitResponse
+	if code := postJSONTraced(t, ts.URL+"/v1/compile", tp,
+		CompileRequest{Bench: "A", Arch: "2 1 64 1 4 1"}, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID, 30*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job finished %s, want done", st.State)
+	}
+	if len(st.Spans) != 2 {
+		t.Errorf("got %d spans, want SpanLimit=2", len(st.Spans))
+	}
+	_ = col // dropped-span counter lives on the collector's metrics dump
+	doc := fetchMetrics(t, ts.URL)
+	if doc.Counters["serve.spans_dropped"] <= 0 {
+		t.Errorf("serve.spans_dropped = %d, want > 0", doc.Counters["serve.spans_dropped"])
+	}
+}
+
+// TestHealthzReportsLoad: queue depth and in-flight count are live.
+func TestHealthzReportsLoad(t *testing.T) {
+	s, ts, _ := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	release := make(chan struct{})
+	blocked, _, err := s.submit("block", "", obs.SpanContext{}, func(ctx context.Context, _ *Job) (json.RawMessage, error) {
+		<-release
+		return json.RawMessage(`{}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := s.submit("block2", "", obs.SpanContext{}, func(ctx context.Context, _ *Job) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first job to be running.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h := fetchHealth(t, ts.URL)
+		if h.Running == 1 && h.Queued >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never showed running=1 queued>=1: %+v", h)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(release)
+	waitTerminal(t, ts.URL, blocked.ID, 10*time.Second)
+	waitTerminal(t, ts.URL, queued.ID, 10*time.Second)
+	h := fetchHealth(t, ts.URL)
+	if h.Running != 0 || h.Queued != 0 {
+		t.Errorf("idle healthz %+v, want running=0 queued=0", h)
+	}
+}
+
+func fetchHealth(t *testing.T, base string) HealthResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestMetricsContentNegotiation: /metrics answers JSON by default and
+// Prometheus text when asked, and the text parses cleanly.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 1})
+	var sub SubmitResponse
+	postJSON(t, ts.URL+"/v1/compile", CompileRequest{Bench: "A", Arch: "2 1 64 1 4 1"}, &sub)
+	waitTerminal(t, ts.URL, sub.ID, 30*time.Second)
+
+	// Default: JSON.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := resp.Header.Get("Content-Type")
+	var doc map[string]json.RawMessage
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil || !strings.Contains(ct, "application/json") {
+		t.Fatalf("default /metrics not JSON (ct %q, err %v)", ct, err)
+	}
+
+	// Accept: text/plain → Prometheus exposition.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("prometheus content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := obs.LintPrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("/metrics prometheus output does not lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"cfp_serve_queue_depth",
+		"cfp_serve_active_workers",
+		"cfp_serve_uptime_seconds",
+		"cfp_serve_jobs_state_done",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q", want)
+		}
+	}
+
+	// ?format=prometheus works without the header.
+	resp2, err := http.Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("?format=prometheus content type %q", ct)
+	}
+}

@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -121,8 +122,15 @@ type pendingWrite struct {
 // ir.Interp), mutating bound memories, and returns cycle-accurate
 // statistics.
 func Run(prog *vliw.Program, env *ir.Env) (*Stats, error) {
+	return RunCtx(context.Background(), prog, env)
+}
+
+// RunCtx is Run with the sim span parented under the context's current
+// span (obs.SpanFromContext) — a traced serve job's simulation then
+// joins the job's trace instead of starting an orphan root.
+func RunCtx(ctx context.Context, prog *vliw.Program, env *ir.Env) (*Stats, error) {
 	f := prog.F
-	sp := obs.StartSpan("sim")
+	sp := obs.StartSpanCtx(ctx, "sim")
 	if sp != nil {
 		sp.Str("kernel", f.Name).Str("arch", prog.Arch.String())
 	}
