@@ -53,9 +53,10 @@ bench:
 	@echo wrote BENCH_explore.json
 
 # Regression gate: re-measure the tracked end-to-end exploration
-# benchmark and fail if it runs >10% slower (ns/op) than the recorded
-# trajectory in BENCH_explore.json. Three repeats, gated on the
-# minimum, so scheduler noise cannot fail an unchanged tree.
+# benchmark and fail if it runs >10% slower (ns/op) or allocates >10%
+# more (allocs/op) than the recorded trajectory in BENCH_explore.json.
+# Three repeats, gated on the minimum, so scheduler noise cannot fail
+# an unchanged tree.
 bench-diff:
 	$(GO) test -run '^$$' -bench BenchmarkExploreSubset -benchtime 3x -count 3 ./internal/dse/ | \
 		$(GO) run ./cmd/cfp-benchjson -against BENCH_explore.json

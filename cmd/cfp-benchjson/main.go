@@ -19,8 +19,9 @@
 //	go test -bench BenchmarkExploreSubset ./internal/dse/ | \
 //	    cfp-benchjson -against BENCH_explore.json
 //
-// compares one tracked metric (-regress-bench/-regress-metric) of the
-// fresh run against the recorded document and exits nonzero when it
+// compares the tracked metrics (-regress-bench/-regress-metrics, a
+// comma-separated list defaulting to ns/op and allocs/op) of the fresh
+// run against the recorded document and exits nonzero when any of them
 // regressed by more than -max-regress (default 10%).
 package main
 
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,12 +59,27 @@ type Delta struct {
 	Change float64 `json:"change"`
 }
 
+// Environment records where the numbers came from, so a trajectory
+// diff across PRs can tell a code change from a machine change. The
+// CPU model, OS and architecture come from the `go test` header lines;
+// GOMAXPROCS from the benchmark-name "-N" decoration (falling back to
+// this process); the Go version from the toolchain that built this
+// tool — the same one that ran the benchmarks in a `make bench` run.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	CPU        string `json:"cpu,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
 type document struct {
-	Generated    string      `json:"generated"`
-	Benchmarks   []Benchmark `json:"benchmarks"`
-	BaselineNote string      `json:"baseline_note,omitempty"`
-	Baseline     []Benchmark `json:"baseline,omitempty"`
-	Deltas       []Delta     `json:"deltas,omitempty"`
+	Generated    string       `json:"generated"`
+	Environment  *Environment `json:"environment,omitempty"`
+	Benchmarks   []Benchmark  `json:"benchmarks"`
+	BaselineNote string       `json:"baseline_note,omitempty"`
+	Baseline     []Benchmark  `json:"baseline,omitempty"`
+	Deltas       []Delta      `json:"deltas,omitempty"`
 }
 
 func main() {
@@ -71,10 +88,10 @@ func main() {
 		baseFile = flag.String("baseline", "", "baseline `go test -bench` text to embed and diff against")
 		baseNote = flag.String("baseline-note", "", "free-form provenance note for the baseline")
 
-		against       = flag.String("against", "", "recorded cfp-benchjson document to gate against (exit 1 on regression; suppresses JSON output unless -o is given)")
-		maxRegress    = flag.Float64("max-regress", 0.10, "with -against: fail when the tracked metric grew by more than this fraction")
-		regressBench  = flag.String("regress-bench", "BenchmarkExploreSubset", "with -against: benchmark to gate on")
-		regressMetric = flag.String("regress-metric", "ns/op", "with -against: metric to gate on")
+		against        = flag.String("against", "", "recorded cfp-benchjson document to gate against (exit 1 on regression; suppresses JSON output unless -o is given)")
+		maxRegress     = flag.Float64("max-regress", 0.10, "with -against: fail when a tracked metric grew by more than this fraction")
+		regressBench   = flag.String("regress-bench", "BenchmarkExploreSubset", "with -against: benchmark to gate on")
+		regressMetrics = flag.String("regress-metrics", "ns/op,allocs/op", "with -against: comma-separated metrics to gate on")
 	)
 	tool := cli.NewTool("cfp-benchjson")
 	flag.Parse()
@@ -83,7 +100,7 @@ func main() {
 	}
 	defer tool.Close()
 
-	cur, err := parse(os.Stdin)
+	cur, env, err := parse(os.Stdin)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,8 +108,14 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
 	}
 	if *against != "" {
-		if err := checkRegression(*against, cur, *regressBench, *regressMetric, *maxRegress); err != nil {
-			fatal(err)
+		for _, metric := range strings.Split(*regressMetrics, ",") {
+			metric = strings.TrimSpace(metric)
+			if metric == "" {
+				continue
+			}
+			if err := checkRegression(*against, cur, *regressBench, metric, *maxRegress); err != nil {
+				fatal(err)
+			}
 		}
 		if *out == "" {
 			return
@@ -100,6 +123,7 @@ func main() {
 	}
 	doc := document{
 		Generated:    time.Now().UTC().Format(time.RFC3339),
+		Environment:  env,
 		Benchmarks:   cur,
 		BaselineNote: *baseNote,
 	}
@@ -108,7 +132,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		doc.Baseline, err = parse(f)
+		doc.Baseline, _, err = parse(f)
 		f.Close()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", *baseFile, err))
@@ -130,14 +154,28 @@ func main() {
 	}
 }
 
-// parse extracts benchmark lines from go test -bench output.
-func parse(r io.Reader) ([]Benchmark, error) {
+// parse extracts benchmark lines and the environment header
+// (goos/goarch/cpu lines, GOMAXPROCS name decorations) from go test
+// -bench output.
+func parse(r io.Reader) ([]Benchmark, *Environment, error) {
+	env := &Environment{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	var out []Benchmark
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "Benchmark") {
+			switch {
+			case strings.HasPrefix(line, "goos: "):
+				env.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos: "))
+			case strings.HasPrefix(line, "goarch: "):
+				env.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch: "))
+			case strings.HasPrefix(line, "cpu: "):
+				env.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			}
 			continue
 		}
 		fields := strings.Fields(line)
@@ -148,6 +186,11 @@ func parse(r io.Reader) ([]Benchmark, error) {
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			continue
+		}
+		if suffix := goMaxProcsSuffix(fields[0]); suffix != "" {
+			if n, err := strconv.Atoi(suffix); err == nil {
+				env.GOMAXPROCS = n
+			}
 		}
 		b := Benchmark{
 			Name:       strings.TrimSuffix(fields[0], "-"+goMaxProcsSuffix(fields[0])),
@@ -167,7 +210,7 @@ func parse(r io.Reader) ([]Benchmark, error) {
 			out = append(out, b)
 		}
 	}
-	return out, sc.Err()
+	return out, env, sc.Err()
 }
 
 // goMaxProcsSuffix returns the trailing "-N" procs decoration of a

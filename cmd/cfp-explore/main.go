@@ -89,6 +89,7 @@ func main() {
 		sample     = flag.Int("sample", 1, "evaluate every Nth machine (1 = full space)")
 		progress   = flag.Bool("progress", true, "print progress while exploring")
 		noMemo     = flag.Bool("no-memo", false, "disable arch-signature memoization (every arrangement runs real compiles; see docs/PERFORMANCE.md)")
+		noDelta    = flag.Bool("no-delta", false, "disable delta compilation (block-schedule reuse across neighboring architectures; see docs/PERFORMANCE.md)")
 		claims     = flag.Bool("claims", false, "print the paper's headline-claim quantities from the results")
 		ablation   = flag.Bool("ablation", false, "run the compiler design-choice ablation study and exit")
 		corr       = flag.Bool("correction", false, "run the cluster-correction validation study and exit")
@@ -174,6 +175,7 @@ func main() {
 			e.Width = *width
 			e.Workers = localWorkers
 			e.DisableMemo = *noMemo
+			e.DisableDelta = *noDelta
 			cache, cerr := tool.OpenCache()
 			if cerr != nil {
 				fatal(cerr)

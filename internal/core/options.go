@@ -54,6 +54,10 @@ type ExploreOptions struct {
 	// DisableMemo turns off arch-signature memoization and the
 	// persistent cache (see docs/PERFORMANCE.md).
 	DisableMemo bool
+	// DisableDelta turns off delta compilation (the block-schedule reuse
+	// cache behind cheap neighbor re-evaluation; see docs/PERFORMANCE.md).
+	// Results are bit-identical either way.
+	DisableDelta bool
 	// CacheDir, when non-empty, persists evaluation sweeps under this
 	// directory (content-addressed; results identical, warm re-runs
 	// near-instant — see docs/PERFORMANCE.md).
@@ -116,6 +120,7 @@ func Explore(ctx context.Context, opts ExploreOptions) (*dse.Results, error) {
 	e.Width = opts.Width
 	e.Workers = opts.Parallelism
 	e.DisableMemo = opts.DisableMemo
+	e.DisableDelta = opts.DisableDelta
 	e.Progress = opts.Progress
 	cache, own, err := opts.openCache()
 	if err != nil {
@@ -203,6 +208,9 @@ type SearchOptions struct {
 	// Prune enables bound-guided pruning for the deterministic
 	// strategies (exact: identical optima, fewer compiles).
 	Prune bool
+	// DisableDelta turns off delta compilation in the evaluator backing
+	// the objective (see ExploreOptions.DisableDelta).
+	DisableDelta bool
 	// CacheDir / Cache as in ExploreOptions.
 	CacheDir string
 	Cache    *evcache.Cache
@@ -228,6 +236,7 @@ func SearchCompare(ctx context.Context, opts SearchOptions) ([]search.Result, er
 		space = thinned
 	}
 	ev := dse.NewEvaluator()
+	ev.DisableDelta = opts.DisableDelta
 	if opts.Width > 0 {
 		ev.Width = opts.Width
 	} else {

@@ -27,13 +27,15 @@ func exploreBenchArchs() []machine.Arch {
 // BenchmarkEvaluate measures the per-evaluation backend cost (unroll
 // sweep, partition, schedule, allocate) with the prepared-IR cache warm,
 // cycling through distinct architectures so every iteration performs
-// real backend work. Signature memoization is disabled so the number is
-// an honest per-compile cost, and a reused Scratch arena matches the
-// explorer worker's steady state.
+// real backend work. Signature memoization and delta compilation are
+// both disabled so the number is an honest cold per-compile cost — the
+// baseline BenchmarkEvaluateDelta is measured against — and a reused
+// Scratch arena matches the explorer worker's steady state.
 func BenchmarkEvaluate(b *testing.B) {
 	ev := NewEvaluator()
 	ev.Width = 48
 	ev.DisableMemo = true
+	ev.DisableDelta = true
 	bm := bench.ByName("G")
 	archs := exploreBenchArchs()
 	for _, u := range UnrollFactors {
@@ -44,6 +46,34 @@ func BenchmarkEvaluate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.EvaluateScratch(bm, archs[i%len(archs)], sc)
+	}
+}
+
+// BenchmarkEvaluateDelta measures the steady-state neighbor
+// re-evaluation path the stochastic search strategies sit on: delta
+// compilation enabled, caches warm, cycling through a one-parameter
+// neighbor ring so every iteration is the kind of move hill climbing
+// and annealing generate. Compare against BenchmarkEvaluate (the cold
+// full driver) for the delta speedup.
+func BenchmarkEvaluateDelta(b *testing.B) {
+	ev := NewEvaluator()
+	ev.Width = 48
+	ev.DisableMemo = true
+	bm := bench.ByName("G")
+	ring := deltaNeighborRing()
+	for _, u := range UnrollFactors {
+		ev.prepare(nil, bm, u)
+	}
+	sc := sched.NewScratch()
+	for r := 0; r < 2; r++ {
+		for _, a := range ring {
+			ev.EvaluateScratch(bm, a, sc)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateScratch(bm, ring[i%len(ring)], sc)
 	}
 }
 

@@ -120,6 +120,13 @@ type Evaluator struct {
 	// tests). It also bypasses Cache: both layers exist to avoid
 	// backend work, which is exactly what DisableMemo runs measure.
 	DisableMemo bool
+	// DisableDelta turns off delta compilation (the per-kernel cache of
+	// reusable block schedules and allocation verdicts that makes
+	// one-parameter neighbor re-evaluation cheap; see
+	// sched.CompilePreparedDelta and docs/PERFORMANCE.md). Results are
+	// bit-identical either way — the switch exists for measurement and
+	// A/B verification, not correctness.
+	DisableDelta bool
 	// Cache, when set, persists evaluation sweeps across processes:
 	// content-addressed by hash(kernel source, unroll policy, compiler
 	// fingerprint, reference workload) × backend signature (see
@@ -504,7 +511,13 @@ func (e *Evaluator) runSweep(ctx context.Context, esp *obs.Span, b *bench.Benchm
 			break // unrollable limit reached (op budget etc.)
 		}
 		t0 := time.Now()
-		res, err := sched.CompilePrepared(esp, p.kernel, arch, sc)
+		var res *sched.Result
+		var err error
+		if e.DisableDelta {
+			res, err = sched.CompilePrepared(esp, p.kernel, arch, sc)
+		} else {
+			res, err = sched.CompilePreparedDelta(esp, p.kernel, arch, sc)
+		}
 		e.compileNS.Add(int64(time.Since(t0)))
 		e.Compilations.Add(1)
 		sw.runs++

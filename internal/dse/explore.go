@@ -48,6 +48,9 @@ type Explorer struct {
 	// (see docs/PERFORMANCE.md) so every arrangement runs real backend
 	// compiles.
 	DisableMemo bool
+	// DisableDelta turns off the evaluator's delta compilation (see
+	// Evaluator.DisableDelta); results are bit-identical either way.
+	DisableDelta bool
 	// Cache, when set, is the persistent evaluation cache threaded into
 	// the evaluator (see internal/evcache). Results are identical with
 	// or without it; a warm cache skips backend work entirely, and when
@@ -165,6 +168,7 @@ func (e *Explorer) RunCtx(ctx context.Context) (*Results, error) {
 	ev.Width = width
 	ev.Cycle = e.Cycle
 	ev.DisableMemo = e.DisableMemo
+	ev.DisableDelta = e.DisableDelta
 	ev.Cache = e.Cache
 
 	res := &Results{

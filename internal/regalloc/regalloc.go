@@ -69,16 +69,35 @@ type Result struct {
 }
 
 // Scratch is the allocator's reusable per-worker buffer arena: the
-// liveness bitsets and per-register segment builders that dominate its
-// allocation profile. Nothing built on a Scratch outlives the Allocate
-// call that used it, so one arena serves a worker's whole compile
-// stream. Not safe for concurrent use.
+// liveness bitsets, per-register segment builders, flattened range
+// tables and coloring state that dominate its allocation profile.
+// Nothing built on a Scratch outlives the Allocate call that used it
+// (AllocateReuse additionally hands out the arena-owned Result), so
+// one arena serves a worker's whole compile stream. Not safe for
+// concurrent use.
 type Scratch struct {
 	segments [][]Segment
 	segEnd   []int
 	isLive   []bool
 	liveCnt  []int
 	peakAt   []int
+
+	// Flattened range storage: ranges holds Range values, byCluster
+	// holds per-cluster index lists into it (the gopherjs-style
+	// flat-tables idiom: indices instead of pointer graphs).
+	ranges    []Range
+	byCluster [][]int32
+
+	// Coloring state: per-physical-register busy segment lists and the
+	// merge double-buffer.
+	busy     [][]Segment
+	mergeBuf []Segment
+
+	// AllocateReuse's arena-owned Result and its backing arrays.
+	res         Result
+	resMaxLive  []int
+	resOverflow []int
+	resAssign   []int
 }
 
 // NewScratch returns an empty allocator arena; buffers grow on first
@@ -100,10 +119,41 @@ func AllocateSpan(sp *obs.Span, prog *vliw.Program) *Result {
 // AllocateWith is the compile driver's entry point: lv, when non-nil,
 // is a liveness analysis already computed over prog.F (the scheduler's
 // own — allocation recomputing it is pure waste), and sc, when non-nil,
-// is a reusable scratch arena.
+// is a reusable scratch arena. The returned Result is freshly
+// allocated and safe to retain.
 func AllocateWith(sp *obs.Span, prog *vliw.Program, lv *opt.Liveness, sc *Scratch) *Result {
+	res := &Result{
+		MaxLive:  make([]int, prog.Arch.Clusters),
+		Overflow: make([]int, prog.Arch.Clusters),
+		Assign:   make([]int, prog.F.NumRegs()),
+	}
+	return finishAllocate(sp, prog, lv, sc, res)
+}
+
+// AllocateReuse is AllocateWith with the Result itself drawn from the
+// scratch arena: the delta compiler's steady state runs it with zero
+// heap allocation. The returned Result (and every slice it carries) is
+// valid only until the next Allocate call through the same Scratch;
+// callers that retain results must use AllocateWith.
+func AllocateReuse(sp *obs.Span, prog *vliw.Program, lv *opt.Liveness, sc *Scratch) *Result {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	res := &sc.res
+	res.MaxLive = growInts(&sc.resMaxLive, prog.Arch.Clusters)
+	res.Overflow = growInts(&sc.resOverflow, prog.Arch.Clusters)
+	res.Assign = growInts(&sc.resAssign, prog.F.NumRegs())
+	res.Victims = res.Victims[:0]
+	res.Fits = false
+	res.Capacity = 0
+	return finishAllocate(sp, prog, lv, sc, res)
+}
+
+// finishAllocate runs the allocation into res (whose MaxLive/Overflow/
+// Assign must be zeroed and sized) and records the telemetry span.
+func finishAllocate(sp *obs.Span, prog *vliw.Program, lv *opt.Liveness, sc *Scratch, res *Result) *Result {
 	asp := obs.Under(sp, "regalloc")
-	res := allocate(prog, lv, sc)
+	allocate(prog, lv, sc, res)
 	if asp != nil {
 		maxLive := 0
 		for _, m := range res.MaxLive {
@@ -121,18 +171,13 @@ func AllocateWith(sp *obs.Span, prog *vliw.Program, lv *opt.Liveness, sc *Scratc
 	return res
 }
 
-func allocate(prog *vliw.Program, lv *opt.Liveness, sc *Scratch) *Result {
+func allocate(prog *vliw.Program, lv *opt.Liveness, sc *Scratch, res *Result) {
 	f := prog.F
 	nregs := f.NumRegs()
 	nclusters := prog.Arch.Clusters
 	rc := prog.Arch.RegsPC()
 
-	res := &Result{
-		MaxLive:  make([]int, nclusters),
-		Overflow: make([]int, nclusters),
-		Capacity: rc,
-		Assign:   make([]int, nregs),
-	}
+	res.Capacity = rc
 	for i := range res.Assign {
 		res.Assign[i] = -1
 	}
@@ -247,9 +292,11 @@ func allocate(prog *vliw.Program, lv *opt.Liveness, sc *Scratch) *Result {
 	// Build ranges. Segments are collected back-to-front within each
 	// block but front-to-back across blocks, so sort by start and
 	// coalesce overlaps — the overlap and coloring routines require
-	// sorted, disjoint segment lists.
-	byCluster := make([][]*Range, nclusters)
-	var ranges []*Range
+	// sorted, disjoint segment lists. Ranges live flat in the scratch
+	// arena and are referenced by index; byCluster holds per-cluster
+	// index lists.
+	ranges := sc.ranges[:0]
+	byCluster := sc.growClusters(nclusters)
 	for r := 0; r < nregs; r++ {
 		if len(segments[r]) == 0 {
 			continue
@@ -267,82 +314,87 @@ func allocate(prog *vliw.Program, lv *opt.Liveness, sc *Scratch) *Result {
 			}
 			merged = append(merged, sg)
 		}
-		rg := &Range{Reg: ir.Reg(r), Cluster: clusterOf(ir.Reg(r)), Segments: merged}
-		byCluster[rg.Cluster] = append(byCluster[rg.Cluster], rg)
-		ranges = append(ranges, rg)
+		c := clusterOf(ir.Reg(r))
+		byCluster[c] = append(byCluster[c], int32(len(ranges)))
+		ranges = append(ranges, Range{Reg: ir.Reg(r), Cluster: c, Segments: merged})
 	}
+	sc.ranges = ranges
 
 	res.Fits = true
-	var atPeak, others []*Range
+	var atPeak, others []int32
 	for c := 0; c < nclusters; c++ {
 		if res.MaxLive[c] > rc {
 			res.Fits = false
 			res.Overflow[c] = res.MaxLive[c] - rc
 			// Ranges alive at the cluster's peak are the victims that
 			// provably lower it; everything else is fallback.
-			for _, rg := range byCluster[c] {
-				if rg.Covers(peakAt[c]) {
-					atPeak = append(atPeak, rg)
+			for _, ri := range byCluster[c] {
+				if ranges[ri].Covers(peakAt[c]) {
+					atPeak = append(atPeak, ri)
 				} else {
-					others = append(others, rg)
+					others = append(others, ri)
 				}
 			}
 		}
 	}
 	victims := atPeak
-	sort.Slice(victims, func(i, j int) bool { return victims[i].Span() > victims[j].Span() })
-	sort.Slice(others, func(i, j int) bool { return others[i].Span() > others[j].Span() })
+	sort.Slice(victims, func(i, j int) bool { return ranges[victims[i]].Span() > ranges[victims[j]].Span() })
+	sort.Slice(others, func(i, j int) bool { return ranges[others[i]].Span() > ranges[others[j]].Span() })
 	victims = append(victims, others...)
 	if res.Fits {
 		// Color each cluster; pressure fitting does not guarantee
 		// colorability of segment-union graphs, so a failure here
 		// reports the uncolorable range as the spill victim.
 		for c := 0; c < nclusters; c++ {
-			if bad := colorCluster(byCluster[c], rc, res.Assign); bad != nil {
+			if bad := colorCluster(byCluster[c], ranges, rc, res.Assign, sc); bad >= 0 {
 				res.Fits = false
 				res.Overflow[c]++
-				victims = append([]*Range{bad}, victims...)
+				victims = append([]int32{bad}, victims...)
 			}
 		}
 	}
 	if !res.Fits {
 		seen := map[ir.Reg]bool{}
-		for _, rg := range victims {
-			if !seen[rg.Reg] {
-				seen[rg.Reg] = true
-				res.Victims = append(res.Victims, rg.Reg)
+		for _, ri := range victims {
+			if !seen[ranges[ri].Reg] {
+				seen[ranges[ri].Reg] = true
+				res.Victims = append(res.Victims, ranges[ri].Reg)
 			}
 		}
 		for i := range res.Assign {
 			res.Assign[i] = -1
 		}
 	}
-	return res
 }
 
-// colorCluster assigns physical registers to ranges, first-birth first,
+// colorCluster assigns physical registers to the cluster's ranges
+// (given by index into the flat range table), first-birth first,
 // choosing the lowest physical register whose busy segments do not
-// overlap the range. Returns the first uncolorable range, or nil.
-func colorCluster(ranges []*Range, rc int, assign []int) *Range {
-	sort.Slice(ranges, func(i, j int) bool {
-		return ranges[i].Segments[0].Start < ranges[j].Segments[0].Start
+// overlap the range. Returns the index of the first uncolorable range,
+// or -1. Busy lists and the merge double-buffer live in the scratch
+// arena.
+func colorCluster(idx []int32, ranges []Range, rc int, assign []int, sc *Scratch) int32 {
+	sort.Slice(idx, func(i, j int) bool {
+		return ranges[idx[i]].Segments[0].Start < ranges[idx[j]].Segments[0].Start
 	})
-	busy := make([][]Segment, rc)
-	for _, rg := range ranges {
+	busy := sc.growBusy(rc)
+	for _, ri := range idx {
+		rg := &ranges[ri]
 		placed := false
 		for p := 0; p < rc && !placed; p++ {
 			if overlapsAny(busy[p], rg.Segments) {
 				continue
 			}
-			busy[p] = mergeSegments(busy[p], rg.Segments)
+			sc.mergeBuf = mergeInto(sc.mergeBuf[:0], busy[p], rg.Segments)
+			busy[p] = append(busy[p][:0], sc.mergeBuf...)
 			assign[rg.Reg] = p
 			placed = true
 		}
 		if !placed {
-			return rg
+			return ri
 		}
 	}
-	return nil
+	return -1
 }
 
 // overlapsAny reports whether any segment in b overlaps any in s (both
@@ -406,9 +458,10 @@ func growBools(buf *[]bool, n int) []bool {
 	return s
 }
 
-// mergeSegments merges two sorted segment lists into one sorted list.
-func mergeSegments(a, b []Segment) []Segment {
-	out := make([]Segment, 0, len(a)+len(b))
+// mergeInto merges two sorted segment lists into out (appending),
+// returning the extended slice — allocation-free once out's backing
+// array has grown to the working-set size.
+func mergeInto(out, a, b []Segment) []Segment {
 	i, j := 0, 0
 	for i < len(a) || j < len(b) {
 		switch {
@@ -427,4 +480,34 @@ func mergeSegments(a, b []Segment) []Segment {
 		}
 	}
 	return out
+}
+
+// growClusters sizes the per-cluster range-index lists to n clusters,
+// emptying each while keeping backing arrays for reuse.
+func (sc *Scratch) growClusters(n int) [][]int32 {
+	if cap(sc.byCluster) < n {
+		old := sc.byCluster[:cap(sc.byCluster)]
+		sc.byCluster = make([][]int32, n)
+		copy(sc.byCluster, old)
+	}
+	sc.byCluster = sc.byCluster[:n]
+	for i := range sc.byCluster {
+		sc.byCluster[i] = sc.byCluster[i][:0]
+	}
+	return sc.byCluster
+}
+
+// growBusy sizes the per-physical-register busy lists to n registers,
+// emptying each while keeping backing arrays for reuse.
+func (sc *Scratch) growBusy(n int) [][]Segment {
+	if cap(sc.busy) < n {
+		old := sc.busy[:cap(sc.busy)]
+		sc.busy = make([][]Segment, n)
+		copy(sc.busy, old)
+	}
+	sc.busy = sc.busy[:n]
+	for i := range sc.busy {
+		sc.busy[i] = sc.busy[i][:0]
+	}
+	return sc.busy
 }

@@ -36,7 +36,7 @@ func TestOverlapsAny(t *testing.T) {
 func TestMergeSegmentsSorted(t *testing.T) {
 	a := []Segment{{1, 2}, {8, 9}}
 	b := []Segment{{4, 5}}
-	out := mergeSegments(a, b)
+	out := mergeInto(nil, a, b)
 	if len(out) != 3 || out[0].Start != 1 || out[1].Start != 4 || out[2].Start != 8 {
 		t.Errorf("merge = %v", out)
 	}

@@ -26,8 +26,9 @@ import (
 type Prepared struct {
 	F *ir.Func
 
-	mu    sync.Mutex
-	skels map[int]*skelSet // L2 latency class -> per-block skeletons
+	mu     sync.Mutex
+	skels  map[int]*skelSet         // L2 latency class -> per-block skeletons
+	deltas map[deltaKey]*deltaState // partition class -> delta-compile cache
 
 	// Per-block operation-class tallies for LowerBound, built once on
 	// first use (architecture-independent; see bound.go).

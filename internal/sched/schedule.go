@@ -84,7 +84,7 @@ func scheduleFunc(f *ir.Func, arch machine.Arch, pl *Placement, cap int, inOrder
 		} else {
 			sk = ddg.BuildSkeleton(b, arch)
 		}
-		sb, err := scheduleBlock(f, b, arch, pl, lv, cap, prog.Blame, inOrder, sk, sc)
+		sb, _, err := scheduleBlock(f, b, arch, pl, lv, cap, prog.Blame, inOrder, sk, sc)
 		if err != nil {
 			return nil, nil, fmt.Errorf("sched %s/%s: %w", f.Name, b.Name, err)
 		}
@@ -298,6 +298,12 @@ type pressure struct {
 	remaining  []int32 // uses left within the block
 	immortal   []bool
 	regCluster []int
+
+	// Reuse certificate (see schedCert): the largest live-value count
+	// any wouldExceed check compared against the budget, and whether
+	// any check actually fired.
+	maxChecked int
+	bound      bool
 }
 
 func (p *pressure) init(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *opt.Liveness, cap int, sc *Scratch) {
@@ -360,7 +366,15 @@ func (p *pressure) wouldExceed(in *ir.Instr) bool {
 			delta--
 		}
 	}
-	return p.live[cd]+delta > limit
+	v := p.live[cd] + delta
+	if v > p.maxChecked {
+		p.maxChecked = v
+	}
+	if v > limit {
+		p.bound = true
+		return true
+	}
+	return false
 }
 
 // dupArg reports whether reg already appeared among the earlier args.
@@ -398,12 +412,37 @@ func (p *pressure) place(in *ir.Instr) {
 	}
 }
 
-func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *opt.Liveness, cap int, blame []int, inOrder bool, sk *ddg.Skeleton, sc *Scratch) (*vliw.Block, error) {
+// schedCert is the reuse certificate of one block schedule: the
+// dynamic bounds that, together with the exact resource parameters the
+// block's instructions can observe, let the delta compiler (delta.go)
+// prove a cached schedule is the one this run would rebuild. The
+// scheduler's decision sequence depends on the budget and the scan
+// limit only through comparisons against live-value counts and pop
+// counts; as long as a new budget clears every count the recorded run
+// compared (and the recorded run never hit either limit), the decision
+// sequence — and therefore the schedule — is bit-identical.
+type schedCert struct {
+	// maxPressure is the largest live-value count any budget check
+	// compared; pressureBound records whether a check ever fired
+	// (deferral or forced placement), which makes the schedule depend
+	// on the exact budget value.
+	maxPressure   int
+	pressureBound bool
+	// maxScan is the most ready-queue pops any single cycle performed;
+	// scanBound records whether a cycle exhausted its scan budget with
+	// candidates still queued, which makes the schedule depend on the
+	// exact scan budget.
+	maxScan   int
+	scanBound bool
+}
+
+func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv *opt.Liveness, cap int, blame []int, inOrder bool, sk *ddg.Skeleton, sc *Scratch) (*vliw.Block, schedCert, error) {
+	var cert schedCert
 	ins := b.Instrs
 	n := len(ins)
 	sb := &vliw.Block{IR: b}
 	if n == 0 {
-		return sb, nil
+		return sb, cert, nil
 	}
 
 	unschedPreds := grow32(&sc.unschedPreds, n)
@@ -456,7 +495,7 @@ func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv
 	for placed < n {
 		if cycle > maxCycles {
 			sc.ready, sc.deferred = ready.idx[:0], deferred[:0]
-			return nil, fmt.Errorf("schedule did not converge after %d cycles (%d/%d ops placed)", cycle, placed, n)
+			return nil, cert, fmt.Errorf("schedule did not converge after %d cycles (%d/%d ops placed)", cycle, placed, n)
 		}
 		deferred = deferred[:0]
 		placedThisCycle := 0
@@ -465,6 +504,7 @@ func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv
 		// enough candidates fail, the rest of the heap almost certainly
 		// cannot issue this cycle either.
 		scanBudget := 8 * (arch.ALUs + arch.L2Ports + arch.Clusters + 4)
+		scanStart := scanBudget
 		for len(ready.idx) > 0 && scanBudget > 0 {
 			scanBudget--
 			i := ready.pop()
@@ -483,6 +523,12 @@ func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv
 			}
 			emit(i)
 			placedThisCycle++
+		}
+		if pops := scanStart - scanBudget; pops > cert.maxScan {
+			cert.maxScan = pops
+		}
+		if scanBudget == 0 && len(ready.idx) > 0 {
+			cert.scanBound = true
 		}
 		// Pressure deadlock: every issuable candidate would overflow the
 		// budget, and the consumers that would relieve it are not ready
@@ -549,5 +595,7 @@ func scheduleBlock(f *ir.Func, b *ir.Block, arch machine.Arch, pl *Placement, lv
 	sc.ready, sc.deferred = ready.idx[:0], deferred[:0]
 	sb.Len = last + 1
 	sb.SchedPeak = pr.peak
-	return sb, nil
+	cert.maxPressure = pr.maxChecked
+	cert.pressureBound = pr.bound
+	return sb, cert, nil
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"customfit/internal/regalloc"
+	"customfit/internal/vliw"
 )
 
 // Scratch is a per-worker arena of reusable scheduling and allocation
@@ -29,6 +30,18 @@ type Scratch struct {
 
 	// flattened per-cycle resource tables
 	res resources
+
+	// Delta-path program assembly arenas (see delta.go): the blame
+	// buffer, the block-pointer table, the entry-id table, and the
+	// vliw.Program shell are all owned by the Scratch, so a fully
+	// cache-hit neighbor re-evaluation assembles its Result without
+	// heap allocation. A Result produced through these arenas is valid
+	// only until the next compile that uses the same Scratch.
+	blame      []int
+	progBlocks []*vliw.Block
+	entryIDs   []uint32
+	prog       vliw.Program
+	result     Result
 
 	// RA is the register allocator's scratch arena, threaded through
 	// regalloc.AllocateWith by the compile driver.

@@ -128,9 +128,12 @@ func ExhaustiveCtx(ctx context.Context, space []machine.Arch, obj Objective, bou
 	return Result{Strategy: "exhaustive", Best: best, BestScore: bestScore, Evaluations: c.evals, Pruned: c.pruned}, err
 }
 
-// neighbors returns the architectures one parameter step away from a,
-// restricted to points present in the space.
-func neighbors(a machine.Arch, inSpace map[machine.Arch]bool) []machine.Arch {
+// Neighbors returns the architectures one parameter step away from a
+// (plus the compound widen moves the climbers use), restricted to
+// points present in the space — the move set of every stochastic
+// strategy, exported so equivalence tests can replay exactly the walks
+// a search would take (the delta-evaluation property test drives it).
+func Neighbors(a machine.Arch, inSpace map[machine.Arch]bool) []machine.Arch {
 	var out []machine.Arch
 	push := func(n machine.Arch) {
 		if inSpace[n] {
@@ -237,7 +240,7 @@ climb:
 		curScore := c.eval(cur)
 		for {
 			improved := false
-			for _, n := range neighbors(cur, inSpace) {
+			for _, n := range Neighbors(cur, inSpace) {
 				if err = ctx.Err(); err != nil {
 					if curScore > bestScore {
 						best, bestScore = cur, curScore
@@ -298,7 +301,7 @@ func AnnealCtx(ctx context.Context, space []machine.Arch, obj Objective, steps i
 			break
 		}
 		temp := t0 * math.Exp(-3*float64(i)/float64(steps))
-		ns := neighbors(cur, inSpace)
+		ns := Neighbors(cur, inSpace)
 		if len(ns) == 0 || math.IsInf(curScore, -1) {
 			cur, curScore = pick()
 			continue
@@ -374,7 +377,7 @@ func GeneticCtx(ctx context.Context, space []machine.Arch, obj Objective, genera
 		for len(next) < popSize {
 			child := crossover(tournament(), tournament())
 			if rng.Float64() < 0.3 {
-				ns := neighbors(child, inSpace)
+				ns := Neighbors(child, inSpace)
 				if len(ns) > 0 {
 					child = ns[rng.Intn(len(ns))]
 				}

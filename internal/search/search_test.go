@@ -80,7 +80,7 @@ func TestNeighborsStayInSpace(t *testing.T) {
 	space := machine.FullSpace()
 	in := spaceSet(space)
 	for _, a := range space[:50] {
-		for _, n := range neighbors(a, in) {
+		for _, n := range Neighbors(a, in) {
 			if !in[n] {
 				t.Fatalf("neighbor %v of %v not in space", n, a)
 			}
@@ -103,7 +103,7 @@ func TestSubLatticeDenseAndValid(t *testing.T) {
 	// local strategies starve.
 	starved := 0
 	for _, a := range sub {
-		if len(neighbors(a, in)) < 2 {
+		if len(Neighbors(a, in)) < 2 {
 			starved++
 		}
 	}
@@ -123,7 +123,7 @@ func TestCompoundNeighborCrossesRidge(t *testing.T) {
 	}
 	want := machine.Arch{ALUs: 8, MULs: 2, Regs: 128, L2Ports: 2, L2Lat: 2, Clusters: 4}
 	found := false
-	for _, n := range neighbors(from, in) {
+	for _, n := range Neighbors(from, in) {
 		if n == want {
 			found = true
 		}
