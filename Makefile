@@ -30,33 +30,45 @@ staticcheck:
 # under the race detector. Explicit -timeout so a deadlock fails the
 # build with goroutine dumps instead of hanging CI to its job limit.
 race:
-	$(GO) test -race -timeout 20m ./internal/obs/... ./internal/dse/... ./internal/sched/... ./internal/evcache/... ./internal/serve/... ./internal/dist/...
+	$(GO) test -race -timeout 20m ./internal/obs/... ./internal/dse/... ./internal/sched/... ./internal/evcache/... ./internal/fleetcache/... ./internal/serve/... ./internal/dist/...
 
-# One-iteration pass over the exploration benchmarks: catches bit-rot in
-# the benchmark harness without paying for a real measurement.
+# One-iteration pass over the exploration and fleet benchmarks: catches
+# bit-rot in the benchmark harness without paying for a real measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/dse/
+	$(GO) test -run '^$$' -bench BenchmarkFleetWarm -benchtime 1x ./internal/dist/
 
 # Extended verify: everything the tier-1 gate runs, plus vet,
 # staticcheck (when installed), the race pass, and the benchmark smoke
 # (see ROADMAP.md).
 check: build vet staticcheck test race bench-smoke
 
-# Measure the exploration benchmarks and record the trajectory against
-# the pre-optimization baseline (see docs/PERFORMANCE.md).
+# Measure the exploration and fleet benchmarks and record the
+# trajectory against the pre-optimization baseline (the cfp-benchjson
+# parser handles multi-package `go test` output; see
+# docs/PERFORMANCE.md).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/dse/ | \
+	( $(GO) test -run '^$$' -bench . -benchmem ./internal/dse/ && \
+	  $(GO) test -run '^$$' -bench BenchmarkFleetWarm -benchmem ./internal/dist/ ) | \
 		$(GO) run ./cmd/cfp-benchjson \
 			-baseline internal/dse/testdata/bench_baseline_pr2.txt \
 			-baseline-note "pre-optimization seed (PR2 start)" \
 			-o BENCH_explore.json
 	@echo wrote BENCH_explore.json
 
-# Regression gate: re-measure the tracked end-to-end exploration
-# benchmark and fail if it runs >10% slower (ns/op) or allocates >10%
-# more (allocs/op) than the recorded trajectory in BENCH_explore.json.
-# Three repeats, gated on the minimum, so scheduler noise cannot fail
-# an unchanged tree.
+# Regression gate: re-measure the tracked benchmarks and fail if one
+# regressed beyond its limit against the recorded trajectory in
+# BENCH_explore.json. Repeats gated on the minimum, so scheduler noise
+# cannot fail an unchanged tree. BenchmarkExploreSubset gates ns/op and
+# allocs/op at 10%. BenchmarkFleetWarm gates ns/op only, at 30%: its
+# per-op time is dominated by HTTP round trips and job-poll alignment
+# (tens-of-ms scale), which even a minimum-of-repeats does not fully
+# de-noise — while a broken cache tier (recomputing instead of reading
+# through) is several-fold slower, so the loose limit still catches the
+# failure mode.
 bench-diff:
 	$(GO) test -run '^$$' -bench BenchmarkExploreSubset -benchtime 3x -count 3 ./internal/dse/ | \
 		$(GO) run ./cmd/cfp-benchjson -against BENCH_explore.json
+	$(GO) test -run '^$$' -bench BenchmarkFleetWarm -benchtime 10x -count 3 ./internal/dist/ | \
+		$(GO) run ./cmd/cfp-benchjson -against BENCH_explore.json \
+			-regress-bench BenchmarkFleetWarm -regress-metrics ns/op -max-regress 0.30

@@ -91,6 +91,7 @@ func main() {
 		noMemo     = flag.Bool("no-memo", false, "disable arch-signature memoization (every arrangement runs real compiles; see docs/PERFORMANCE.md)")
 		noDelta    = flag.Bool("no-delta", false, "disable delta compilation (block-schedule reuse across neighboring architectures; see docs/PERFORMANCE.md)")
 		claims     = flag.Bool("claims", false, "print the paper's headline-claim quantities from the results")
+		cachePush  = flag.Bool("cache-push", true, "distributed runs: ship warm cache entries with each shard so workers skip compiles the fleet already did (needs -cache-dir; see docs/DISTRIBUTED.md)")
 		ablation   = flag.Bool("ablation", false, "run the compiler design-choice ablation study and exit")
 		corr       = flag.Bool("correction", false, "run the cluster-correction validation study and exit")
 		repertoire = flag.Bool("repertoire", false, "run the min/max ALU repertoire study and exit")
@@ -165,10 +166,20 @@ func main() {
 		if len(fleet) > 0 {
 			// Distributed run: shard the grid across cfp-serve workers
 			// and merge to the same Results a local run would produce.
+			// The coordinator's cache (when configured) seeds warm-up
+			// pushes; -cache=off rides every shard request so the whole
+			// fleet runs cold.
+			cache, cerr := tool.OpenCache()
+			if cerr != nil {
+				fatal(cerr)
+			}
 			res, err = dist.Explore(ctx, dist.Options{
-				Workers: fleet,
-				Width:   *width,
-				Sample:  *sample,
+				Workers:    fleet,
+				Width:      *width,
+				Sample:     *sample,
+				Cache:      cache,
+				PushWarmup: *cachePush,
+				CacheMode:  tool.CacheCfg.Mode,
 			})
 		} else {
 			e := dse.NewExplorer()

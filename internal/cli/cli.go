@@ -15,8 +15,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strings"
 
 	"customfit/internal/evcache"
+	"customfit/internal/fleetcache"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
 	olog "customfit/internal/obs/log"
@@ -69,11 +71,15 @@ func AddTelemetryFlagsTo(fs *flag.FlagSet) *Telemetry {
 }
 
 // CacheConfig carries the persistent evaluation-cache flag values
-// (-cache-dir, -cache). Zero-valued it opens nothing: the cache is
-// opt-in via -cache-dir.
+// (-cache-dir, -cache, -cache-peer). Zero-valued it opens nothing: the
+// cache is opt-in via -cache-dir or -cache-peer.
 type CacheConfig struct {
 	Dir  string
 	Mode string
+	// Peer is a cfp-serve base URL whose /v1/cache endpoints back the
+	// local cache as a fleet-shared second tier (read-through on miss,
+	// async write-behind on compute).
+	Peer string
 }
 
 // AddCacheFlags registers -cache-dir and -cache on the default flag
@@ -89,17 +95,32 @@ func AddCacheFlagsTo(fs *flag.FlagSet) *CacheConfig {
 		"persist evaluation sweeps under DIR (content-addressed; identical results, warm re-runs skip all backend work — see docs/PERFORMANCE.md)")
 	fs.StringVar(&c.Mode, "cache", "on",
 		`"off" ignores -cache-dir for this run (cold measurement without clearing the directory)`)
+	fs.StringVar(&c.Peer, "cache-peer", "",
+		"cfp-serve URL backing the cache as a fleet-shared tier: misses read through to the peer, computes write behind to it (see docs/PERFORMANCE.md)")
 	return c
 }
 
 // Open opens the configured cache, or returns nil (no caching) when
-// -cache-dir was not given or -cache=off. Callers must Close a non-nil
-// cache before exiting to flush dirty shards.
+// neither -cache-dir nor -cache-peer was given, or -cache=off. With
+// only -cache-peer the local tier is memory-resident (no persistence)
+// and the peer supplies warm entries. Callers must Close a non-nil
+// cache before exiting to flush dirty shards and drain write-behind.
 func (c *CacheConfig) Open() (*evcache.Cache, error) {
-	if c.Dir == "" || c.Mode == "off" {
+	if c.Mode == "off" || (c.Dir == "" && c.Peer == "") {
 		return nil, nil
 	}
-	return evcache.Open(c.Dir)
+	cc, err := evcache.Open(c.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if c.Peer != "" {
+		peer := c.Peer
+		if !strings.Contains(peer, "://") {
+			peer = "http://" + peer
+		}
+		cc.SetRemote(fleetcache.New(peer, nil), evcache.RemoteOptions{})
+	}
+	return cc, nil
 }
 
 // Tool bundles the cross-cutting flag wiring shared by every cfp-*

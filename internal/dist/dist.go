@@ -40,6 +40,8 @@ import (
 
 	"customfit/internal/bench"
 	"customfit/internal/dse"
+	"customfit/internal/evcache"
+	"customfit/internal/fleetcache"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
 	olog "customfit/internal/obs/log"
@@ -80,6 +82,24 @@ type Options struct {
 	PollInterval time.Duration
 	// Client overrides the HTTP client (tests; default http.DefaultClient).
 	Client *http.Client
+	// Cache is the coordinator's local evaluation cache (optional).
+	// With PushWarmup it is the source of warm-up shipping; it is
+	// never consulted for results — workers evaluate, the coordinator
+	// merges.
+	Cache *evcache.Cache
+	// PushWarmup ships cache warm-up with shards: before dispatching a
+	// shard, every entry the coordinator's Cache holds for the shard's
+	// signature classes (plus the baseline) is pushed to the worker's
+	// /v1/cache endpoint, so the worker pre-admits them and compiles
+	// nothing the fleet has seen before. Shards are whole dse.SigKey
+	// classes, so pushes are disjoint across shards of one benchmark.
+	// Push failures are non-fatal: the worker just computes cold.
+	PushWarmup bool
+	// CacheMode "off" disables evaluation caching fleet-wide: every
+	// shard request carries it, so workers run cold even when they have
+	// their own caches attached (the operator's -cache=off is honored
+	// everywhere, not just coordinator-side).
+	CacheMode string
 }
 
 func (o *Options) withDefaults() Options {
@@ -228,6 +248,19 @@ func Explore(ctx context.Context, opts Options) (*dse.Results, error) {
 		root:     sp,
 		events:   make(chan outcome, len(units)+len(fleet)),
 		loopDone: make(chan struct{}),
+		cacheOff: strings.EqualFold(o.CacheMode, "off"),
+	}
+	if o.PushWarmup && o.Cache != nil && !c.cacheOff {
+		c.kcs = make(map[string]string, len(benches))
+		for _, b := range benches {
+			// Workers evaluate with the default evaluator (seed 1), so
+			// warm-up keys must be derived the same way.
+			c.kcs[b.Name] = dse.KernelClass(b, o.Width, 1)
+		}
+		c.pushers = make(map[string]*fleetcache.Client, len(fleet))
+		for _, w := range fleet {
+			c.pushers[w.url] = fleetcache.New(w.url, o.Client)
+		}
 	}
 	return c.run(ctx)
 }
@@ -291,6 +324,15 @@ type coordinator struct {
 	pending     []*unit
 	doneUnits   int
 	needUnits   int
+
+	// Warm-up shipping (PushWarmup): kcs maps bench name to its kernel
+	// class under this run's width/seed, pushers holds one cache client
+	// per admitted worker. Both are built once before dispatch and read
+	// only from attempt goroutines thereafter. cacheOff propagates
+	// -cache=off fleet-wide via ExploreRequest.Cache.
+	kcs      map[string]string
+	pushers  map[string]*fleetcache.Client
+	cacheOff bool
 }
 
 func (c *coordinator) run(ctx context.Context) (*dse.Results, error) {
@@ -431,7 +473,11 @@ func (c *coordinator) launch(ctx context.Context, u *unit, w *workerState) {
 		Archs:       u.tuples,
 		TraceParent: sp.Context().TraceParent(),
 	}
+	if c.cacheOff {
+		req.Cache = "off"
+	}
 	go func() {
+		c.warmupPush(u, w)
 		res, spans, err := c.client.runShard(ctx, a, req)
 		sp.AdoptRemote(spans)
 		sp.End()
@@ -442,8 +488,52 @@ func (c *coordinator) launch(ctx context.Context, u *unit, w *workerState) {
 	}()
 }
 
-// handle folds one attempt outcome (or a backoff-elapsed requeue) into
-// the coordinator state.
+// warmupPush ships the coordinator cache's warm entries for u's
+// signature classes to w before the shard runs, so the worker
+// pre-admits them and recompiles nothing the fleet already knows.
+// Shards are whole dse.SigKey classes, so pushes for different shards
+// of one benchmark are disjoint; the baseline entry is included because
+// every shard evaluates the baseline out-of-grid. Failures are
+// non-fatal — the worker just computes cold.
+func (c *coordinator) warmupPush(u *unit, w *workerState) {
+	if c.pushers == nil {
+		return
+	}
+	kc := c.kcs[u.bench]
+	pusher := c.pushers[w.url]
+	if kc == "" || pusher == nil {
+		return
+	}
+	seen := make(map[string]bool, len(u.indices)+1)
+	var recs []evcache.Record
+	push := func(a machine.Arch) {
+		key := dse.CacheKey(kc, a)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if e, ok := c.opts.Cache.Peek(u.bench, key); ok {
+			recs = append(recs, evcache.Record{Key: key, Entry: e})
+		}
+	}
+	push(machine.Baseline)
+	for _, gi := range u.indices {
+		push(c.grid[gi])
+	}
+	if len(recs) == 0 {
+		return
+	}
+	if err := pusher.StoreBatch(u.bench, recs); err != nil {
+		obs.GetCounter("dist.warmup_push_errors").Inc()
+		olog.Warn("cache warm-up push failed").
+			Str("worker", w.url).Str("bench", u.bench).Str("err", err.Error()).Log()
+		return
+	}
+	obs.GetCounter("dist.warmup_pushes").Inc()
+	obs.GetCounter("dist.warmup_entries").Add(int64(len(recs)))
+	olog.Debug("cache warm-up pushed").
+		Str("worker", w.url).Str("bench", u.bench).Int("entries", int64(len(recs))).Log()
+}
 func (c *coordinator) handle(oc outcome) error {
 	if oc.requeue != nil {
 		c.pending = append(c.pending, oc.requeue)

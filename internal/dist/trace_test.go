@@ -7,10 +7,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
+	"customfit/internal/evcache"
 	"customfit/internal/obs"
 	"customfit/internal/serve"
 )
@@ -130,12 +132,41 @@ func TestMergedTraceOneFleetOneTrace(t *testing.T) {
 	}
 }
 
-// TestFleetSmokeArtifacts drives the same in-process fleet and writes
-// the merged Chrome trace plus a Prometheus scrape as files — to
-// $CFP_SMOKE_ARTIFACT_DIR when set (CI uploads them as build
-// artifacts), else a test temp dir — validating both on the way out.
+// TestFleetSmokeArtifacts drives an in-process fleet sharing a cache
+// hub — a cold pass, then a warm pass on a fresh worker that must be
+// served from the fleet tier — and writes the merged Chrome trace plus
+// a Prometheus scrape as files: to $CFP_SMOKE_ARTIFACT_DIR when set
+// (CI uploads them as build artifacts), else a test temp dir,
+// validating both on the way out.
 func TestFleetSmokeArtifacts(t *testing.T) {
-	col := exploreFleetTraced(t)
+	col := installCollector(t)
+	hubCache, err := evcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hubCache.Close() })
+	hub := startWorker(t, serve.Options{Workers: 1, Collector: col, Cache: hubCache})
+	wA, cA := fleetWorker(t, hub.URL, col)
+
+	opts := fastOpts(wA.URL)
+	opts.Benchmarks = benchesByName("G")
+	opts.Sample = 24
+	opts.Width = 32
+	if _, err := Explore(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	cA.SyncRemote()
+
+	// Warm pass on a worker that has never computed anything: its only
+	// source is the fleet tier, so the scrape must show net-cache hits.
+	wB, _ := fleetWorker(t, hub.URL, col)
+	warm := fastOpts(wB.URL)
+	warm.Benchmarks = benchesByName("G")
+	warm.Sample = 24
+	warm.Width = 32
+	if _, err := Explore(context.Background(), warm); err != nil {
+		t.Fatal(err)
+	}
 
 	dir := os.Getenv("CFP_SMOKE_ARTIFACT_DIR")
 	if dir == "" {
@@ -180,6 +211,27 @@ func TestFleetSmokeArtifacts(t *testing.T) {
 	if !strings.Contains(string(pd), "cfp_dist_shards_total") {
 		t.Errorf("prometheus artifact missing cfp_dist_shards_total:\n%.400s", pd)
 	}
+	if hits := promValue(t, string(pd), "cfp_evcache_net_hits_total"); hits <= 0 {
+		t.Errorf("cfp_evcache_net_hits_total = %g after the warm-fleet pass, want > 0", hits)
+	}
+}
+
+// promValue extracts a sample value from a Prometheus exposition dump.
+func promValue(t *testing.T, scrape, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(scrape, "\n") {
+		if !strings.HasPrefix(line, name+" ") && !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not in scrape:\n%.400s", name, scrape)
+	return 0
 }
 
 // TestConcurrentExportDuringExploration races the exporters against a

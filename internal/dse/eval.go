@@ -321,7 +321,7 @@ func (e *Evaluator) memoSweep(ctx context.Context, esp *obs.Span, b *bench.Bench
 		e.mu.Unlock()
 		hit := true
 		ent.once.Do(func() {
-			ent.res = e.sweepThroughCache(ctx, esp, b, arch, key.sig, sc)
+			ent.res = e.sweepThroughCache(ctx, esp, b, arch, sc)
 			hit = false
 		})
 		sw := ent.res
@@ -355,11 +355,11 @@ func (e *Evaluator) memoSweep(ctx context.Context, esp *obs.Span, b *bench.Bench
 // same way a memo hit does: the cached sweep's runs are re-counted as
 // logical runs (Table 3 accounting), so Results and Stats are
 // bit-identical whether the cache is cold, warm, or absent.
-func (e *Evaluator) sweepThroughCache(ctx context.Context, esp *obs.Span, b *bench.Benchmark, arch machine.Arch, sig archSig, sc *sched.Scratch) sweepResult {
+func (e *Evaluator) sweepThroughCache(ctx context.Context, esp *obs.Span, b *bench.Benchmark, arch machine.Arch, sc *sched.Scratch) sweepResult {
 	if e.Cache == nil {
 		return e.runSweep(ctx, esp, b, arch, sc)
 	}
-	key := e.kernelClass(b) + ":" + sig.key()
+	key := CacheKey(e.kernelClass(b), arch)
 	ce, hit, err := e.Cache.DoErr(b.Name, key, func() (evcache.Entry, error) {
 		sw := e.runSweep(ctx, esp, b, arch, sc)
 		if sw.cancelled {
@@ -391,14 +391,34 @@ func (e *Evaluator) sweepThroughCache(ctx context.Context, esp *obs.Span, b *ben
 	}
 }
 
-// kernelClass returns the benchmark's content-addressed kernel-class
-// hash: everything a sweep result depends on besides the backend
-// signature — the kernel source, the unroll policy, the compiler
-// fingerprint (backend version + latency constants + the frontend/opt
-// pipeline version), and the reference workload (width, seed) whose
-// visit counts weight the cycle totals. Cost and cycle-time models are
-// deliberately excluded: they are applied outside the backend, so
-// retuning them never invalidates cached sweeps.
+// KernelClass returns a benchmark's content-addressed kernel-class
+// hash for a reference workload of the given width and seed:
+// everything a sweep result depends on besides the backend signature —
+// the kernel source, the unroll policy, the compiler fingerprint
+// (backend version + latency constants + the frontend/opt pipeline
+// version), and the reference workload whose visit counts weight the
+// cycle totals. Cost and cycle-time models are deliberately excluded:
+// they are applied outside the backend, so retuning them never
+// invalidates cached sweeps. Exported so the distributed coordinator
+// can address cache entries without an Evaluator (warm-up shipping).
+func KernelClass(b *bench.Benchmark, width int, seed int64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kernel=%s\x00%s\x00unroll=%v\x00%s\x00prep-v%d\x00workload=%dx seed %d",
+		b.Name, b.Source, UnrollFactors, sched.Fingerprint(), prepPipelineVersion, width, seed)
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// CacheKey returns the evcache key of one architecture within a kernel
+// class (KernelClass); the cache shard name is the benchmark name.
+// This is the fleet-wide content address: every layer — the evaluator,
+// the serving endpoints, the coordinator's warm-up pushes — derives
+// exactly this key, which is what makes "compile anything at most once
+// across the whole fleet" possible.
+func CacheKey(kernelClass string, a machine.Arch) string {
+	return kernelClass + ":" + sigOf(a).key()
+}
+
+// kernelClass memoizes KernelClass for this evaluator's workload.
 func (e *Evaluator) kernelClass(b *bench.Benchmark) string {
 	e.mu.Lock()
 	if k, ok := e.keys[b.Name]; ok {
@@ -406,10 +426,7 @@ func (e *Evaluator) kernelClass(b *bench.Benchmark) string {
 		return k
 	}
 	e.mu.Unlock()
-	h := sha256.New()
-	fmt.Fprintf(h, "kernel=%s\x00%s\x00unroll=%v\x00%s\x00prep-v%d\x00workload=%dx seed %d",
-		b.Name, b.Source, UnrollFactors, sched.Fingerprint(), prepPipelineVersion, e.Width, e.Seed)
-	k := hex.EncodeToString(h.Sum(nil)[:12])
+	k := KernelClass(b, e.Width, e.Seed)
 	e.mu.Lock()
 	if e.keys == nil {
 		e.keys = map[string]string{}
@@ -435,7 +452,7 @@ func (e *Evaluator) CacheCovers(b *bench.Benchmark, archs []machine.Arch) bool {
 	}
 	kc := e.kernelClass(b)
 	for _, a := range archs {
-		if !e.Cache.Contains(b.Name, kc+":"+sigOf(a).key()) {
+		if !e.Cache.Contains(b.Name, CacheKey(kc, a)) {
 			return false
 		}
 	}

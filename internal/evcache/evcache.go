@@ -19,12 +19,26 @@
 // lookups singleflight semantics — workers racing on the same cold key
 // share one compute instead of duplicating the miss.
 //
+// Fleet tier: SetRemote attaches a Store (typically
+// internal/fleetcache's HTTP client against a cfp-serve peer) and the
+// cache becomes the local level of a fleet-wide two-level cache — a
+// local miss reads through the remote before computing, and local
+// computes are shipped back via an async bounded write-behind queue
+// that never blocks the evaluate hot path. A failing remote degrades
+// the cache to local-only behind a circuit breaker; it never fails a
+// lookup. See docs/PERFORMANCE.md.
+//
 // Telemetry (when an obs collector is installed): `evcache.hits`,
 // `evcache.misses`, `evcache.coalesced` (misses absorbed by an
 // in-flight compute), `evcache.bytes` (shard bytes read + written),
 // `evcache.invalidated` (shards discarded on schema mismatch) and
 // `evcache.corrupt_lines` (undecodable shard lines skipped at load,
-// typically a line truncated by a crash mid-flush).
+// typically a line truncated by a crash mid-flush). The fleet tier
+// adds `evcache.net_hits`, `evcache.net_misses`, `evcache.net_errors`,
+// `evcache.net_degraded` (circuit-breaker trips),
+// `evcache.writebehind_flushes`, `evcache.writebehind_dropped` and the
+// `evcache.net_fetch_seconds` latency histogram (p50/p95 via the obs
+// reservoir).
 package evcache
 
 import (
@@ -36,6 +50,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"customfit/internal/obs"
 )
@@ -84,6 +99,21 @@ type Stats struct {
 	// not decode (typically one truncated trailing line from a crash
 	// mid-flush). The rest of the shard still loads.
 	CorruptLines int64
+	// Computes counts Do/DoErr calls that fell through both cache
+	// levels and ran the compute here — the fleet test's "backend
+	// compilations actually performed by this process" signal.
+	Computes int64
+	// NetHits/NetMisses/NetErrors count remote-tier read-throughs (only
+	// meaningful after SetRemote). Errors also feed the circuit breaker
+	// that degrades the cache to local-only.
+	NetHits   int64
+	NetMisses int64
+	NetErrors int64
+	// WriteBehindFlushed counts entries shipped to the remote tier;
+	// WriteBehindDropped counts entries dropped because the bounded
+	// queue was full or the remote refused the batch.
+	WriteBehindFlushed int64
+	WriteBehindDropped int64
 }
 
 // Cache is the two-level store. The zero value is not usable; call
@@ -98,6 +128,14 @@ type Cache struct {
 	n      int        // resident entries
 	flight map[string]*flight
 	stats  Stats
+
+	// remote is the optional network tier (SetRemote), read without the
+	// lock — it is set once before concurrent use.
+	remote *remoteState
+	// Read-path circuit breaker (under mu): consecutive failures and
+	// the deadline until which the remote is skipped.
+	netFails     int
+	netDownUntil time.Time
 }
 
 // node is one resident entry, linked into the LRU.
@@ -127,11 +165,6 @@ type flight struct {
 type header struct {
 	Magic  string `json:"evcache"`
 	Schema int    `json:"schema"`
-}
-
-type record struct {
-	Key string `json:"k"`
-	Entry
 }
 
 // Open returns a cache persisting under dir, creating the directory if
@@ -203,12 +236,15 @@ func (c *Cache) Contains(shardName, key string) bool {
 
 // Put stores an entry, scheduling it for persistence on the next
 // flush (or inline once the shard accumulates enough dirty entries).
+// With a remote tier attached, the entry is also enqueued for
+// write-behind: a direct Put is new local data the fleet has not seen.
 func (c *Cache) Put(shardName, key string, e Entry) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := c.loadLocked(shardName)
 	c.insertLocked(s, shardName, key, e, c.dir != "")
 	c.autoFlushLocked(shardName, s)
+	c.mu.Unlock()
+	c.writeBehind(shardName, key, e)
 }
 
 // Do returns the cached entry for (shardName, key), computing and
@@ -255,18 +291,44 @@ func (c *Cache) DoErr(shardName, key string, compute func() (Entry, error)) (Ent
 		c.missLocked()
 		c.mu.Unlock()
 
-		f.e, f.err = compute()
-
-		c.mu.Lock()
-		if f.err == nil {
-			c.insertLocked(s, shardName, key, f.e, c.dir != "")
+		// Read through the remote tier before computing: a sweep compiled
+		// anywhere in the fleet is fetched, not recompiled. The fetch
+		// rides the singleflight, so racing callers share one network
+		// round trip exactly as they would share one compute. Remote hits
+		// are admitted locally (persisted like any entry) but never
+		// enqueued for write-behind — the fleet already has them.
+		if re, ok := c.remoteLookup(shardName, key); ok {
+			f.e = re
+			c.settleFlight(shardName, key, f, fkey, true)
+			return re, true, nil
 		}
-		delete(c.flight, fkey)
-		c.autoFlushLocked(shardName, s)
+
+		f.e, f.err = compute()
+		c.mu.Lock()
+		c.stats.Computes++
 		c.mu.Unlock()
-		close(f.done)
+		c.settleFlight(shardName, key, f, fkey, f.err == nil)
+		if f.err == nil {
+			c.writeBehind(shardName, key, f.e)
+		}
 		return f.e, false, f.err
 	}
+}
+
+// settleFlight stores a finished flight's entry (when store is set),
+// clears the flight and wakes waiters. The shard is re-resolved under
+// the lock: a concurrent DropShard may have detached the view the
+// caller loaded before computing.
+func (c *Cache) settleFlight(shardName, key string, f *flight, fkey string, store bool) {
+	c.mu.Lock()
+	s := c.loadLocked(shardName)
+	if store {
+		c.insertLocked(s, shardName, key, f.e, c.dir != "")
+	}
+	delete(c.flight, fkey)
+	c.autoFlushLocked(shardName, s)
+	c.mu.Unlock()
+	close(f.done)
 }
 
 // Flush persists every dirty shard via temp-file + atomic rename.
@@ -287,9 +349,14 @@ func (c *Cache) Flush() error {
 	return nil
 }
 
-// Close flushes and renders further writes best-effort-only. It is the
-// caller's shutdown hook; the cache remains readable afterwards.
-func (c *Cache) Close() error { return c.Flush() }
+// Close drains the write-behind queue (when a remote tier is
+// attached), flushes dirty shards, and renders further writes
+// best-effort-only. It is the caller's shutdown hook; the cache
+// remains readable afterwards.
+func (c *Cache) Close() error {
+	c.stopWriteBehind()
+	return c.Flush()
+}
 
 func (c *Cache) hitLocked() {
 	c.stats.Hits++
@@ -336,7 +403,7 @@ func (c *Cache) loadLocked(name string) *shard {
 	read := int64(len(line))
 	for sc.Scan() {
 		b := sc.Bytes()
-		var r record
+		var r Record
 		// A torn tail line (a crash mid-flush before the atomic rename
 		// landed, or filesystem truncation) or junk is skipped, not
 		// fatal: one bad line must never cost the rest of the shard.
@@ -414,7 +481,7 @@ func (c *Cache) flushShardLocked(name string, s *shard) error {
 			var h header
 			if json.Unmarshal(sc.Bytes(), &h) == nil && h.Magic == headerMagic && h.Schema == SchemaVersion {
 				for sc.Scan() {
-					var r record
+					var r Record
 					if json.Unmarshal(sc.Bytes(), &r) == nil && r.Key != "" {
 						if _, ok := merged[r.Key]; !ok {
 							order = append(order, r.Key)
@@ -446,7 +513,7 @@ func (c *Cache) flushShardLocked(name string, s *shard) error {
 	hb, _ := json.Marshal(header{Magic: headerMagic, Schema: SchemaVersion})
 	if err := count(w.Write(append(hb, '\n'))); err == nil {
 		for _, key := range order {
-			rb, merr := json.Marshal(record{Key: key, Entry: merged[key]})
+			rb, merr := json.Marshal(Record{Key: key, Entry: merged[key]})
 			if merr != nil {
 				err = merr
 				break
@@ -459,11 +526,22 @@ func (c *Cache) flushShardLocked(name string, s *shard) error {
 	if err == nil {
 		err = w.Flush()
 	}
+	if err == nil {
+		// Durability, step 1: the data must be on stable storage before
+		// the rename can publish it.
+		err = tmp.Sync()
+	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err == nil {
 		err = os.Rename(tmp.Name(), c.shardPath(name))
+	}
+	if err == nil {
+		// Durability, step 2: the rename itself is atomic but not
+		// durable until the directory is fsynced — without this a crash
+		// right after Flush could lose the whole renamed shard file.
+		err = syncDir(c.dir)
 	}
 	if err != nil {
 		os.Remove(tmp.Name())
@@ -477,6 +555,20 @@ func (c *Cache) flushShardLocked(name string, s *shard) error {
 	s.dirty = 0
 	c.evictLocked() // formerly pinned entries may now be evictable
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
 }
 
 func (c *Cache) shardPath(name string) string {

@@ -1,0 +1,136 @@
+package evcache
+
+import (
+	"os"
+	"sort"
+)
+
+// Record is one shard line on the wire and on disk: a cache key plus
+// its entry. It is the unit the fleet protocol batches (see Store and
+// internal/fleetcache).
+type Record struct {
+	Key string `json:"k"`
+	Entry
+}
+
+// Store is the cache-tier contract: the local disk cache implements it
+// (so a cfp-serve process can serve its cache to the fleet), and
+// internal/fleetcache implements it over HTTP against another
+// cfp-serve's /v1/cache endpoints. Composing the two — a local Cache
+// with a remote Store attached via SetRemote — yields the fleet-wide
+// two-level cache: local hit → remote read-through → compute, with
+// async batched write-behind (see docs/PERFORMANCE.md).
+type Store interface {
+	// Lookup returns the entry for (shard, key) and whether it was
+	// found. A non-nil error means the tier itself failed (unreachable,
+	// version-refused) — not that the key is merely absent.
+	Lookup(shard, key string) (Entry, bool, error)
+	// StoreBatch admits a batch of records into shard. Admission is
+	// terminal: a Store never forwards admitted records to its own
+	// remote tier, so chained caches cannot echo entries in a loop.
+	StoreBatch(shard string, recs []Record) error
+	// Missing filters keys down to those the store does not hold
+	// (batched has-checks, so warm-up pushes can skip what the far side
+	// already has).
+	Missing(shard string, keys []string) ([]string, error)
+}
+
+var _ Store = (*Cache)(nil)
+
+// Lookup implements Store over the local cache (always a nil error —
+// the local tier cannot be unreachable).
+func (c *Cache) Lookup(shard, key string) (Entry, bool, error) {
+	e, ok := c.Get(shard, key)
+	return e, ok, nil
+}
+
+// StoreBatch admits records into the local cache: they are persisted
+// like Put entries but never enqueued to the write-behind queue — the
+// fleet sent them here, echoing them back would just bounce entries
+// around the tier.
+func (c *Cache) StoreBatch(shard string, recs []Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.loadLocked(shard)
+	for _, r := range recs {
+		if r.Key == "" {
+			continue
+		}
+		c.insertLocked(s, shard, r.Key, r.Entry, c.dir != "")
+	}
+	c.autoFlushLocked(shard, s)
+	return nil
+}
+
+// Missing implements Store's batched has-check against the local cache.
+func (c *Cache) Missing(shard string, keys []string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.loadLocked(shard)
+	var out []string
+	for _, k := range keys {
+		if _, ok := s.entries[k]; !ok {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Peek returns an entry without touching hit/miss accounting, LRU
+// order, or the remote tier. Warm-up push scans use it so shipping
+// entries to workers does not skew the coordinator cache's stats.
+func (c *Cache) Peek(shard, key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.loadLocked(shard)
+	if el, ok := s.entries[key]; ok {
+		return el.Value.(*node).e, true
+	}
+	return Entry{}, false
+}
+
+// Resident returns the number of entries currently held in memory
+// (the serving-side GC budget is expressed against this).
+func (c *Cache) Resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// ShardNames returns every shard name this process has touched, sorted.
+// Shards load lazily on first touch, so any shard that was read,
+// written or served is listed; untouched files from earlier processes
+// are not (they cost no memory, which is what GC bounds).
+func (c *Cache) ShardNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.shards))
+	for name := range c.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropShard evicts one whole shard: every resident entry — dirty ones
+// included — and the on-disk file. This is the GC primitive (see
+// internal/serve's reference-counted eviction); a concurrent compute
+// for the shard simply re-creates it on insert.
+func (c *Cache) DropShard(name string) error {
+	c.mu.Lock()
+	if s := c.shards[name]; s != nil {
+		for _, el := range s.entries {
+			c.lru.Remove(el)
+			c.n--
+		}
+		delete(c.shards, name)
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	if err := os.Remove(c.shardPath(name)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package fleetcache is the network level of the fleet-wide evaluation
+// cache: an evcache.Store implemented over a cfp-serve peer's
+// /v1/cache endpoints, so one process's compiled sweeps are readable
+// (and writable, via write-behind) by the whole fleet.
+//
+// Protocol (see docs/DISTRIBUTED.md):
+//
+//	GET  /v1/cache/{shard}/{key}   -> 200 Entry JSON + X-CFP-Fingerprint
+//	                                  404 miss (or no cache attached)
+//	POST /v1/cache/{shard}         -> batched put/has (PutRequest), 200
+//	                                  PutResponse; 409 on admission refusal
+//
+// Admission is fingerprint-gated in both directions, mirroring the
+// distributed coordinator's worker admission: a PutRequest carries the
+// sender's sched.Fingerprint() and evcache.SchemaVersion (a skewed
+// batch is refused with 409), and every GET response carries the
+// server's fingerprint, which Lookup verifies before trusting the
+// entry — a version-skewed or corrupt peer degrades the caller to
+// local-only (the error feeds evcache's circuit breaker), it never
+// poisons results.
+package fleetcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"customfit/internal/evcache"
+	"customfit/internal/obs"
+	"customfit/internal/sched"
+)
+
+// FingerprintHeader carries the serving backend's sched.Fingerprint()
+// on every GET /v1/cache response.
+const FingerprintHeader = "X-CFP-Fingerprint"
+
+// DefaultTimeout bounds each cache round trip when the caller supplies
+// no http.Client. Cache traffic must stay snappy: a slow peer is a
+// miss, not a stall.
+const DefaultTimeout = 5 * time.Second
+
+// maxEntryBytes bounds a GET response body; real entries are tens of
+// bytes.
+const maxEntryBytes = 1 << 16
+
+// PutRequest is the body of POST /v1/cache/{shard}: a batched put
+// and/or has-check in one round trip.
+type PutRequest struct {
+	// Fingerprint is the sender's sched.Fingerprint(); the server
+	// refuses mismatches the way the dist coordinator refuses
+	// version-skewed workers.
+	Fingerprint string `json:"fingerprint"`
+	// Schema is the sender's evcache.SchemaVersion.
+	Schema int `json:"schema"`
+	// Put is admitted into the shard.
+	Put []evcache.Record `json:"put,omitempty"`
+	// Has asks which of these keys the server is missing.
+	Has []string `json:"has,omitempty"`
+}
+
+// PutResponse answers a PutRequest.
+type PutResponse struct {
+	// Accepted is how many Put records were admitted.
+	Accepted int `json:"accepted"`
+	// Missing are the Has keys the server does not hold.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// Client speaks the cache protocol against one peer. It is stateless
+// and safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+var _ evcache.Store = (*Client)(nil)
+
+// New returns a client for the peer at baseURL ("http://host:port").
+// A nil hc uses a private client with DefaultTimeout.
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: DefaultTimeout}
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: hc}
+}
+
+// BaseURL returns the peer this client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+func (c *Client) shardURL(shard string) string {
+	return c.base + "/v1/cache/" + url.PathEscape(shard)
+}
+
+// Lookup fetches one entry. A 404 is a plain miss; a fingerprint
+// mismatch or an undecodable body is refused with an error (counted on
+// evcache.net_refused) so the local tier's circuit breaker sees it.
+func (c *Client) Lookup(shard, key string) (evcache.Entry, bool, error) {
+	var e evcache.Entry
+	resp, err := c.http.Get(c.shardURL(shard) + "/" + url.PathEscape(key))
+	if err != nil {
+		return e, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxEntryBytes))
+		return e, false, nil
+	default:
+		return e, false, fmt.Errorf("fleetcache: GET %s/%s: %s", shard, key, resp.Status)
+	}
+	if fp := resp.Header.Get(FingerprintHeader); fp != sched.Fingerprint() {
+		obs.GetCounter("evcache.net_refused").Inc()
+		return e, false, fmt.Errorf("fleetcache: peer %s backend fingerprint %q does not match ours %q; refusing entry", c.base, fp, sched.Fingerprint())
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxEntryBytes)).Decode(&e); err != nil {
+		obs.GetCounter("evcache.net_refused").Inc()
+		return e, false, fmt.Errorf("fleetcache: GET %s/%s: corrupt entry: %w", shard, key, err)
+	}
+	return e, true, nil
+}
+
+// StoreBatch ships a batch of records into the peer's shard.
+func (c *Client) StoreBatch(shard string, recs []evcache.Record) error {
+	_, err := c.post(shard, PutRequest{
+		Fingerprint: sched.Fingerprint(),
+		Schema:      evcache.SchemaVersion,
+		Put:         recs,
+	})
+	return err
+}
+
+// Missing asks the peer which keys it lacks.
+func (c *Client) Missing(shard string, keys []string) ([]string, error) {
+	pr, err := c.post(shard, PutRequest{
+		Fingerprint: sched.Fingerprint(),
+		Schema:      evcache.SchemaVersion,
+		Has:         keys,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pr.Missing, nil
+}
+
+func (c *Client) post(shard string, req PutRequest) (PutResponse, error) {
+	var out PutResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.http.Post(c.shardURL(shard), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return out, fmt.Errorf("fleetcache: POST %s: %s: %s", shard, resp.Status, strings.TrimSpace(string(data)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("fleetcache: POST %s: %w", shard, err)
+	}
+	return out, nil
+}

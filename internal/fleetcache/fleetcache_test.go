@@ -1,0 +1,181 @@
+// External test package: these tests drive the client against a real
+// serve.Server (importing serve from the internal package would cycle).
+package fleetcache_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"customfit/internal/evcache"
+	"customfit/internal/fleetcache"
+	"customfit/internal/sched"
+	"customfit/internal/serve"
+)
+
+func newPeer(t *testing.T) (*fleetcache.Client, *evcache.Cache) {
+	t.Helper()
+	cache, err := evcache.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Options{Workers: 1, QueueDepth: 4, Cache: cache})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return fleetcache.New(hs.URL, hs.Client()), cache
+}
+
+func entry(i int) evcache.Entry {
+	return evcache.Entry{Unroll: 1 + i%4, Cycles: int64(100 + i), Runs: 1}
+}
+
+func TestLookupHitMiss(t *testing.T) {
+	cl, cache := newPeer(t)
+	cache.Put("G", "k1", entry(1))
+
+	e, ok, err := cl.Lookup("G", "k1")
+	if err != nil || !ok || e != entry(1) {
+		t.Fatalf("Lookup hit = %+v, %v, %v", e, ok, err)
+	}
+	// A miss is ok=false with a nil error — absence is not a failure.
+	if _, ok, err := cl.Lookup("G", "absent"); ok || err != nil {
+		t.Fatalf("Lookup miss = %v, %v; want false, nil", ok, err)
+	}
+	// Keys embed ':' and arch signatures; they must round-trip the URL.
+	gnarly := "abc123def456:a8m2r128p1l4c2/x"
+	cache.Put("G", gnarly, entry(2))
+	if e, ok, err := cl.Lookup("G", gnarly); err != nil || !ok || e != entry(2) {
+		t.Fatalf("gnarly key Lookup = %+v, %v, %v", e, ok, err)
+	}
+}
+
+func TestStoreBatchAndMissing(t *testing.T) {
+	cl, cache := newPeer(t)
+	recs := []evcache.Record{
+		{Key: "k1", Entry: entry(1)},
+		{Key: "k2", Entry: entry(2)},
+	}
+	if err := cl.StoreBatch("G", recs); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if e, ok := cache.Peek("G", r.Key); !ok || e != r.Entry {
+			t.Errorf("server cache %s = %+v, %v after StoreBatch", r.Key, e, ok)
+		}
+	}
+	miss, err := cl.Missing("G", []string{"k1", "k2", "k3"})
+	if err != nil || len(miss) != 1 || miss[0] != "k3" {
+		t.Fatalf("Missing = %v, %v; want [k3]", miss, err)
+	}
+}
+
+func TestNoCacheAttachedIsMiss(t *testing.T) {
+	srv := serve.New(serve.Options{Workers: 1, QueueDepth: 4})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	cl := fleetcache.New(hs.URL, hs.Client())
+	// GET against a cacheless peer is a plain miss.
+	if _, ok, err := cl.Lookup("G", "k"); ok || err != nil {
+		t.Errorf("cacheless Lookup = %v, %v; want miss, nil", ok, err)
+	}
+	// PUT is an error (404), surfaced so write-behind counts the drop.
+	if err := cl.StoreBatch("G", []evcache.Record{{Key: "k", Entry: entry(1)}}); err == nil {
+		t.Error("StoreBatch against cacheless peer succeeded")
+	}
+}
+
+// TestFingerprintRefusedOnGet: an entry served under a wrong backend
+// fingerprint must be refused with an error (feeding the circuit
+// breaker), never returned as a hit.
+func TestFingerprintRefusedOnGet(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(fleetcache.FingerprintHeader, "bogus-backend-v0")
+		json.NewEncoder(w).Encode(entry(1))
+	}))
+	defer hs.Close()
+	cl := fleetcache.New(hs.URL, hs.Client())
+	if _, ok, err := cl.Lookup("G", "k"); ok || err == nil {
+		t.Fatalf("skewed-fingerprint Lookup = %v, %v; want refused error", ok, err)
+	}
+}
+
+// TestCorruptEntryRefused: a 200 with garbage JSON is refused with an
+// error, not decoded into a zero entry.
+func TestCorruptEntryRefused(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(fleetcache.FingerprintHeader, sched.Fingerprint())
+		w.Write([]byte("!!not json!!"))
+	}))
+	defer hs.Close()
+	cl := fleetcache.New(hs.URL, hs.Client())
+	if _, ok, err := cl.Lookup("G", "k"); ok || err == nil {
+		t.Fatalf("corrupt-body Lookup = %v, %v; want refused error", ok, err)
+	}
+}
+
+// TestPutFingerprintRefused: the server 409s a version-skewed batch and
+// admits nothing.
+func TestPutFingerprintRefused(t *testing.T) {
+	cl, cache := newPeer(t)
+	body, _ := json.Marshal(fleetcache.PutRequest{
+		Fingerprint: "bogus-backend-v0",
+		Schema:      evcache.SchemaVersion,
+		Put:         []evcache.Record{{Key: "poison", Entry: entry(1)}},
+	})
+	resp, err := http.Post(cl.BaseURL()+"/v1/cache/G", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("skewed put status = %s, want 409", resp.Status)
+	}
+	if _, ok := cache.Peek("G", "poison"); ok {
+		t.Error("skewed batch was admitted")
+	}
+}
+
+// TestRemoteUnreachable: connection errors surface as errors (for the
+// circuit breaker), not as misses or panics.
+func TestRemoteUnreachable(t *testing.T) {
+	cl := fleetcache.New("http://127.0.0.1:1", nil) // nothing listens on port 1
+	if _, _, err := cl.Lookup("G", "k"); err == nil {
+		t.Error("Lookup against dead peer returned nil error")
+	}
+	if err := cl.StoreBatch("G", []evcache.Record{{Key: "k", Entry: entry(1)}}); err == nil {
+		t.Error("StoreBatch against dead peer returned nil error")
+	}
+}
+
+// TestTieredOverHTTP wires the full two-level composition over a real
+// HTTP peer: local miss → read-through hit; local compute → write-behind
+// lands on the peer.
+func TestTieredOverHTTP(t *testing.T) {
+	cl, peerCache := newPeer(t)
+	peerCache.Put("G", "warm", entry(9))
+
+	local, err := evcache.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local.SetRemote(cl, evcache.RemoteOptions{})
+	defer local.Close()
+
+	// Read-through: no compute for a fleet-warm key.
+	e, hit := local.Do("G", "warm", func() evcache.Entry { return entry(0) })
+	if !hit || e != entry(9) {
+		t.Fatalf("read-through Do = %+v, %v", e, hit)
+	}
+	// Write-behind: a local compute becomes fleet-visible.
+	local.Do("G", "cold", func() evcache.Entry { return entry(5) })
+	local.SyncRemote()
+	if got, ok := peerCache.Peek("G", "cold"); !ok || got != entry(5) {
+		t.Errorf("peer cache after write-behind = %+v, %v", got, ok)
+	}
+	st := local.Stats()
+	if st.NetHits != 1 || st.Computes != 1 || st.WriteBehindFlushed != 1 {
+		t.Errorf("stats %+v: want 1 net hit, 1 compute, 1 flushed", st)
+	}
+}

@@ -245,6 +245,13 @@ type ExploreRequest struct {
 	// job's spans then join that trace and come back in JobStatus.Spans.
 	// Excluded from coalescing: it never affects the result.
 	TraceParent string `json:"traceparent,omitempty"`
+	// Cache, when "off", runs this job without the server's shared
+	// evaluation cache — the distributed coordinator propagates its
+	// operator's -cache=off fleet-wide with it. Excluded from
+	// coalescing: results are bit-identical with or without the cache
+	// (pinned by the golden cold/warm server tests), only the work
+	// performed differs.
+	Cache string `json:"cache,omitempty"`
 }
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
@@ -288,7 +295,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	// deterministic regardless of them.
 	keyReq := req
 	keyReq.TraceParent = ""
+	keyReq.Cache = ""
 	key := coalesceKey("explore", keyReq)
+	cache := s.opts.Cache
+	if req.Cache == "off" {
+		cache = nil
+	}
 	s.respondSubmit(w, remote, "explore", key, func(ctx context.Context, j *Job) (json.RawMessage, error) {
 		res, err := core.Explore(ctx, core.ExploreOptions{
 			Benchmarks:  benches,
@@ -297,16 +309,28 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			Sample:      req.Sample,
 			Width:       req.Width,
 			Parallelism: s.opts.EvalParallelism,
-			Cache:       s.opts.Cache,
+			Cache:       cache,
 			Progress:    progressPublisher(j),
 		})
 		if err != nil {
 			return nil, err
 		}
+		if cache != nil {
+			s.noteCacheUse(benchNames(benches)...)
+		}
 		// The result is the exact schema dse.Save persists, so a client
 		// can feed it straight back to cfp-explore -load / cfp-frontier.
 		return res.JSON()
 	})
+}
+
+// benchNames maps benchmarks to their cache-shard names.
+func benchNames(bs []*bench.Benchmark) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	return out
 }
 
 // FitRequest asks for the paper's custom-fit loop: explore, then select
@@ -319,6 +343,9 @@ type FitRequest struct {
 	Range  float64 `json:"range,omitempty"`
 	Sample int     `json:"sample,omitempty"`
 	Width  int     `json:"width,omitempty"`
+	// Cache "off" bypasses the server's shared evaluation cache (see
+	// ExploreRequest.Cache). Excluded from coalescing: result-neutral.
+	Cache string `json:"cache,omitempty"`
 }
 
 // FitResultJSON is a fit job's payload.
@@ -349,7 +376,13 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	if req.Width <= 0 {
 		req.Width = 96
 	}
-	key := coalesceKey("fit", req)
+	keyReq := req
+	keyReq.Cache = ""
+	key := coalesceKey("fit", keyReq)
+	cache := s.opts.Cache
+	if req.Cache == "off" {
+		cache = nil
+	}
 	s.respondSubmit(w, remoteContext(r), "fit", key, func(ctx context.Context, j *Job) (json.RawMessage, error) {
 		fit, err := core.CustomFitCtx(ctx, core.FitOptions{
 			Benchmarks:  benches,
@@ -358,11 +391,14 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 			Sample:      req.Sample,
 			Width:       req.Width,
 			Parallelism: s.opts.EvalParallelism,
-			Cache:       s.opts.Cache,
+			Cache:       cache,
 			Progress:    progressPublisher(j),
 		})
 		if err != nil {
 			return nil, err
+		}
+		if cache != nil {
+			s.noteCacheUse(benchNames(benches)...)
 		}
 		return json.Marshal(FitResultJSON{
 			Best:     fit.Best.String(),

@@ -13,6 +13,12 @@
 // pipeline is deterministic, so equal requests have equal answers), and
 // concurrent distinct explorations still share work through the
 // arch-signature memo and the optional persistent evaluation cache.
+// When a cache is attached it is additionally served to the fleet:
+// GET /v1/cache/{shard}/{key} and batched POST /v1/cache/{shard}
+// (put/has) make this process a cache peer other workers read through
+// and write behind to (see internal/fleetcache and docs/DISTRIBUTED.md),
+// with fingerprint-gated admission and optional reference-counted GC
+// (Options.CacheGCEntries).
 // GET /healthz reports liveness (503 while draining); GET /metrics
 // dumps the obs collector's counters, gauges and span totals.
 package serve
@@ -51,8 +57,16 @@ type Options struct {
 	EvalParallelism int
 	// Cache is a pre-opened persistent evaluation cache shared by every
 	// job (optional; caller keeps ownership and closes it after
-	// Shutdown).
+	// Shutdown). When set it is also served to the fleet over
+	// GET/POST /v1/cache/{shard} (see internal/fleetcache).
 	Cache *evcache.Cache
+	// CacheGCEntries, when > 0, bounds the shared cache's resident
+	// entries: once exceeded, shards not referenced by any of the last
+	// CacheGCJobs jobs (or cache requests) are dropped whole —
+	// reference-counted GC for a long-lived server.
+	CacheGCEntries int
+	// CacheGCJobs is the GC reference window (default 32).
+	CacheGCJobs int
 	// MaxJobs bounds retained terminal jobs (default 256); the oldest
 	// finished jobs are evicted first. Live jobs are never evicted.
 	MaxJobs int
@@ -82,6 +96,10 @@ type Server struct {
 	baseCtx   context.Context
 	baseStop  context.CancelFunc
 	closeOnce sync.Once
+
+	// gc is the shared cache's reference-counted GC (nil when
+	// CacheGCEntries is 0).
+	gc *cacheGC
 
 	mu       sync.Mutex
 	draining bool
@@ -123,6 +141,7 @@ func New(opts Options) *Server {
 		baseStop:  stop,
 		jobs:      make(map[string]*Job),
 		inflight:  make(map[string]*Job),
+		gc:        newCacheGC(opts.CacheGCEntries, opts.CacheGCJobs),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
@@ -132,6 +151,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/cache/{shard}/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("POST /v1/cache/{shard}", s.handleCachePut)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < opts.Workers; i++ {
@@ -511,6 +532,9 @@ func (s *Server) setLiveGauges() {
 	c.SetGauge("serve.jobs_state_failed", float64(counts[StateFailed]))
 	c.SetGauge("serve.jobs_state_cancelled", float64(counts[StateCancelled]))
 	c.SetGauge("serve.uptime_seconds", time.Since(s.started).Seconds())
+	if s.opts.Cache != nil {
+		c.SetGauge("serve.cache_resident_entries", float64(s.opts.Cache.Resident()))
+	}
 }
 
 // handleMetrics serves the collector in two formats, content-negotiated
