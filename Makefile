@@ -30,7 +30,7 @@ staticcheck:
 # under the race detector. Explicit -timeout so a deadlock fails the
 # build with goroutine dumps instead of hanging CI to its job limit.
 race:
-	$(GO) test -race -timeout 20m ./internal/obs/... ./internal/dse/... ./internal/sched/... ./internal/evcache/... ./internal/fleetcache/... ./internal/serve/... ./internal/dist/...
+	$(GO) test -race -timeout 20m ./internal/obs/... ./internal/dse/... ./internal/sched/... ./internal/evcache/... ./internal/fleetcache/... ./internal/serve/... ./internal/dist/... ./internal/ops/...
 
 # One-iteration pass over the exploration and fleet benchmarks: catches
 # bit-rot in the benchmark harness without paying for a real measurement.
@@ -60,7 +60,11 @@ bench:
 # regressed beyond its limit against the recorded trajectory in
 # BENCH_explore.json. Repeats gated on the minimum, so scheduler noise
 # cannot fail an unchanged tree. BenchmarkExploreSubset gates ns/op and
-# allocs/op at 10%. BenchmarkFleetWarm gates ns/op only, at 30%: its
+# allocs/op at 10%. BenchmarkExploreOpsSubset (the op-crossed grid, so
+# pattern rewrite and custom-unit scheduling are on the measured path)
+# gates ns/op only, at 15% — fused placement makes its allocation
+# profile noisier than the op-free twin. BenchmarkFleetWarm gates
+# ns/op only, at 30%: its
 # per-op time is dominated by HTTP round trips and job-poll alignment
 # (tens-of-ms scale), which even a minimum-of-repeats does not fully
 # de-noise — while a broken cache tier (recomputing instead of reading
@@ -69,6 +73,9 @@ bench:
 bench-diff:
 	$(GO) test -run '^$$' -bench BenchmarkExploreSubset -benchtime 3x -count 3 ./internal/dse/ | \
 		$(GO) run ./cmd/cfp-benchjson -against BENCH_explore.json
+	$(GO) test -run '^$$' -bench BenchmarkExploreOpsSubset -benchtime 3x -count 3 ./internal/dse/ | \
+		$(GO) run ./cmd/cfp-benchjson -against BENCH_explore.json \
+			-regress-bench BenchmarkExploreOpsSubset -regress-metrics ns/op -max-regress 0.15
 	$(GO) test -run '^$$' -bench BenchmarkFleetWarm -benchtime 10x -count 3 ./internal/dist/ | \
 		$(GO) run ./cmd/cfp-benchjson -against BENCH_explore.json \
 			-regress-bench BenchmarkFleetWarm -regress-metrics ns/op -max-regress 0.30

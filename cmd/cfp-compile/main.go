@@ -33,6 +33,7 @@ func main() {
 		benchName = flag.String("bench", "", "compile a built-in benchmark (A..H, GF, GEF, DH, DHEF) instead of a file")
 		unroll    = flag.Int("unroll", 1, "pixel-loop unroll factor")
 		dumpIR    = flag.Bool("ir", false, "print the lowered IR and exit")
+		dumpOps   = flag.Bool("dump-ops", false, "mine custom-op candidates from the benchmark's dataflow graph (requires -bench) and exit")
 		quiet     = flag.Bool("quiet", false, "print statistics only, not the assembly")
 	)
 	tool = cli.NewTool("cfp-compile")
@@ -41,6 +42,26 @@ func main() {
 		fatal(err)
 	}
 	defer tool.Close()
+
+	if *dumpOps {
+		b := bench.ByName(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("-dump-ops needs -bench NAME (mining weighs patterns by the reference workload's execution frequencies)"))
+		}
+		cands, err := core.MineOps([]*bench.Benchmark{b}, 0)
+		if err != nil {
+			fatal(err)
+		}
+		if len(cands) == 0 {
+			fmt.Printf("; %s: no fusable clusters found\n", b.Name)
+			return
+		}
+		fmt.Printf("; %s: %d custom-op candidates (frequency × latency saved, best first)\n", b.Name, len(cands))
+		for _, c := range cands {
+			fmt.Printf("%-40s ; count=%.0f saving=%d score=%.0f\n", c.Spec, c.Count, c.Saving, c.Score)
+		}
+		return
+	}
 
 	src, name, err := loadSource(*benchName, flag.Args())
 	if err != nil {

@@ -43,6 +43,7 @@ import (
 
 	"customfit/internal/bench"
 	"customfit/internal/cli"
+	"customfit/internal/core"
 	"customfit/internal/dist"
 	"customfit/internal/dse"
 	"customfit/internal/machine"
@@ -96,7 +97,7 @@ func main() {
 		corr       = flag.Bool("correction", false, "run the cluster-correction validation study and exit")
 		repertoire = flag.Bool("repertoire", false, "run the min/max ALU repertoire study and exit")
 	)
-	tool = cli.NewTool("cfp-explore", cli.WithCache())
+	tool = cli.NewTool("cfp-explore", cli.WithCache(), cli.WithOps())
 	flag.Parse()
 	if err := tool.Start(); err != nil {
 		fatal(err)
@@ -158,6 +159,15 @@ func main() {
 		if werr != nil {
 			fatal(werr)
 		}
+		// Custom-op axis: "off" (nil set) keeps the exploration
+		// bit-identical to the 6-tuple era; "auto" mines the suite.
+		opSet, oerr := core.ResolveOps(*tool.OpsSel, bench.All(), *width, *tool.OpsN)
+		if oerr != nil {
+			fatal(oerr)
+		}
+		if opSet != nil {
+			fmt.Fprintf(os.Stderr, "custom ops: %s\n", strings.Join(opSet.Wire(), " | "))
+		}
 		// Ctrl-C stops scheduling new evaluations (and, distributed,
 		// drains the fleet's in-flight shard jobs) and exits promptly
 		// instead of killing the process mid-flight (telemetry and the
@@ -177,6 +187,7 @@ func main() {
 				Workers:    fleet,
 				Width:      *width,
 				Sample:     *sample,
+				Ops:        opSet,
 				Cache:      cache,
 				PushWarmup: *cachePush,
 				CacheMode:  tool.CacheCfg.Mode,
@@ -192,11 +203,14 @@ func main() {
 				fatal(cerr)
 			}
 			e.Cache = cache
-			if *sample > 1 {
-				full := machine.FullSpace()
-				var archs []machine.Arch
-				for i := 0; i < len(full); i += *sample {
-					archs = append(archs, full[i])
+			if *sample > 1 || opSet != nil {
+				archs := machine.FullSpace()
+				if *sample > 1 {
+					var thinned []machine.Arch
+					for i := 0; i < len(archs); i += *sample {
+						thinned = append(thinned, archs[i])
+					}
+					archs = thinned
 				}
 				// The baseline must be present for speedups.
 				hasBase := false
@@ -207,6 +221,9 @@ func main() {
 				}
 				if !hasBase {
 					archs = append(archs, machine.Baseline)
+				}
+				if opSet != nil {
+					archs = machine.CrossOps(archs, opSet, machine.DefaultMasks(opSet))
 				}
 				e.Archs = archs
 			}

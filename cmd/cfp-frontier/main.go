@@ -23,8 +23,11 @@ import (
 	"strconv"
 	"strings"
 
+	"customfit/internal/bench"
 	"customfit/internal/cli"
+	"customfit/internal/core"
 	"customfit/internal/dse"
+	"customfit/internal/machine"
 	"customfit/internal/tables"
 )
 
@@ -36,7 +39,7 @@ func main() {
 		save    = flag.String("save", "", "with -explore: save the results to this JSON file")
 		width   = flag.Int("width", 96, "with -explore: reference workload width in pixels")
 	)
-	tool := cli.NewTool("cfp-frontier", cli.WithCache())
+	tool := cli.NewTool("cfp-frontier", cli.WithCache(), cli.WithOps())
 	flag.Parse()
 	if err := tool.Start(); err != nil {
 		tool.Fatal(err)
@@ -46,8 +49,16 @@ func main() {
 	var res *dse.Results
 	var err error
 	if *explore {
+		opSet, oerr := core.ResolveOps(*tool.OpsSel, bench.All(), *width, *tool.OpsN)
+		if oerr != nil {
+			tool.Fatal(oerr)
+		}
 		e := dse.NewExplorer()
 		e.Width = *width
+		if opSet != nil {
+			fmt.Printf("custom ops: %s\n", strings.Join(opSet.Wire(), " | "))
+			e.Archs = machine.CrossOps(machine.FullSpace(), opSet, machine.DefaultMasks(opSet))
+		}
 		cache, cerr := tool.OpenCache()
 		if cerr != nil {
 			tool.Fatal(cerr)
@@ -84,4 +95,75 @@ func main() {
 		}
 		fmt.Printf("%-5s max speedup %.2fx at cost %.1f on %s\n", n, best, cost, arch)
 	}
+	opsGains(res, names)
+}
+
+// opsGains reports, for op-aware explorations, each benchmark's best
+// simulated-cycle improvement from enabling custom ops on a machine
+// versus the same base machine without them (the datapath is the same
+// 6-tuple; the cost delta is exactly the op hardware's price). Silent
+// when the results carry no op-enabled architectures.
+func opsGains(res *dse.Results, names []string) {
+	hasOps := false
+	for _, a := range res.Archs {
+		if !a.Ops.Empty() {
+			hasOps = true
+			break
+		}
+	}
+	if !hasOps {
+		return
+	}
+	fmt.Println("\n== Custom-op gains (best cycle improvement vs the same machine without ops) ==")
+	improved := 0
+	for _, n := range names {
+		evs := res.Eval[n]
+		// Best op-free cycles per base 6-tuple.
+		plain := map[machine.Arch]int64{}
+		for _, ev := range evs {
+			if ev.Failed || !ev.Arch.Ops.Empty() {
+				continue
+			}
+			if c, ok := plain[ev.Arch]; !ok || ev.Cycles < c {
+				plain[ev.Arch] = ev.Cycles
+			}
+		}
+		type gain struct {
+			pct        float64
+			was, now   int64
+			cost, base float64
+			arch       machine.Arch
+		}
+		var best *gain
+		for _, ev := range evs {
+			if ev.Failed || ev.Arch.Ops.Empty() {
+				continue
+			}
+			base := ev.Arch
+			base.Ops = machine.OpConfig{}
+			was, ok := plain[base]
+			if !ok || ev.Cycles >= was {
+				continue
+			}
+			g := gain{
+				pct:  100 * float64(was-ev.Cycles) / float64(was),
+				was:  was,
+				now:  ev.Cycles,
+				cost: machine.DefaultCostModel.Cost(ev.Arch),
+				base: machine.DefaultCostModel.Cost(base),
+				arch: ev.Arch,
+			}
+			if best == nil || g.pct > best.pct {
+				best = &g
+			}
+		}
+		if best == nil {
+			fmt.Printf("%-5s no cycle improvement from the op set\n", n)
+			continue
+		}
+		improved++
+		fmt.Printf("%-5s cycles %d -> %d  (-%.1f%%)  cost %.2f -> %.2f  on %s\n",
+			n, best.was, best.now, best.pct, best.base, best.cost, best.arch)
+	}
+	fmt.Printf("custom ops improved simulated cycles on %d/%d benchmarks\n", improved, len(names))
 }

@@ -39,7 +39,7 @@ func main() {
 		width     = flag.Int("width", 64, "reference workload width")
 		noDelta   = flag.Bool("no-delta", false, "disable delta compilation (block-schedule reuse across neighboring architectures; see docs/PERFORMANCE.md)")
 	)
-	tool := cli.NewTool("cfp-search", cli.WithCache(), cli.WithPrune(true))
+	tool := cli.NewTool("cfp-search", cli.WithCache(), cli.WithPrune(true), cli.WithOps())
 	flag.Parse()
 	if err := tool.Start(); err != nil {
 		tool.Fatal(err)
@@ -54,15 +54,24 @@ func main() {
 	if err != nil {
 		tool.Fatal(err)
 	}
+	opSet, err := core.ResolveOps(*tool.OpsSel, []*bench.Benchmark{b}, *width, *tool.OpsN)
+	if err != nil {
+		tool.Fatal(err)
+	}
 	space := search.SubLattice()
+	machines := (len(space) + *sample - 1) / max(*sample, 1)
+	if opSet != nil {
+		machines *= 2 // every point also appears with the full op set enabled
+	}
 	fmt.Printf("fitting %s under cost %.1f over %d machines (search sub-lattice)\n",
-		b.Name, *costCap, (len(space)+*sample-1)/max(*sample, 1))
+		b.Name, *costCap, machines)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	results, err := core.SearchCompare(ctx, core.SearchOptions{
 		Benchmark:    b,
 		CostCap:      *costCap,
 		Space:        space,
+		Ops:          opSet,
 		Sample:       *sample,
 		Width:        *width,
 		Seed:         *seed,

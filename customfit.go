@@ -28,6 +28,7 @@ import (
 	"customfit/internal/bench"
 	"customfit/internal/core"
 	"customfit/internal/dse"
+	"customfit/internal/ir"
 	"customfit/internal/machine"
 	"customfit/internal/search"
 )
@@ -41,12 +42,56 @@ var (
 	ErrBadKernel  = core.ErrBadKernel
 )
 
-// Arch is an architecture in the paper's template, the 6-tuple
-// (ALUs, MULs, Regs, L2Ports, L2Lat, Clusters).
+// Arch is an architecture in the paper's template: the 6-tuple
+// (ALUs, MULs, Regs, L2Ports, L2Lat, Clusters), optionally extended
+// with an enabled subset of a custom-op catalog (Arch.Ops).
 type Arch = machine.Arch
 
 // Baseline is the paper's reference machine (cost 1.0, derating 1.0).
 var Baseline = machine.Baseline
+
+// CustomOp is one fused-instruction candidate: a short dataflow of
+// two-input ALU/MUL steps collapsed into a single multi-input
+// operation (a MAC, an SAD step, a clip...). Parse one from its codec
+// text with ParseCustomOp; mine them from kernels with MineOps.
+type CustomOp = ir.FusedSpec
+
+// OpSet is an immutable catalog of custom ops an exploration may draw
+// from. Construct with NewOpSet or Template.Ops; architectures enable
+// subsets of a catalog via Arch.WithOps.
+type OpSet = machine.OpSet
+
+// ParseCustomOp parses a custom op from its codec text, e.g.
+//
+//	mac/3/2: mul $0 $1; add %0 $2
+//
+// ($i = external input i, %i = result of step i, name/nin/lat header).
+func ParseCustomOp(text string) (*CustomOp, error) { return ir.ParseFusedSpec(text) }
+
+// NewOpSet interns a catalog of custom ops. Equal catalogs (same specs
+// in the same order) return the identical *OpSet, so architectures
+// drawing from them stay comparable with ==.
+func NewOpSet(specs []*CustomOp) (*OpSet, error) { return machine.NewOpSet(specs) }
+
+// Template is the extensible architecture template of the redesigned
+// API: the paper's 6-tuple axes plus an optional custom-op catalog.
+// The zero Template is exactly the paper's template.
+type Template struct {
+	// Ops, when non-nil, adds the op-set axis to the design space:
+	// every 6-tuple point is crossed with the enable masks of
+	// machine.DefaultMasks (none, all).
+	Ops *OpSet
+}
+
+// Space enumerates the template's concrete design points. With a nil
+// catalog it is exactly FullSpace.
+func (t Template) Space() []Arch {
+	space := machine.FullSpace()
+	if t.Ops == nil {
+		return space
+	}
+	return machine.CrossOps(space, t.Ops, machine.DefaultMasks(t.Ops))
+}
 
 // Kernel is a parsed CKC kernel; Compiled is a kernel scheduled for one
 // concrete machine.
@@ -93,6 +138,15 @@ func BenchmarkByName(name string) *Benchmark { return bench.ByName(name) }
 
 // Benchmarks returns the paper's full suite.
 func Benchmarks() []*Benchmark { return bench.All() }
+
+// MineOps mines custom-op candidates from the benchmarks' kernel
+// dataflow graphs on the reference workloads and returns the
+// top-scoring catalog of at most n ops (a small default when n <= 0),
+// or nil when no cluster qualifies. Feed the result to Template,
+// ExploreOptions.Ops, or FitOptions.Ops.
+func MineOps(benchmarks []*Benchmark, n int) (*OpSet, error) {
+	return core.AutoOps(benchmarks, 0, n)
+}
 
 // DesignSpace enumerates the unclustered design points of the paper's
 // search space; FullSpace adds every valid cluster arrangement.

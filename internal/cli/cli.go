@@ -15,6 +15,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 
 	"customfit/internal/evcache"
@@ -38,6 +39,41 @@ func ParseArch(s string) (machine.Arch, error) {
 		return a, err
 	}
 	return a, nil
+}
+
+// ParseArchOps parses the op-aware wire tuple: the positional 6-tuple
+// optionally followed by " ops=<hexmask>" naming an enable mask over
+// set (FormatArch's output). A suffix with a nil set is an error — the
+// receiver has no catalog to resolve the mask against.
+func ParseArchOps(s string, set *machine.OpSet) (machine.Arch, error) {
+	tuple, suffix, found := strings.Cut(s, " ops=")
+	a, err := ParseArch(tuple)
+	if err != nil || !found {
+		return a, err
+	}
+	if set == nil {
+		return a, fmt.Errorf("op-enabled architecture %q without an op catalog", s)
+	}
+	mask, err := strconv.ParseUint(suffix, 16, 64)
+	if err != nil {
+		return a, fmt.Errorf("bad op mask in %q: %v", s, err)
+	}
+	a = a.WithOps(set, mask)
+	if err := a.Validate(); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+// FormatArch renders an architecture in the positional wire form
+// ParseArchOps reads: "a m r p2 l2 c", plus " ops=<hexmask>" when the
+// architecture enables custom ops.
+func FormatArch(a machine.Arch) string {
+	s := fmt.Sprintf("%d %d %d %d %d %d", a.ALUs, a.MULs, a.Regs, a.L2Ports, a.L2Lat, a.Clusters)
+	if !a.Ops.Empty() {
+		s += " ops=" + strconv.FormatUint(a.Ops.Mask, 16)
+	}
+	return s
 }
 
 // Telemetry carries the standard observability flag values and the
@@ -142,6 +178,11 @@ type Tool struct {
 	CacheCfg *CacheConfig
 	// Prune is non-nil when WithPrune registered -prune.
 	Prune *bool
+	// OpsSel / OpsN are non-nil when WithOps registered -ops/-ops-n:
+	// the custom-op selector ("off", "auto" or a catalog file path —
+	// resolve with core.ResolveOps) and the auto-mined set size.
+	OpsSel *string
+	OpsN   *int
 
 	// LogFormat and LogLevel hold the -log-format/-log-level values;
 	// Start builds the process-global structured logger from them.
@@ -173,6 +214,17 @@ type ToolOption func(*Tool, *flag.FlagSet)
 // (-cache-dir, -cache).
 func WithCache() ToolOption {
 	return func(t *Tool, fs *flag.FlagSet) { t.CacheCfg = AddCacheFlagsTo(fs) }
+}
+
+// WithOps registers -ops and -ops-n: the custom-op axis of the
+// extensible architecture template (docs/CUSTOMOPS.md).
+func WithOps() ToolOption {
+	return func(t *Tool, fs *flag.FlagSet) {
+		t.OpsSel = fs.String("ops", "off",
+			`custom-op axis: "off" (the paper's 6-tuple template), "auto" (mine fused-op candidates from the benchmarks' dataflow graphs), or a catalog FILE of op specs, one "name/nin/lat: step; ..." per line`)
+		t.OpsN = fs.Int("ops-n", 0,
+			"with -ops=auto, keep the top N mined candidates (0 = default)")
+	}
 }
 
 // WithPrune registers -prune with the given default (bound-guided

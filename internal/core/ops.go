@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"customfit/internal/bench"
+	"customfit/internal/dse"
+	"customfit/internal/machine"
+	"customfit/internal/ops"
+)
+
+// MineOps mines custom-op candidates from the benchmarks' kernel DDGs
+// on the standard reference workload (see internal/ops and
+// docs/CUSTOMOPS.md), ranked best-first by frequency × latency saved.
+func MineOps(benchmarks []*bench.Benchmark, width int) ([]ops.Candidate, error) {
+	ev := dse.NewEvaluator()
+	if width > 0 {
+		ev.Width = width
+	}
+	return ev.MineOps(benchmarks)
+}
+
+// AutoOps mines the benchmarks and selects the top-scoring op set of at
+// most n specs (the dse default when n <= 0); nil when nothing
+// qualifies.
+func AutoOps(benchmarks []*bench.Benchmark, width, n int) (*machine.OpSet, error) {
+	ev := dse.NewEvaluator()
+	if width > 0 {
+		ev.Width = width
+	}
+	return ev.AutoOps(benchmarks, n)
+}
+
+// ResolveOps resolves a CLI-style op-set selector (the -ops flag):
+//
+//   - "" or "off": nil (the classic 6-tuple exploration);
+//   - "auto": mine the benchmarks and keep the top n candidates
+//     (default size when n <= 0);
+//   - anything else: a path to a catalog file of codec texts
+//     ("mac/3/2: mul $0 $1; add %0 $2"), one per line, with '#'
+//     comments and blank lines ignored.
+func ResolveOps(sel string, benchmarks []*bench.Benchmark, width, n int) (*machine.OpSet, error) {
+	switch sel {
+	case "", "off":
+		return nil, nil
+	case "auto":
+		return AutoOps(benchmarks, width, n)
+	}
+	data, err := os.ReadFile(sel)
+	if err != nil {
+		return nil, fmt.Errorf("customfit: op catalog: %w", err)
+	}
+	var texts []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		texts = append(texts, line)
+	}
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("customfit: op catalog %s is empty", sel)
+	}
+	set, err := machine.ParseOpCatalog(texts)
+	if err != nil {
+		return nil, fmt.Errorf("customfit: op catalog %s: %w", sel, err)
+	}
+	return set, nil
+}

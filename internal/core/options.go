@@ -68,8 +68,16 @@ type ExploreOptions struct {
 	// requests this way. External callers use CacheDir instead.
 	Cache *evcache.Cache
 	// Progress, if set, receives monotonically increasing snapshots
-	// while exploring (see dse.Explorer.Progress for the contract).
+	// while exploring (see dse.ProgressInfo for the contract).
 	Progress func(dse.ProgressInfo)
+	// Ops, when non-nil, crosses the explored grid with the custom-op
+	// axis: every architecture appears once op-free and once with the
+	// whole catalog enabled (machine.CrossOps with machine.DefaultMasks;
+	// per-op granularity is the search strategies' job). Nil keeps the
+	// classic 6-tuple exploration bit-identical. Ignored under
+	// ExactArchs — there the caller crosses the grid itself (the
+	// distributed coordinator pre-crosses before sharding).
+	Ops *machine.OpSet
 }
 
 // resolveArchs applies Archs and Sample, keeping the baseline present
@@ -89,7 +97,11 @@ func (o *ExploreOptions) resolveArchs() []machine.Arch {
 		}
 		archs = thinned
 	}
-	return ensureBaseline(archs)
+	archs = ensureBaseline(archs)
+	if o.Ops != nil {
+		archs = machine.CrossOps(archs, o.Ops, machine.DefaultMasks(o.Ops))
+	}
+	return archs
 }
 
 // openCache resolves the cache the options ask for: the pre-opened one,
@@ -162,6 +174,10 @@ type FitOptions struct {
 	Cache *evcache.Cache
 	// Progress as in ExploreOptions.
 	Progress func(dse.ProgressInfo)
+	// Ops as in ExploreOptions: crosses the fitted grid with the
+	// custom-op axis, letting the selection trade datapath area for
+	// fused-instruction cycles under the same cost cap.
+	Ops *machine.OpSet
 }
 
 // CustomFitCtx explores the space and selects the best architecture for
@@ -181,6 +197,7 @@ func CustomFitCtx(ctx context.Context, opts FitOptions) (*FitResult, error) {
 		CacheDir:    opts.CacheDir,
 		Cache:       opts.Cache,
 		Progress:    opts.Progress,
+		Ops:         opts.Ops,
 	})
 	if err != nil {
 		return nil, err
@@ -198,6 +215,10 @@ type SearchOptions struct {
 	CostCap float64
 	// Space restricts the candidate set (nil = search.SubLattice()).
 	Space []machine.Arch
+	// Ops, when non-nil, crosses the (possibly sampled) space with the
+	// custom-op catalog (machine.CrossOps with the default masks); the
+	// strategies then explore op toggles as single-parameter moves.
+	Ops *machine.OpSet
 	// Sample > 1 keeps every Nth machine of the space.
 	Sample int
 	// Width is the reference workload width (default 64, matching
@@ -234,6 +255,9 @@ func SearchCompare(ctx context.Context, opts SearchOptions) ([]search.Result, er
 			thinned = append(thinned, space[i])
 		}
 		space = thinned
+	}
+	if opts.Ops != nil {
+		space = machine.CrossOps(space, opts.Ops, machine.DefaultMasks(opts.Ops))
 	}
 	ev := dse.NewEvaluator()
 	ev.DisableDelta = opts.DisableDelta

@@ -53,6 +53,10 @@ type Graph struct {
 // Latency returns the def-use latency of an instruction's result.
 func Latency(in *ir.Instr, arch machine.Arch) int {
 	switch in.Op {
+	case ir.OpFused:
+		// Custom ops execute on the dedicated chained-datapath unit;
+		// the spec carries its modeled latency (ir.FusedSpec.ChainLatency).
+		return in.Fused.Lat
 	case ir.OpMul:
 		return machine.LatMUL
 	case ir.OpLoad:

@@ -58,6 +58,13 @@ type Options struct {
 	Benchmarks []*bench.Benchmark
 	// Archs restricts the space (nil = machine.FullSpace()).
 	Archs []machine.Arch
+	// Ops, when non-nil, crosses the grid with the custom-op catalog
+	// exactly like a local run (core.ExploreOptions.Ops): every machine
+	// is explored op-free and with the full catalog enabled. Shards of
+	// op-enabled architectures carry the catalog and an explicit request
+	// schema on the wire; op-unaware workers refuse them (409) and the
+	// admission fingerprint gate keeps them out of the fleet entirely.
+	Ops *machine.OpSet
 	// Sample > 1 keeps every Nth machine, baseline always retained —
 	// identical to a local run's thinning.
 	Sample int
@@ -223,7 +230,11 @@ func Explore(ctx context.Context, opts Options) (*dse.Results, error) {
 	for _, w := range fleet {
 		capacity += w.capacity
 	}
-	grid := resolveGrid(o.Archs, o.Sample)
+	grid := resolveGrid(o.Archs, o.Sample, o.Ops)
+	opSet, err := gridOpSet(grid)
+	if err != nil {
+		return nil, err
+	}
 	units := partitionUnits(grid, benches, capacity*o.ShardsPerWorker)
 	dispatchable := 0
 	for _, u := range units {
@@ -238,12 +249,17 @@ func Explore(ctx context.Context, opts Options) (*dse.Results, error) {
 		Int("archs", int64(len(grid))).
 		Str("trace", sp.Context().Trace.String()).Log()
 
+	var opsWire []string
+	if opSet != nil {
+		opsWire = opSet.Wire()
+	}
 	c := &coordinator{
 		opts:     o,
 		client:   cl,
 		fleet:    fleet,
 		units:    units,
 		grid:     grid,
+		opsWire:  opsWire,
 		benches:  benches,
 		root:     sp,
 		events:   make(chan outcome, len(units)+len(fleet)),
@@ -310,6 +326,9 @@ type coordinator struct {
 	units   []*unit
 	grid    []machine.Arch
 	benches []*bench.Benchmark
+	// opsWire is the grid's shared custom-op catalog in wire form (nil
+	// for op-free grids); shards whose tuples enable ops carry it.
+	opsWire []string
 
 	// root is the run's dist.explore span; every dist.shard span forks
 	// from it, so the whole fleet's telemetry shares one trace.
@@ -475,6 +494,16 @@ func (c *coordinator) launch(ctx context.Context, u *unit, w *workerState) {
 	}
 	if c.cacheOff {
 		req.Cache = "off"
+	}
+	// Only shards that actually enable ops carry the catalog and the
+	// explicit schema — op-free shards stay byte-identical to the
+	// 6-tuple era on the wire.
+	for _, t := range u.tuples {
+		if strings.Contains(t, " ops=") {
+			req.Ops = c.opsWire
+			req.Schema = serve.SchemaVersion
+			break
+		}
 	}
 	go func() {
 		c.warmupPush(u, w)

@@ -338,7 +338,7 @@ func TestCancellation(t *testing.T) {
 // stay whole, every grid cell is covered exactly once per benchmark,
 // and duplicate-arch grids alias rather than re-dispatch.
 func TestPartitionInvariants(t *testing.T) {
-	grid := resolveGrid(nil, 8)
+	grid := resolveGrid(nil, 8, nil)
 	benches := benchesByName("G", "F")
 	units := partitionUnits(grid, benches, 6)
 

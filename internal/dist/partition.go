@@ -3,6 +3,7 @@ package dist
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 
 	"customfit/internal/bench"
 	"customfit/internal/dse"
@@ -10,21 +11,27 @@ import (
 )
 
 // archTuple renders an architecture in the positional wire form the
-// serve API parses ("a m r p2 l2 c" — cli.ParseArch's input, without
-// Arch.String's parentheses).
+// serve API parses ("a m r p2 l2 c", plus " ops=<hexmask>" for
+// op-enabled machines — cli.ParseArchOps's input, without Arch.String's
+// parentheses).
 func archTuple(a machine.Arch) string {
-	return fmt.Sprintf("%d %d %d %d %d %d", a.ALUs, a.MULs, a.Regs, a.L2Ports, a.L2Lat, a.Clusters)
+	s := fmt.Sprintf("%d %d %d %d %d %d", a.ALUs, a.MULs, a.Regs, a.L2Ports, a.L2Lat, a.Clusters)
+	if !a.Ops.Empty() {
+		s += " ops=" + strconv.FormatUint(a.Ops.Mask, 16)
+	}
+	return s
 }
 
-// resolveGrid applies Archs and Sample exactly like a local run
+// resolveGrid applies Archs, Sample and Ops exactly like a local run
 // (core.ExploreOptions.resolveArchs): nil means the full concrete
-// space, Sample > 1 keeps every Nth machine, and the baseline is
-// appended when absent. The coordinator always explores a grid that
-// contains the baseline — that is what makes the merged Stats.Runs
-// equal a single local run's (every shard's out-of-grid baseline work
-// is subtracted; the one grid cell that owns the baseline is counted
-// once, here).
-func resolveGrid(archs []machine.Arch, sample int) []machine.Arch {
+// space, Sample > 1 keeps every Nth machine, the baseline is appended
+// when absent, and a non-nil op catalog then crosses the whole grid
+// with its default enable masks. The coordinator always explores a
+// grid that contains the baseline — that is what makes the merged
+// Stats.Runs equal a single local run's (every shard's out-of-grid
+// baseline work is subtracted; the one grid cell that owns the
+// baseline is counted once, here).
+func resolveGrid(archs []machine.Arch, sample int, set *machine.OpSet) []machine.Arch {
 	if archs == nil {
 		archs = machine.FullSpace()
 	}
@@ -35,12 +42,39 @@ func resolveGrid(archs []machine.Arch, sample int) []machine.Arch {
 		}
 		archs = thinned
 	}
+	found := false
 	for _, a := range archs {
 		if a == machine.Baseline {
-			return archs
+			found = true
+			break
 		}
 	}
-	return append(append([]machine.Arch(nil), archs...), machine.Baseline)
+	if !found {
+		archs = append(append([]machine.Arch(nil), archs...), machine.Baseline)
+	}
+	if set != nil {
+		archs = machine.CrossOps(archs, set, machine.DefaultMasks(set))
+	}
+	return archs
+}
+
+// gridOpSet returns the single custom-op catalog the grid's op-enabled
+// members draw from (nil for an op-free grid), or an error on a mixed
+// grid — shards of one exploration must share one catalog, like one
+// Results file.
+func gridOpSet(grid []machine.Arch) (*machine.OpSet, error) {
+	var set *machine.OpSet
+	for _, a := range grid {
+		if a.Ops.Empty() {
+			continue
+		}
+		if set == nil {
+			set = a.Ops.Set
+		} else if set != a.Ops.Set {
+			return nil, fmt.Errorf("dist: grid architectures draw from different op catalogs")
+		}
+	}
+	return set, nil
 }
 
 // unit is one shard of the (benchmark × architecture) grid: a single

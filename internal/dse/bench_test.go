@@ -110,6 +110,40 @@ func BenchmarkEvaluateWarmCache(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreOpsSubset is BenchmarkExploreSubset's op-aware twin:
+// the same subspace crossed with a fixed two-op catalog (the paper's
+// MAC plus an add-add chain), so every iteration pays the pattern
+// rewrite, the custom-unit scheduling path, and the doubled grid. The
+// catalog is pinned rather than mined so the measurement tracks the
+// explorer, not the miner.
+func BenchmarkExploreOpsSubset(b *testing.B) {
+	set, err := machine.ParseOpCatalog([]string{
+		"mac/3/2:mul $0 $1;add %0 $2",
+		"add_add/3/1:add $0 $1;add %0 $2",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	archs := machine.CrossOps(exploreBenchArchs(), set, machine.DefaultMasks(set))
+	benches := []*bench.Benchmark{bench.ByName("G")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewExplorer()
+		e.Archs = archs
+		e.Width = 48
+		e.Benchmarks = benches
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(archs)*len(benches)), "evals")
+			b.ReportMetric(float64(res.Stats.Runs), "runs")
+		}
+	}
+}
+
 // BenchmarkExploreSubset measures end-to-end exploration wall time over
 // a fixed subspace, including prepare, the cross-architecture caching
 // layers, and speedup post-processing — the number trajectory tracked

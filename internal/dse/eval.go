@@ -467,6 +467,14 @@ func (e *Evaluator) CacheCovers(b *bench.Benchmark, archs []machine.Arch) bool {
 // subset of those factors, so the bound can never exceed the real
 // result). ok is false when the benchmark cannot be prepared at all.
 func (e *Evaluator) LowerBoundCycles(b *bench.Benchmark, arch machine.Arch) (bound int64, ok bool) {
+	if !arch.Ops.Empty() {
+		// The per-block bounds are computed on the pristine
+		// (pre-rewrite) blocks; a custom-op rewrite can shorten the
+		// critical path below them, so no admissible bound exists for
+		// op-enabled architectures. SpeedupBound turns this into "never
+		// prune".
+		return 0, false
+	}
 	best := int64(-1)
 	for _, u := range UnrollFactors {
 		p := e.prepare(nil, b, u)

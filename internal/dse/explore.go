@@ -384,14 +384,19 @@ func (r *Results) Scatter(benchName string) []ScatterPoint {
 		return nil
 	}
 	// Group by unclustered design point; keep the best-speedup cluster
-	// arrangement.
-	type key struct{ a, m, reg, p2, l2 int }
+	// arrangement. The op set is part of the design point (it changes
+	// the datapath, and the cost), so op-enabled variants chart as their
+	// own points rather than collapsing into their 6-tuple base.
+	type key struct {
+		a, m, reg, p2, l2 int
+		ops               string
+	}
 	best := map[key]int{}
 	for i, ev := range evs {
 		if ev.Failed {
 			continue
 		}
-		k := key{ev.Arch.ALUs, ev.Arch.MULs, ev.Arch.Regs, ev.Arch.L2Ports, ev.Arch.L2Lat}
+		k := key{ev.Arch.ALUs, ev.Arch.MULs, ev.Arch.Regs, ev.Arch.L2Ports, ev.Arch.L2Lat, ev.Arch.Ops.Key()}
 		if j, ok := best[k]; !ok || ev.Speedup > evs[j].Speedup {
 			best[k] = i
 		}

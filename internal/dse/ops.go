@@ -1,0 +1,49 @@
+package dse
+
+import (
+	"customfit/internal/bench"
+	"customfit/internal/machine"
+	"customfit/internal/ops"
+)
+
+// DefaultOpSetSize is how many top-ranked mined candidates the
+// automatic op-set selection keeps. Small by design: every op is a
+// hardware commitment (datapath area, register ports), and the classic
+// MAC/SAD/clip patterns dominate the score long before the tail.
+const DefaultOpSetSize = 4
+
+// MineOps mines fused-instruction candidates from the prepared kernels
+// of the given benchmarks (at unroll 1 — the canonical kernel shape;
+// unrolled bodies replicate the same patterns and the rewriter matches
+// them structurally), weighting every block's occurrences by the
+// reference workload's visit counts, so candidates rank by the
+// paper-style frequency × latency-saved score on real executions.
+// Deterministic for a fixed workload.
+func (e *Evaluator) MineOps(benches []*bench.Benchmark) ([]ops.Candidate, error) {
+	acc := map[string]*ops.Candidate{}
+	for _, b := range benches {
+		p := e.prepare(nil, b, 1)
+		if p.err != nil {
+			return nil, p.err
+		}
+		visits := p.visits
+		ops.Mine(p.kernel.F, func(block string) float64 {
+			return float64(visits[block]) // unexecuted blocks weigh 0
+		}, acc)
+	}
+	return ops.Rank(acc), nil
+}
+
+// AutoOps mines the benchmarks and returns the top-scoring op set of at
+// most n specs (DefaultOpSetSize when n <= 0), or nil when no cluster
+// qualifies.
+func (e *Evaluator) AutoOps(benches []*bench.Benchmark, n int) (*machine.OpSet, error) {
+	if n <= 0 {
+		n = DefaultOpSetSize
+	}
+	cands, err := e.MineOps(benches)
+	if err != nil {
+		return nil, err
+	}
+	return ops.Select(cands, n), nil
+}

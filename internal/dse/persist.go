@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
 
 	"customfit/internal/machine"
 )
@@ -19,10 +20,18 @@ type resultsJSON struct {
 	Cost    []float64               `json:"cost"`
 	Eval    map[string][]Evaluation `json:"eval"`
 	Stats   Stats                   `json:"stats"`
+	// Ops is the shared custom-op catalog (codec texts, see
+	// ir.ParseFusedSpec) when the explored grid carried an op axis.
+	// Absent for op-free runs, keeping their files byte-identical to the
+	// 6-tuple era.
+	Ops []string `json:"ops,omitempty"`
 }
 
 type archJSON struct {
 	A, M, R, P2, L2, C int
+	// Ops is the architecture's enable mask over the results' shared
+	// catalog, in hex; omitted for op-free architectures.
+	Ops string `json:"ops,omitempty"`
 }
 
 // JSON encodes the results in the persisted schema (the same bytes
@@ -36,8 +45,20 @@ func (r *Results) JSON() ([]byte, error) {
 		Eval:    r.Eval,
 		Stats:   r.Stats,
 	}
+	var set *machine.OpSet
 	for _, a := range r.Archs {
-		out.Archs = append(out.Archs, archJSON{a.ALUs, a.MULs, a.Regs, a.L2Ports, a.L2Lat, a.Clusters})
+		aj := archJSON{A: a.ALUs, M: a.MULs, R: a.Regs, P2: a.L2Ports, L2: a.L2Lat, C: a.Clusters}
+		if !a.Ops.Empty() {
+			switch {
+			case set == nil:
+				set = a.Ops.Set
+				out.Ops = set.Wire()
+			case set != a.Ops.Set:
+				return nil, fmt.Errorf("dse: encode results: architectures draw from different op catalogs")
+			}
+			aj.Ops = strconv.FormatUint(a.Ops.Mask, 16)
+		}
+		out.Archs = append(out.Archs, aj)
 	}
 	data, err := json.Marshal(out)
 	if err != nil {
@@ -58,10 +79,32 @@ func FromJSON(data []byte) (*Results, error) {
 		Eval:    in.Eval,
 		Stats:   in.Stats,
 	}
+	var set *machine.OpSet
+	if len(in.Ops) > 0 {
+		s, err := machine.ParseOpCatalog(in.Ops)
+		if err != nil {
+			return nil, fmt.Errorf("dse: decode results: %w", err)
+		}
+		set = s
+	}
 	for _, a := range in.Archs {
-		r.Archs = append(r.Archs, machine.Arch{
+		arch := machine.Arch{
 			ALUs: a.A, MULs: a.M, Regs: a.R, L2Ports: a.P2, L2Lat: a.L2, Clusters: a.C,
-		})
+		}
+		if a.Ops != "" {
+			if set == nil {
+				return nil, fmt.Errorf("dse: decode results: arch op mask %q without a catalog", a.Ops)
+			}
+			mask, err := strconv.ParseUint(a.Ops, 16, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dse: decode results: bad op mask %q: %w", a.Ops, err)
+			}
+			arch = arch.WithOps(set, mask)
+			if err := arch.Validate(); err != nil {
+				return nil, fmt.Errorf("dse: decode results: %w", err)
+			}
+		}
+		r.Archs = append(r.Archs, arch)
 	}
 	return r, nil
 }

@@ -24,7 +24,10 @@ import (
 //     capacity;
 //   - L2Ports, L2Lat: global memory-port occupancy and the dependence
 //     latencies (L2PathsPC and Buses derive from these and Clusters);
-//   - MinMax: the opcode-repertoire fusion pass.
+//   - MinMax: the opcode-repertoire fusion pass;
+//   - OpsKey: the custom-op rewrite pass (machine.OpConfig.Key — the
+//     enabled specs' content keys, so two masks enabling the same specs
+//     share a class and op-free machines keep the historical empty key).
 //
 // The cycle-time derate reads RegPorts = 3·ALUsPC + 2·(1 + L2PathsPC),
 // which is signature-determined, so even Time is constant per class up
@@ -37,6 +40,7 @@ type archSig struct {
 	L2Ports  int
 	L2Lat    int
 	MinMax   bool
+	OpsKey   string
 }
 
 // key renders the signature as the stable string that, combined with
@@ -47,6 +51,9 @@ func (s archSig) key() string {
 		s.Clusters, s.ALUsPC, s.MULsPC, s.RegsPC, s.L2Ports, s.L2Lat)
 	if s.MinMax {
 		k += ".mm"
+	}
+	if s.OpsKey != "" {
+		k += ".ops{" + s.OpsKey + "}"
 	}
 	return k
 }
@@ -70,5 +77,6 @@ func sigOf(a machine.Arch) archSig {
 		L2Ports:  a.L2Ports,
 		L2Lat:    a.L2Lat,
 		MinMax:   a.MinMax,
+		OpsKey:   a.Ops.Key(),
 	}
 }

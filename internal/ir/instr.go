@@ -69,6 +69,10 @@ type Instr struct {
 	// Control-flow targets (OpBr: 1, OpCBr: 2 = taken/fallthrough).
 	Targets []*Block
 
+	// Fused is the custom-op spec (OpFused only). Specs are immutable
+	// and interned per op set, so Clone shares the pointer.
+	Fused *FusedSpec
+
 	// Cluster is the executing cluster assigned by the backend's
 	// partitioner (destination cluster for OpXMov). Zero before
 	// partitioning.
@@ -113,6 +117,15 @@ func (in *Instr) String() string {
 		return "ret"
 	case OpNop:
 		return "nop"
+	case OpFused:
+		s := fmt.Sprintf("%s = %s.fused", in.Dest, in.Fused.Name)
+		for i, a := range in.Args {
+			if i > 0 {
+				s += ","
+			}
+			s += " " + a.String()
+		}
+		return s
 	}
 	s := fmt.Sprintf("%s = %s", in.Dest, in.Op)
 	for i, a := range in.Args {

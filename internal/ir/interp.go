@@ -123,6 +123,12 @@ func Interp(f *Func, env *Env) (int, error) {
 			continue
 		case OpRet:
 			return steps, nil
+		case OpFused:
+			vals := make([]int32, len(in.Args))
+			for i, a := range in.Args {
+				vals[i] = arg(a)
+			}
+			regs[in.Dest] = in.Fused.Eval(vals)
 		default:
 			vals := make([]int32, len(in.Args))
 			for i, a := range in.Args {

@@ -56,6 +56,14 @@ const (
 	OpBr  // unconditional: Targets[0]
 	OpCBr // conditional on arg0 != 0: Targets[0] if true, Targets[1] if false
 	OpRet
+
+	// OpFused is an application-defined custom operation: a small DAG of
+	// simple ALU steps chained into one issue slot on the dedicated
+	// custom unit (machine.Arch.Ops). The instruction's Fused field
+	// carries its FusedSpec; Args are the spec's external inputs. Never
+	// emitted by the frontend — the backend's pattern rewriter
+	// (internal/ops) introduces it per-architecture, like OpMin/OpMax.
+	OpFused
 )
 
 var opNames = [...]string{
@@ -85,6 +93,7 @@ var opNames = [...]string{
 	OpBr:     "br",
 	OpCBr:    "cbr",
 	OpRet:    "ret",
+	OpFused:  "fused",
 }
 
 func (op Op) String() string {
@@ -139,11 +148,15 @@ func (op Op) IsCommutative() bool {
 	return false
 }
 
-// NArgs returns the number of operands op expects.
+// NArgs returns the number of operands op expects. OpFused is
+// variable-arity (the instruction's FusedSpec.NIn decides); callers
+// handling fused instructions must consult the spec, not this.
 func (op Op) NArgs() int {
 	switch op {
 	case OpNop, OpBr, OpRet:
 		return 0
+	case OpFused:
+		return -1
 	case OpMov, OpXMov, OpLoad, OpCBr:
 		return 1
 	case OpSelect:

@@ -49,8 +49,23 @@ func (f *Func) Verify() error {
 }
 
 func (f *Func) verifyInstr(b *Block, in *Instr, inFunc map[*Block]bool, memOK map[*MemRef]bool) error {
-	if got, want := len(in.Args), in.Op.NArgs(); got != want {
-		return fmt.Errorf("%s/%s: %s has %d args, want %d", f.Name, b.Name, in, got, want)
+	if in.Op == OpFused {
+		if in.Fused == nil {
+			return fmt.Errorf("%s/%s: %s has nil fused spec", f.Name, b.Name, in)
+		}
+		if err := in.Fused.Validate(); err != nil {
+			return fmt.Errorf("%s/%s: %s: %w", f.Name, b.Name, in, err)
+		}
+		if got, want := len(in.Args), in.Fused.NIn; got != want {
+			return fmt.Errorf("%s/%s: %s has %d args, spec wants %d", f.Name, b.Name, in, got, want)
+		}
+	} else {
+		if in.Fused != nil {
+			return fmt.Errorf("%s/%s: %s has spurious fused spec", f.Name, b.Name, in)
+		}
+		if got, want := len(in.Args), in.Op.NArgs(); got != want {
+			return fmt.Errorf("%s/%s: %s has %d args, want %d", f.Name, b.Name, in, got, want)
+		}
 	}
 	if in.Op.HasDest() {
 		if in.Dest == NoReg {

@@ -27,6 +27,16 @@ type Arch struct {
 	// standard design space; see the repertoire-extension experiment in
 	// EXPERIMENTS.md.
 	MinMax bool
+
+	// Ops extends the template with application-defined custom
+	// operations: fused instruction clusters mined from the kernels'
+	// DDGs (internal/ops), executed on one dedicated custom unit per
+	// cluster. The zero value is the classic 6-tuple machine; because
+	// OpSets are content-interned, Arch remains comparable (== and map
+	// keys keep working) with this field populated. Omitted from JSON
+	// when empty so op-free results stay byte-identical to the 6-tuple
+	// era. See docs/CUSTOMOPS.md.
+	Ops OpConfig `json:",omitzero"`
 }
 
 // Baseline is the paper's reference machine: 1 IMUL-capable ALU, 64
@@ -56,9 +66,14 @@ const (
 	MaxBuses = 4
 )
 
-// String renders the paper's architecture tuple, e.g. "(8 2 128 1 4 4)".
+// String renders the paper's architecture tuple, e.g. "(8 2 128 1 4 4)";
+// op-extended machines carry a "+ops:<hexmask>" suffix.
 func (a Arch) String() string {
-	return fmt.Sprintf("(%d %d %d %d %d %d)", a.ALUs, a.MULs, a.Regs, a.L2Ports, a.L2Lat, a.Clusters)
+	s := fmt.Sprintf("(%d %d %d %d %d %d)", a.ALUs, a.MULs, a.Regs, a.L2Ports, a.L2Lat, a.Clusters)
+	if !a.Ops.Empty() {
+		s += fmt.Sprintf("+ops:%x", a.Ops.Mask)
+	}
+	return s
 }
 
 // Validate checks that the architecture is well-formed and within the
@@ -86,7 +101,7 @@ func (a Arch) Validate() error {
 	case a.MULs > a.Clusters && a.MULs%a.Clusters != 0:
 		return fmt.Errorf("machine: %d MULs not divisible by %d clusters", a.MULs, a.Clusters)
 	}
-	return nil
+	return a.Ops.Validate()
 }
 
 // ALUsPC returns integer ALUs per cluster.
@@ -118,7 +133,26 @@ func (a Arch) MemPathsPC() int { return 1 + a.L2PathsPC() }
 
 // RegPorts returns the per-cluster register-file port count, the
 // paper's derived parameter p(a, l) = 3a + 2l with a and l per-cluster.
-func (a Arch) RegPorts() int { return 3*a.ALUsPC() + 2*a.MemPathsPC() }
+// A custom-op unit (Ops) adds its own ports on top: it retires work
+// that would otherwise occupy ALU issue slots, so it shares the operand
+// network for two of its reads and pays for the rest — max(0, NIn−2)
+// extra reads plus one write, with NIn the widest enabled op's operand
+// count. The quadratic cycle-time derate (CycleModel) therefore prices
+// the custom unit automatically.
+func (a Arch) RegPorts() int { return 3*a.ALUsPC() + 2*a.MemPathsPC() + a.cuPorts() }
+
+// cuPorts is the custom unit's register-file port charge (0 without
+// custom ops).
+func (a Arch) cuPorts() int {
+	if a.Ops.Empty() {
+		return 0
+	}
+	extra := a.Ops.MaxIn() - 2
+	if extra < 0 {
+		extra = 0
+	}
+	return extra + 1
+}
 
 // Buses returns the number of global inter-cluster connections
 // available per cycle for explicit cross-cluster moves: one channel per

@@ -39,7 +39,24 @@ func (cm CostModel) raw(a Arch) float64 {
 	yreg := rc * (cm.K2*p + cm.K3)
 	yalu := cm.K4 * ac
 	ymul := cm.K5 * mTotal / c
-	return c * p * (yreg + yalu + ymul)
+	return c * p * (yreg + yalu + ymul + cm.yops(a))
+}
+
+// yops prices the per-cluster custom-op unit (machine.Arch.Ops): the
+// chained datapath is a fixed cascade of the enabled ops' internal
+// stages, so its area is the sum of the ALU- and multiplier-stage areas
+// it hardwires — the same K4/K5 figures as the general-purpose units,
+// per enabled op. Op-free architectures pay nothing, keeping the
+// 6-tuple cost surface bit-identical to the paper's.
+func (cm CostModel) yops(a Arch) float64 {
+	if a.Ops.Empty() {
+		return 0
+	}
+	area := 0.0
+	for _, s := range a.Ops.Enabled() {
+		area += cm.K4*float64(s.ALUSteps()) + cm.K5*float64(s.MULSteps())
+	}
+	return area
 }
 
 // Cost returns the architecture's cost relative to the baseline.

@@ -1,0 +1,374 @@
+// Package ops implements custom-operation identification and use: it
+// mines recurring dataflow clusters (MAC, SAD/abs-diff, clip/saturate
+// arithmetic) from kernel DDGs as fused-instruction candidates, and
+// rewrites matched clusters into single fused ops for architectures
+// whose template enables them (machine.Arch.Ops).
+//
+// This is the paper's thesis pushed one level further: the application
+// defines not just the datapath widths but the instruction set. The
+// machinery follows the automatic ISA-extension literature (see
+// PAPERS.md): candidates are connected convex subgraphs of a block's
+// value-dependence DAG under operand-count constraints, scored by
+// execution frequency × latency saved, priced by the datapath area of
+// the chained stages they hardwire, and explored jointly with the
+// datapath axes by the DSE layer. See docs/CUSTOMOPS.md.
+package ops
+
+import (
+	"sort"
+	"strconv"
+
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+)
+
+// MaxClusterSize bounds a candidate's internal step count. Four chained
+// simple stages is two derated cycles — deeper clusters stop paying for
+// themselves once the chained latency catches up with the unfused code.
+const MaxClusterSize = 4
+
+// Candidate is one mined custom-op candidate with its evidence.
+type Candidate struct {
+	// Spec is the canonical fused spec (Lat already set to the chained
+	// datapath model, ir.FusedSpec.ChainLatency).
+	Spec *ir.FusedSpec
+	// Count is the visit-weighted occurrence count across the mined
+	// kernels (one block occurrence counts the block's execution
+	// frequency).
+	Count float64
+	// Saving is the latency the chained datapath saves per occurrence:
+	// the cluster's critical path as individual ops minus the fused
+	// latency.
+	Saving int
+	// Score ranks candidates: Count × Saving (frequency × latency
+	// saved).
+	Score float64
+}
+
+// eligible reports whether an instruction may become an internal step
+// of a fused op: the two-operand integer ALU repertoire. Moves carry no
+// datapath work, select needs three operands, memory and control ops
+// have side effects, and min/max only exist after the backend's own
+// repertoire fusion (the miner runs before it).
+func eligible(in *ir.Instr) bool {
+	return in.Op.IsALU() && in.Op.NArgs() == 2 && in.Op != ir.OpFused
+}
+
+// extKey identifies a distinct external input of a cluster: operands
+// with equal kind and value share one fused-instruction input.
+type extKey struct {
+	kind ir.OperandKind
+	val  int32
+}
+
+func keyOf(o ir.Operand) extKey {
+	if o.IsImm() {
+		return extKey{ir.OperImm, o.Imm}
+	}
+	return extKey{ir.OperReg, int32(o.Reg)}
+}
+
+// Mine accumulates candidates from every block of f into acc (keyed by
+// spec content key), weighting each block's occurrences by
+// weight(blockName) — the reference workload's visit count in the DSE
+// pipeline, 1 for unweighted callers. Deterministic: blocks, seeds and
+// grown subsets are all enumerated in program order.
+func Mine(f *ir.Func, weight func(block string) float64, acc map[string]*Candidate) {
+	for _, b := range f.Blocks {
+		w := 1.0
+		if weight != nil {
+			w = weight(b.Name)
+		}
+		if w <= 0 {
+			continue
+		}
+		mineBlock(f, b, w, acc)
+	}
+}
+
+// blockCtx is the per-block value graph the enumerator walks.
+type blockCtx struct {
+	instrs []*ir.Instr      // block body in program order
+	defIdx map[ir.Reg]int   // dest reg -> defining index (body only)
+	uses   map[ir.Reg][]int // reg -> indices of body instrs reading it
+	term   map[ir.Reg]bool  // regs the terminator reads
+}
+
+func mineBlock(f *ir.Func, b *ir.Block, w float64, acc map[string]*Candidate) {
+	ctx := &blockCtx{
+		instrs: b.Instrs,
+		defIdx: map[ir.Reg]int{},
+		uses:   map[ir.Reg][]int{},
+		term:   map[ir.Reg]bool{},
+	}
+	for i, in := range b.Instrs {
+		if in.Op.HasDest() {
+			ctx.defIdx[in.Dest] = i
+		}
+		if in.Op.IsTerminator() {
+			for _, a := range in.Args {
+				if a.IsReg() {
+					ctx.term[a.Reg] = true
+				}
+			}
+			continue
+		}
+		for _, a := range in.Args {
+			if a.IsReg() {
+				ctx.uses[a.Reg] = append(ctx.uses[a.Reg], i)
+			}
+		}
+	}
+	// Enumerate connected subsets by growth: every connected subset of
+	// size ≤ MaxClusterSize whose minimum member index is the seed is
+	// reached exactly once (members above the seed are added in
+	// ascending order through the frontier, deduplicated per seed).
+	for seed, in := range b.Instrs {
+		if !eligible(in) {
+			continue
+		}
+		seen := map[string]bool{}
+		grow(ctx, []int{seed}, seed, seen, w, acc)
+	}
+}
+
+// setKey renders a member-index set canonically for dedup.
+func setKey(members []int) string {
+	s := append([]int(nil), members...)
+	sort.Ints(s)
+	k := ""
+	for _, i := range s {
+		k += strconv.Itoa(i) + "."
+	}
+	return k
+}
+
+// grow extends the connected subset `members` (all ≥ seed, containing
+// seed) by one eligible neighbor at a time, emitting every subset of
+// size ≥ 2 it visits.
+func grow(ctx *blockCtx, members []int, seed int, seen map[string]bool, w float64, acc map[string]*Candidate) {
+	if len(members) >= 2 {
+		emit(ctx, members, w, acc)
+	}
+	if len(members) >= MaxClusterSize {
+		return
+	}
+	inSet := map[int]bool{}
+	for _, i := range members {
+		inSet[i] = true
+	}
+	// Neighbors over value edges: producers of member operands and
+	// consumers of member results, eligible and above the seed.
+	var nbrs []int
+	addNbr := func(j int) {
+		if j > seed && !inSet[j] && eligible(ctx.instrs[j]) {
+			nbrs = append(nbrs, j)
+		}
+	}
+	for _, i := range members {
+		in := ctx.instrs[i]
+		for _, a := range in.Args {
+			if a.IsReg() {
+				if j, ok := ctx.defIdx[a.Reg]; ok {
+					addNbr(j)
+				}
+			}
+		}
+		if in.Op.HasDest() {
+			for _, j := range ctx.uses[in.Dest] {
+				addNbr(j)
+			}
+		}
+	}
+	sort.Ints(nbrs)
+	prev := -1
+	for _, j := range nbrs {
+		if j == prev {
+			continue
+		}
+		prev = j
+		next := append(append([]int(nil), members...), j)
+		k := setKey(next)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		grow(ctx, next, seed, seen, w, acc)
+	}
+}
+
+// emit checks the subset's custom-op constraints (single external
+// output, operand bound, interior values fully consumed) and, when they
+// hold, accumulates its canonical spec.
+func emit(ctx *blockCtx, members []int, w float64, acc map[string]*Candidate) {
+	spec, ok := specOf(ctx, members)
+	if !ok {
+		return
+	}
+	saving := spec.Depth() - spec.Lat
+	if saving <= 0 {
+		return // chaining buys nothing; not a candidate
+	}
+	key := spec.Key()
+	c := acc[key]
+	if c == nil {
+		c = &Candidate{Spec: spec, Saving: saving}
+		acc[key] = c
+	}
+	c.Count += w
+	c.Score = c.Count * float64(c.Saving)
+}
+
+// specOf builds the canonical FusedSpec of a member set, or reports it
+// ineligible. Members must form: exactly one externally-used result
+// (the root, a sink within the set), every other member's result
+// consumed only inside the set (and not by the terminator), and at most
+// machine.MaxFusedIn distinct external inputs.
+func specOf(ctx *blockCtx, members []int) (*ir.FusedSpec, bool) {
+	s := append([]int(nil), members...)
+	sort.Ints(s)
+	inSet := map[int]int{} // member index -> step number
+	for step, i := range s {
+		inSet[i] = step
+	}
+	root := -1
+	for _, i := range s {
+		in := ctx.instrs[i]
+		external := ctx.term[in.Dest]
+		internalUses := 0
+		for _, j := range ctx.uses[in.Dest] {
+			if _, ok := inSet[j]; ok {
+				internalUses++
+			} else {
+				external = true
+			}
+		}
+		if external {
+			if root >= 0 {
+				return nil, false // two escaping results
+			}
+			if internalUses > 0 {
+				return nil, false // output also feeds the cluster: not a sink
+			}
+			root = i
+		} else if internalUses == 0 {
+			return nil, false // dead inside the set (disconnected value)
+		}
+	}
+	if root != s[len(s)-1] {
+		return nil, false // the output must be the topologically last step
+	}
+	// Number external inputs in first-use order; build steps in program
+	// order (which respects dependences within a block).
+	ext := map[extKey]int{}
+	spec := &ir.FusedSpec{}
+	for _, i := range s {
+		in := ctx.instrs[i]
+		st := ir.FusedStep{Op: in.Op}
+		for ai, a := range in.Args {
+			ref, internal := 0, false
+			if a.IsReg() {
+				if j, ok := ctx.defIdx[a.Reg]; ok {
+					if step, member := inSet[j]; member {
+						ref, internal = ir.StepRef(step), true
+					}
+				}
+			}
+			if !internal {
+				k := keyOf(a)
+				n, ok := ext[k]
+				if !ok {
+					n = len(ext)
+					if n >= machine.MaxFusedIn {
+						return nil, false // too many distinct inputs
+					}
+					ext[k] = n
+				}
+				ref = ir.Ext(n)
+			}
+			if ai == 0 {
+				st.A = ref
+			} else {
+				st.B = ref
+			}
+		}
+		spec.Steps = append(spec.Steps, st)
+	}
+	spec.NIn = len(ext)
+	if spec.NIn == 0 {
+		return nil, false // fully constant cluster; the folder's job
+	}
+	spec.Lat = spec.ChainLatency()
+	spec.Name = nameOf(spec)
+	if spec.Validate() != nil {
+		return nil, false
+	}
+	return spec, true
+}
+
+// nameOf derives a deterministic mnemonic from the step pattern,
+// special-casing the classic shapes.
+func nameOf(s *ir.FusedSpec) string {
+	muls, adds, subs := 0, 0, 0
+	name := ""
+	for i, st := range s.Steps {
+		switch st.Op {
+		case ir.OpMul:
+			muls++
+		case ir.OpAdd:
+			adds++
+		case ir.OpSub:
+			subs++
+		}
+		if i > 0 {
+			name += "_"
+		}
+		name += st.Op.String()
+	}
+	switch {
+	case muls == 1 && adds == len(s.Steps)-1 && adds > 0:
+		return "mac"
+	case subs > 0 && muls == 0 && adds+subs == len(s.Steps):
+		return "sad"
+	}
+	return name
+}
+
+// Rank flattens an accumulator into candidates ordered best-first
+// (score descending, spec key ascending for determinism).
+func Rank(acc map[string]*Candidate) []Candidate {
+	out := make([]Candidate, 0, len(acc))
+	for _, c := range acc {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Spec.Key() < out[j].Spec.Key()
+	})
+	return out
+}
+
+// Select builds the op set of the top-scoring n candidates (nil when
+// none qualify).
+func Select(cands []Candidate, n int) *machine.OpSet {
+	if n > machine.MaxOpSetSize {
+		n = machine.MaxOpSetSize
+	}
+	var specs []*ir.FusedSpec
+	for _, c := range cands {
+		if len(specs) >= n {
+			break
+		}
+		specs = append(specs, c.Spec)
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	set, err := machine.NewOpSet(specs)
+	if err != nil {
+		return nil // mined specs always validate; belt and braces
+	}
+	return set
+}

@@ -1,0 +1,118 @@
+package ops
+
+import (
+	"reflect"
+	"testing"
+
+	"customfit/internal/bench"
+	"customfit/internal/cc"
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+)
+
+// prepared compiles and prepares every benchmark kernel at unroll 1.
+func preparedKernels(t *testing.T) map[string]*ir.Func {
+	t.Helper()
+	out := map[string]*ir.Func{}
+	for _, b := range bench.All() {
+		fn, err := cc.CompileKernel(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		g, err := opt.Prepare(fn, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		out[b.Name] = g
+	}
+	return out
+}
+
+func mineAll(t *testing.T, kernels map[string]*ir.Func) []Candidate {
+	t.Helper()
+	acc := map[string]*Candidate{}
+	for _, b := range bench.All() {
+		Mine(kernels[b.Name], func(string) float64 { return 1 }, acc)
+	}
+	return Rank(acc)
+}
+
+// TestMinerCandidateBounds checks every mined candidate against the
+// template's structural constraints: a valid spec, operand count within
+// the fused-unit port budget, 2..4 internal steps, a positive saving,
+// and the chained-datapath latency model.
+func TestMinerCandidateBounds(t *testing.T) {
+	kernels := preparedKernels(t)
+	cands := mineAll(t, kernels)
+	if len(cands) == 0 {
+		t.Fatal("mining the full suite found no candidates")
+	}
+	for _, c := range cands {
+		if err := c.Spec.Validate(); err != nil {
+			t.Errorf("%s: invalid spec: %v", c.Spec, err)
+		}
+		if c.Spec.NIn < 2 || c.Spec.NIn > machine.MaxFusedIn {
+			t.Errorf("%s: NIn %d outside [2, %d]", c.Spec, c.Spec.NIn, machine.MaxFusedIn)
+		}
+		if n := len(c.Spec.Steps); n < 2 || n > 4 {
+			t.Errorf("%s: %d steps outside [2, 4]", c.Spec, n)
+		}
+		if c.Saving < 1 {
+			t.Errorf("%s: saving %d, fusion must save latency", c.Spec, c.Saving)
+		}
+		if want := c.Spec.ChainLatency(); c.Spec.Lat != want {
+			t.Errorf("%s: Lat %d, chained model says %d", c.Spec, c.Spec.Lat, want)
+		}
+		if c.Score != c.Count*float64(c.Saving) {
+			t.Errorf("%s: score %g != count %g × saving %d", c.Spec, c.Score, c.Count, c.Saving)
+		}
+	}
+}
+
+// TestMinerDeterminism pins mining as a pure function of the input:
+// two independent passes over the same kernels produce identical
+// ranked candidate lists.
+func TestMinerDeterminism(t *testing.T) {
+	a := mineAll(t, preparedKernels(t))
+	b := mineAll(t, preparedKernels(t))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("mining is not deterministic: %d vs %d candidates", len(a), len(b))
+	}
+}
+
+// TestRewriteConvexity exercises the convexity requirement end to end:
+// rewriting every kernel with its own mined catalog must leave a
+// well-formed function (a non-convex cluster would fuse across an
+// escaping intermediate and break the def-before-use invariant that
+// Verify checks).
+func TestRewriteConvexity(t *testing.T) {
+	kernels := preparedKernels(t)
+	for _, b := range bench.All() {
+		acc := map[string]*Candidate{}
+		Mine(kernels[b.Name], func(string) float64 { return 1 }, acc)
+		set := Select(Rank(acc), 4)
+		if set == nil {
+			continue
+		}
+		cfg := machine.Arch{}.WithOps(set, set.FullMask()).Ops
+		fused := Rewrite(kernels[b.Name], cfg)
+		if fused == 0 {
+			t.Errorf("%s: mined %d ops but rewrote nothing", b.Name, set.Len())
+		}
+		if err := kernels[b.Name].Verify(); err != nil {
+			t.Errorf("%s: rewritten kernel fails verification: %v", b.Name, err)
+		}
+	}
+}
+
+// TestRewriteEmptyConfigIsIdentity pins the -ops=off invariant at the
+// lowest level: an empty op config rewrites nothing.
+func TestRewriteEmptyConfigIsIdentity(t *testing.T) {
+	kernels := preparedKernels(t)
+	for name, k := range kernels {
+		if n := Rewrite(k, machine.OpConfig{}); n != 0 {
+			t.Errorf("%s: empty config fused %d clusters", name, n)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package ops
+
+import (
+	"customfit/internal/ir"
+	"customfit/internal/machine"
+	"customfit/internal/opt"
+)
+
+// Rewrite replaces matched dataflow clusters in f with single fused
+// instructions for every op the architecture's config enables,
+// returning how many rewrites it performed. Like the backend's min/max
+// repertoire fusion, it is a per-architecture transformation: it runs
+// on the backend's working clone, never on the shared prepared IR.
+//
+// Matching is structural and positional (the miner canonicalizes specs
+// from the same cleaned IR the rewriter sees, so positional matching
+// re-finds every mined occurrence), deterministic (blocks and roots in
+// program order, specs in canonical catalog order, first match wins),
+// and safe: an interior value is fused away only when every use of it
+// sits inside the matched cluster and it is dead across the block
+// boundary.
+func Rewrite(f *ir.Func, cfg machine.OpConfig) int {
+	specs := cfg.Enabled()
+	if len(specs) == 0 {
+		return 0
+	}
+	lv := opt.ComputeLiveness(f)
+	total := 0
+	for _, b := range f.Blocks {
+		total += rewriteBlock(b, specs, lv)
+	}
+	return total
+}
+
+// matcher holds one block's indices during matching.
+type matcher struct {
+	instrs   []*ir.Instr
+	defIdx   map[ir.Reg]int
+	defCount map[ir.Reg]int
+	uses     map[ir.Reg][]int // body reads, by instruction index
+	termUse  map[ir.Reg]bool
+	consumed []bool // instruction already part of a fused rewrite
+}
+
+func rewriteBlock(b *ir.Block, specs []*ir.FusedSpec, lv *opt.Liveness) int {
+	m := &matcher{
+		instrs:   b.Instrs,
+		defIdx:   map[ir.Reg]int{},
+		defCount: map[ir.Reg]int{},
+		uses:     map[ir.Reg][]int{},
+		termUse:  map[ir.Reg]bool{},
+		consumed: make([]bool, len(b.Instrs)),
+	}
+	for i, in := range b.Instrs {
+		if in.Op.HasDest() {
+			m.defIdx[in.Dest] = i
+			m.defCount[in.Dest]++
+		}
+		if in.Op.IsTerminator() {
+			for _, a := range in.Args {
+				if a.IsReg() {
+					m.termUse[a.Reg] = true
+				}
+			}
+			continue
+		}
+		for _, a := range in.Args {
+			if a.IsReg() {
+				m.uses[a.Reg] = append(m.uses[a.Reg], i)
+			}
+		}
+	}
+	deleted := make([]bool, len(b.Instrs))
+	n := 0
+	for root := range b.Instrs {
+		if m.consumed[root] {
+			continue
+		}
+		for _, spec := range specs {
+			fused, interiors, ok := m.match(b, spec, root, lv)
+			if !ok {
+				continue
+			}
+			b.Instrs[root] = fused
+			for _, i := range interiors {
+				deleted[i] = true
+			}
+			n++
+			break
+		}
+	}
+	if n > 0 {
+		kept := b.Instrs[:0]
+		for i, in := range b.Instrs {
+			if !deleted[i] {
+				kept = append(kept, in)
+			}
+		}
+		b.Instrs = kept
+	}
+	return n
+}
+
+// match tries to root spec's final step at instruction index root. On
+// success it returns the replacement fused instruction and the interior
+// member indices to delete.
+func (m *matcher) match(b *ir.Block, spec *ir.FusedSpec, root int, lv *opt.Liveness) (*ir.Instr, []int, bool) {
+	last := len(spec.Steps) - 1
+	stepAt := make([]int, len(spec.Steps))
+	for i := range stepAt {
+		stepAt[i] = -1
+	}
+	instrStep := map[int]int{}
+	ext := make([]ir.Operand, spec.NIn)
+	extSet := make([]bool, spec.NIn)
+
+	var bindStep func(step, at int) bool
+	bindStep = func(step, at int) bool {
+		if stepAt[step] >= 0 {
+			return stepAt[step] == at // shared step: must be the same instr
+		}
+		if s, taken := instrStep[at]; taken && s != step {
+			return false
+		}
+		in := m.instrs[at]
+		if m.consumed[at] || in.Op != spec.Steps[step].Op {
+			return false
+		}
+		stepAt[step], instrStep[at] = at, step
+		st := spec.Steps[step]
+		for ai, ref := range []int{st.A, st.B} {
+			arg := in.Args[ai]
+			if ir.IsStepRef(ref) {
+				if !arg.IsReg() || m.defCount[arg.Reg] != 1 {
+					return false
+				}
+				def, ok := m.defIdx[arg.Reg]
+				if !ok || !bindStep(ir.RefStep(ref), def) {
+					return false
+				}
+			} else {
+				if extSet[ref] {
+					if ext[ref] != canonOperand(arg) {
+						return false
+					}
+				} else {
+					ext[ref], extSet[ref] = canonOperand(arg), true
+				}
+			}
+		}
+		return true
+	}
+	if !bindStep(last, root) {
+		return nil, nil, false
+	}
+	// Every step bound to a distinct instruction, and every interior
+	// result fully consumed by the cluster and dead past the block.
+	var interiors []int
+	for step, at := range stepAt {
+		if at < 0 {
+			return nil, nil, false
+		}
+		if step == last {
+			continue
+		}
+		dest := m.instrs[at].Dest
+		if m.termUse[dest] || lv.LiveOut(b, dest) {
+			return nil, nil, false
+		}
+		for _, u := range m.uses[dest] {
+			if _, member := instrStep[u]; !member {
+				return nil, nil, false
+			}
+		}
+		interiors = append(interiors, at)
+	}
+	rootIn := m.instrs[root]
+	fused := &ir.Instr{Op: ir.OpFused, Dest: rootIn.Dest, Args: ext, Fused: spec}
+	for at := range instrStep {
+		m.consumed[at] = true
+	}
+	return fused, interiors, true
+}
+
+// canonOperand normalizes an operand for binding equality: immediates
+// compare by value, registers by id (the unused fields are zeroed so
+// Operand's == is exact).
+func canonOperand(a ir.Operand) ir.Operand {
+	if a.IsImm() {
+		return ir.Imm(a.Imm)
+	}
+	return ir.R(a.Reg)
+}

@@ -236,6 +236,20 @@ func (c *blockCleaner) process(in *ir.Instr) {
 		c.out = append(c.out, &ir.Instr{Op: ir.OpStore, Dest: ir.NoReg,
 			Args: []ir.Operand{idx, val}, Mem: in.Mem, Off: off, Elem: in.Elem})
 		c.epoch[in.Mem]++
+	case in.Op == ir.OpFused:
+		// Custom fused op: substitute the inputs and re-emit opaquely.
+		// No folding (Op.Eval does not know the spec) and no vnKey CSE
+		// (the three-operand key cannot carry a variable-arity spec);
+		// the op rewriter runs after Clean anyway, so nothing is lost.
+		args := make([]ir.Operand, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = c.subst(a)
+		}
+		d := c.f.NewReg()
+		ni := &ir.Instr{Op: ir.OpFused, Dest: d, Args: args, Fused: in.Fused}
+		c.out = append(c.out, ni)
+		c.defOf[d] = ni
+		c.define(in.Dest, ir.R(d))
 	default: // pure ALU op
 		args := make([]ir.Operand, len(in.Args))
 		for i, a := range in.Args {

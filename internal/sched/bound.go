@@ -20,7 +20,7 @@ const BackendVersion = 1
 // latency-model change invalidates cached sweeps even without a
 // version bump.
 func Fingerprint() string {
-	return fmt.Sprintf("backend-v%d;lat(alu=%d,mul=%d,l1=%d/%d,mv=%d);buses=%d;spill=%d;reserve=%d",
+	return fmt.Sprintf("backend-v%d;lat(alu=%d,mul=%d,l1=%d/%d,mv=%d);buses=%d;spill=%d;reserve=%d;ops-v1",
 		BackendVersion, machine.LatALU, machine.LatMUL, machine.LatL1, machine.L1Occupancy,
 		machine.LatMove, machine.MaxBuses, MaxSpillIterations, pressureReserve)
 }

@@ -9,6 +9,7 @@ import (
 	"customfit/internal/ir"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
+	"customfit/internal/ops"
 	"customfit/internal/regalloc"
 	"customfit/internal/vliw"
 )
@@ -69,6 +70,9 @@ func CompilePrepared(sp *obs.Span, prep *Prepared, arch machine.Arch, sc *Scratc
 		sc = NewScratch()
 	}
 	work := prep.F.Clone()
+	if !arch.Ops.Empty() {
+		ops.Rewrite(work, arch.Ops)
+	}
 	if arch.MinMax {
 		FuseMinMax(work)
 	}
@@ -77,9 +81,10 @@ func CompilePrepared(sp *obs.Span, prep *Prepared, arch machine.Arch, sc *Scratc
 	cap := arch.RegsPC() - 2
 	// The cached skeletons describe prep.F's pristine blocks, so they
 	// apply only while work is instruction-identical to them: single
-	// cluster (partitioning inserts no copies), no min/max fusion, and
-	// no spill rewrites yet.
+	// cluster (partitioning inserts no copies), no min/max or custom-op
+	// fusion, and no spill rewrites yet.
 	singleCluster := arch.Clusters <= 1
+	pristine := arch.Ops.Empty() && !arch.MinMax
 	for iter := 1; iter <= MaxSpillIterations; iter++ {
 		var g *ir.Func
 		psp := csp.Child("sched.partition").Int("iter", int64(iter))
@@ -98,7 +103,7 @@ func CompilePrepared(sp *obs.Span, prep *Prepared, arch machine.Arch, sc *Scratc
 		}
 		psp.End()
 		var skels []*ddg.Skeleton
-		if singleCluster && !arch.MinMax && iter == 1 {
+		if singleCluster && pristine && iter == 1 {
 			skels = prep.skeletons(arch)
 		}
 		// After two failed greedy rounds, fall back to program-order

@@ -7,6 +7,7 @@ import (
 	"customfit/internal/ir"
 	"customfit/internal/machine"
 	"customfit/internal/obs"
+	"customfit/internal/ops"
 	"customfit/internal/opt"
 	"customfit/internal/regalloc"
 	"customfit/internal/vliw"
@@ -34,13 +35,16 @@ import (
 // path cannot prove — a spill, a scheduler error, a pressure-bound
 // block under a different budget — falls back to the full driver.
 
-// deltaKey selects a cached partition class. Min/max fusion and
-// cluster partitioning are the only transforms that rewrite the
-// instruction stream before scheduling, and each reads exactly one
-// architecture parameter (MinMax, Clusters).
+// deltaKey selects a cached partition class. Custom-op rewriting,
+// min/max fusion and cluster partitioning are the only transforms that
+// rewrite the instruction stream before scheduling, and each reads
+// exactly one architecture parameter (Ops, MinMax, Clusters). The ops
+// component is the enabled-spec content key, so two masks enabling the
+// same specs share a class.
 type deltaKey struct {
 	clusters int
 	minmax   bool
+	ops      string
 }
 
 // blockInfo records which architecture parameters a block's
@@ -116,7 +120,7 @@ type deltaState struct {
 // delta returns the state for arch's partition class, building it on
 // first use (once per class, off the cache lock).
 func (p *Prepared) delta(arch machine.Arch) *deltaState {
-	key := deltaKey{clusters: arch.Clusters, minmax: arch.MinMax}
+	key := deltaKey{clusters: arch.Clusters, minmax: arch.MinMax, ops: arch.Ops.Key()}
 	p.mu.Lock()
 	if p.deltas == nil {
 		p.deltas = make(map[deltaKey]*deltaState)
@@ -132,12 +136,15 @@ func (p *Prepared) delta(arch machine.Arch) *deltaState {
 }
 
 // build replays exactly what CompilePrepared's first iteration does to
-// the instruction stream for this class: clone, optionally fuse
-// min/max, partition. The clone keeps every per-compile mutation off
-// the shared Prepared (Partition stamps clusters in place, and
-// ComputeLiveness recomputes the CFG).
+// the instruction stream for this class: clone, optionally rewrite
+// custom ops and fuse min/max, partition. The clone keeps every
+// per-compile mutation off the shared Prepared (Partition stamps
+// clusters in place, and ComputeLiveness recomputes the CFG).
 func (ds *deltaState) build(src *ir.Func, arch machine.Arch) {
 	work := src.Clone()
+	if !arch.Ops.Empty() {
+		ops.Rewrite(work, arch.Ops)
+	}
 	if arch.MinMax {
 		FuseMinMax(work)
 	}
@@ -147,7 +154,7 @@ func (ds *deltaState) build(src *ir.Func, arch machine.Arch) {
 	} else {
 		ds.g, ds.pl = PartitionClone(work, arch)
 	}
-	ds.shared = arch.Clusters <= 1 && !arch.MinMax
+	ds.shared = arch.Clusters <= 1 && !arch.MinMax && arch.Ops.Empty()
 	ds.lv = opt.ComputeLiveness(ds.g)
 	ds.info = make([]blockInfo, len(ds.g.Blocks))
 	ds.blocks = make([][]blockEntry, len(ds.g.Blocks))
@@ -164,6 +171,10 @@ func (ds *deltaState) build(src *ir.Func, arch machine.Arch) {
 				if in.Mem.Space != ir.L1 {
 					bi.hasL2 = true
 				}
+			case ir.OpFused:
+				// Custom ops issue on the per-cluster custom unit: fixed
+				// one-per-cycle throughput and a spec-carried latency, so
+				// they observe no matchable architecture parameter.
 			case ir.OpBr, ir.OpCBr, ir.OpRet, ir.OpNop:
 			default: // plain ALU class, mirroring resources.tryPlace
 				bi.hasALU = true

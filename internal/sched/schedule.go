@@ -178,7 +178,7 @@ type resources struct {
 	nc   int
 	rows int // per-cycle rows currently valid (zeroed)
 	// per cycle, per cluster slot counters
-	alu, mul, l1p, l2p []int32
+	alu, mul, l1p, l2p, cu []int32
 	// per cycle global counters
 	bus, br []int32
 	// global non-pipelined port free-times
@@ -208,6 +208,7 @@ func (rs *resources) growTo(cycle int) {
 	rs.mul = growRows(rs.mul, rs.rows*rs.nc, rows*rs.nc)
 	rs.l1p = growRows(rs.l1p, rs.rows*rs.nc, rows*rs.nc)
 	rs.l2p = growRows(rs.l2p, rs.rows*rs.nc, rows*rs.nc)
+	rs.cu = growRows(rs.cu, rs.rows*rs.nc, rows*rs.nc)
 	rs.bus = growRows(rs.bus, rs.rows, rows)
 	rs.br = growRows(rs.br, rs.rows, rows)
 	rs.rows = rows
@@ -272,6 +273,15 @@ func (rs *resources) tryPlace(in *ir.Instr, cycle int, pl *Placement) bool {
 			rs.l2p[row+c]++
 			rs.l2FreeAt[port] = cycle + a.L2Lat
 		}
+	case ir.OpFused:
+		// One pipelined custom-op unit per cluster: it accepts one fused
+		// op per cycle without charging an ALU issue slot (the unit's
+		// silicon and register ports are priced by the cost and derate
+		// models instead).
+		if rs.cu[row+c] >= 1 {
+			return false
+		}
+		rs.cu[row+c]++
 	case ir.OpBr, ir.OpCBr, ir.OpRet:
 		if rs.br[cycle] >= 1 {
 			return false

@@ -54,7 +54,7 @@ func validateBlock(sb *vliw.Block, a machine.Arch, prog *vliw.Program) error {
 	}
 
 	// Resources.
-	type slot struct{ alu, mul, l1, l2, br int }
+	type slot struct{ alu, mul, l1, l2, br, cu int }
 	use := make([]slot, sb.Len)
 	useBus := make([]int, sb.Len)
 	perCluster := make([][]slot, a.Clusters)
@@ -95,6 +95,10 @@ func validateBlock(sb *vliw.Block, a machine.Arch, prog *vliw.Program) error {
 			if cy != sb.Len-1 {
 				return fmt.Errorf("terminator at cycle %d, block length %d", cy, sb.Len)
 			}
+		case ir.OpFused:
+			// Fused ops issue on the cluster's custom unit (pipelined,
+			// one per cycle), not on an ALU slot — mirroring tryPlace.
+			perCluster[op.Cluster][cy].cu++
 		case ir.OpNop:
 		default:
 			perCluster[op.Cluster][cy].alu++
@@ -122,6 +126,9 @@ func validateBlock(sb *vliw.Block, a machine.Arch, prog *vliw.Program) error {
 			}
 			if s.l2 > a.L2PathsPC() {
 				return fmt.Errorf("cluster %d issues %d L2 accesses at cycle %d (max %d)", c, s.l2, cy, a.L2PathsPC())
+			}
+			if s.cu > 1 {
+				return fmt.Errorf("cluster %d issues %d fused ops at cycle %d (custom unit is 1/cycle)", c, s.cu, cy)
 			}
 		}
 	}

@@ -173,6 +173,40 @@ func Neighbors(a machine.Arch, inSpace map[machine.Arch]bool) []machine.Arch {
 	return out
 }
 
+// NeighborsOps is Neighbors extended with the op-set axis: one toggle
+// move per op in the space's catalog (enable it if disabled, disable it
+// if enabled), each a one-parameter neighbor exactly like the scale
+// moves. A nil set returns Neighbors unchanged, so op-free searches
+// keep their historical move lists (and hence their RNG streams)
+// bit-identical.
+func NeighborsOps(a machine.Arch, inSpace map[machine.Arch]bool, set *machine.OpSet) []machine.Arch {
+	out := Neighbors(a, inSpace)
+	if set == nil {
+		return out
+	}
+	for i := 0; i < set.Len(); i++ {
+		// a.Ops.Mask is 0 for the plain point in an op-crossed space, so
+		// toggling grows the mask from the space-level catalog even there.
+		n := a.WithOps(set, a.Ops.Mask^(1<<uint(i)))
+		if inSpace[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// opCatalog returns the custom-op catalog an op-crossed space draws
+// from (nil for op-free spaces). Grids cross one shared catalog
+// (machine.CrossOps), so the first populated config identifies it.
+func opCatalog(space []machine.Arch) *machine.OpSet {
+	for _, a := range space {
+		if a.Ops.Set != nil {
+			return a.Ops.Set
+		}
+	}
+	return nil
+}
+
 func scale(v, dir int) int {
 	if dir > 0 {
 		return v * 2
@@ -226,6 +260,7 @@ func HillClimbCtx(ctx context.Context, space []machine.Arch, obj Objective, rest
 	c.bound = bound
 	rng := rand.New(rand.NewSource(seed))
 	inSpace := spaceSet(space)
+	opSet := opCatalog(space)
 	var err error
 	best, bestScore := machine.Arch{}, math.Inf(-1)
 climb:
@@ -240,7 +275,7 @@ climb:
 		curScore := c.eval(cur)
 		for {
 			improved := false
-			for _, n := range Neighbors(cur, inSpace) {
+			for _, n := range NeighborsOps(cur, inSpace, opSet) {
 				if err = ctx.Err(); err != nil {
 					if curScore > bestScore {
 						best, bestScore = cur, curScore
@@ -280,6 +315,7 @@ func AnnealCtx(ctx context.Context, space []machine.Arch, obj Objective, steps i
 	c := newCounter(obj)
 	rng := rand.New(rand.NewSource(seed))
 	inSpace := spaceSet(space)
+	opSet := opCatalog(space)
 	pick := func() (machine.Arch, float64) {
 		// Resample until a feasible start (objectives return -Inf for
 		// over-budget points); give up after a bounded number of tries.
@@ -301,7 +337,7 @@ func AnnealCtx(ctx context.Context, space []machine.Arch, obj Objective, steps i
 			break
 		}
 		temp := t0 * math.Exp(-3*float64(i)/float64(steps))
-		ns := Neighbors(cur, inSpace)
+		ns := NeighborsOps(cur, inSpace, opSet)
 		if len(ns) == 0 || math.IsInf(curScore, -1) {
 			cur, curScore = pick()
 			continue
@@ -332,6 +368,7 @@ func GeneticCtx(ctx context.Context, space []machine.Arch, obj Objective, genera
 	c := newCounter(obj)
 	rng := rand.New(rand.NewSource(seed))
 	inSpace := spaceSet(space)
+	opSet := opCatalog(space)
 	pop := make([]machine.Arch, popSize)
 	for i := range pop {
 		pop[i] = space[rng.Intn(len(space))]
@@ -358,6 +395,12 @@ func GeneticCtx(ctx context.Context, space []machine.Arch, obj Objective, genera
 		if rng.Intn(2) == 0 {
 			ch.Clusters = b.Clusters
 		}
+		// The ops draw is gated on the space carrying an op axis at all,
+		// so op-free populations draw exactly the historical four Intn
+		// calls per child and their RNG streams stay bit-identical.
+		if opSet != nil && rng.Intn(2) == 0 {
+			ch = ch.WithOps(opSet, b.Ops.Mask)
+		}
 		return ch
 	}
 	repair := func(a machine.Arch) (machine.Arch, bool) {
@@ -377,7 +420,7 @@ func GeneticCtx(ctx context.Context, space []machine.Arch, obj Objective, genera
 		for len(next) < popSize {
 			child := crossover(tournament(), tournament())
 			if rng.Float64() < 0.3 {
-				ns := Neighbors(child, inSpace)
+				ns := NeighborsOps(child, inSpace, opSet)
 				if len(ns) > 0 {
 					child = ns[rng.Intn(len(ns))]
 				}

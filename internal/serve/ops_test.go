@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"customfit/internal/dse"
+)
+
+// opCatalog is a tiny fixed catalog for wire tests (a paper MAC).
+var opCatalog = []string{"mac/3/2:mul $0 $1;add %0 $2"}
+
+// TestOpsRequestsNeverCoalesce pins the coalescing boundary of the
+// op-set axis: two explore requests identical except for their Ops
+// catalogs (present vs absent, and two different masks) must run as
+// distinct jobs — op-aware and op-free work can never share a result.
+func TestOpsRequestsNeverCoalesce(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 1})
+
+	submit := func(req ExploreRequest) SubmitResponse {
+		t.Helper()
+		var sub SubmitResponse
+		code := postJSON(t, ts.URL+"/v1/explore", req, &sub)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit returned %d, want 202", code)
+		}
+		return sub
+	}
+
+	plain := submit(ExploreRequest{
+		Benchmarks: []string{"G"}, Width: 48,
+		Archs: []string{"1 1 64 1 8 1"},
+	})
+	opAware := submit(ExploreRequest{
+		Benchmarks: []string{"G"}, Width: 48,
+		Archs:  []string{"1 1 64 1 8 1 ops=1"},
+		Schema: SchemaVersion,
+		Ops:    opCatalog,
+	})
+	if opAware.Coalesced || opAware.ID == plain.ID {
+		t.Fatalf("op-aware request coalesced with op-free request (ids %s, %s)", plain.ID, opAware.ID)
+	}
+	// Same grid and catalog but mask 0 (tuple without the suffix):
+	// differs from both above.
+	maskZero := submit(ExploreRequest{
+		Benchmarks: []string{"G"}, Width: 48,
+		Archs:  []string{"1 1 64 1 8 1"},
+		Schema: SchemaVersion,
+		Ops:    opCatalog,
+	})
+	if maskZero.ID == plain.ID || maskZero.ID == opAware.ID {
+		t.Fatalf("requests differing only in Ops share a job: %s %s %s", plain.ID, opAware.ID, maskZero.ID)
+	}
+	for _, id := range []string{plain.ID, opAware.ID, maskZero.ID} {
+		if st := waitTerminal(t, ts.URL, id, 60*time.Second); st.State != StateDone {
+			t.Fatalf("job %s finished %s (%s)", id, st.State, st.Error)
+		}
+	}
+}
+
+// TestOpsSchemaGate pins the version negotiation: requests declaring a
+// schema newer than this server's are refused with 409 Conflict, and
+// op catalogs without the schema bump are rejected outright.
+func TestOpsSchemaGate(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 1})
+
+	var e ErrorResponse
+	code := postJSON(t, ts.URL+"/v1/explore",
+		ExploreRequest{Benchmarks: []string{"G"}, Schema: SchemaVersion + 1}, &e)
+	if code != http.StatusConflict {
+		t.Fatalf("future-schema request returned %d, want 409", code)
+	}
+
+	code = postJSON(t, ts.URL+"/v1/explore",
+		ExploreRequest{Benchmarks: []string{"G"}, Ops: opCatalog}, &e)
+	if code != http.StatusBadRequest {
+		t.Fatalf("ops without schema returned %d, want 400", code)
+	}
+
+	// An op-enabled tuple without a catalog cannot be resolved.
+	code = postJSON(t, ts.URL+"/v1/explore",
+		ExploreRequest{
+			Benchmarks: []string{"G"},
+			Archs:      []string{"1 1 64 1 8 1 ops=1"},
+			Schema:     SchemaVersion,
+		}, &e)
+	if code != http.StatusBadRequest {
+		t.Fatalf("op tuple without catalog returned %d, want 400", code)
+	}
+}
+
+// TestOpAwareExploreEndToEnd runs a tiny op-aware exploration through
+// the HTTP API and checks the op-enabled architecture comes back with
+// its mask and catalog intact in the persisted-results payload.
+func TestOpAwareExploreEndToEnd(t *testing.T) {
+	_, ts, _ := newTestServer(t, Options{Workers: 1})
+	var sub SubmitResponse
+	code := postJSON(t, ts.URL+"/v1/explore", ExploreRequest{
+		Benchmarks: []string{"A"}, Width: 48,
+		Archs:  []string{"1 1 64 1 8 1", "1 1 64 1 8 1 ops=1"},
+		Schema: SchemaVersion,
+		Ops:    opCatalog,
+	}, &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d, want 202", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID, 60*time.Second)
+	if st.State != StateDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	res, err := dse.FromJSON(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Archs) != 2 {
+		t.Fatalf("got %d archs, want 2", len(res.Archs))
+	}
+	if res.Archs[0].Ops.Empty() == res.Archs[1].Ops.Empty() {
+		t.Fatalf("expected one op-free and one op-enabled arch, got %v", res.Archs)
+	}
+	for _, evs := range res.Eval {
+		for _, ev := range evs {
+			if ev.Failed {
+				t.Errorf("evaluation failed on %v", ev.Arch)
+			}
+		}
+	}
+}

@@ -222,6 +222,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// SchemaVersion is the newest explore-request schema this server
+// understands. Schema 1 (implicit: the zero Schema field) is the
+// 6-tuple era; schema 2 adds the custom-op fields (Ops, op-enabled
+// arch tuples). Requests declaring a newer schema than the server
+// supports are refused with 409 Conflict rather than silently
+// misinterpreted — an op-aware coordinator must never have its op
+// grids quietly evaluated op-free by an op-unaware worker.
+const SchemaVersion = 2
+
 // ExploreRequest asks for a design-space exploration. The zero value is
 // the paper's full Table-3 run (full space × full suite, width 96).
 type ExploreRequest struct {
@@ -238,8 +247,19 @@ type ExploreRequest struct {
 	// speedups are still measured against it (evaluated out of grid
 	// when absent, accounted in Stats.BaselineRuns). This is the wire
 	// form the distributed coordinator (internal/dist) uses to farm
-	// shards out to workers.
+	// shards out to workers. With a custom-op catalog (Ops) the tuples
+	// may carry an " ops=<hexmask>" suffix (cli.ParseArchOps).
 	Archs []string `json:"archs,omitempty"`
+	// Schema declares the request schema the sender speaks (see
+	// SchemaVersion). Zero means 1, the 6-tuple era; senders set it only
+	// when they use newer fields, keeping classic requests byte-identical
+	// on the wire.
+	Schema int `json:"schema,omitempty"`
+	// Ops is the shared custom-op catalog (codec texts, see
+	// ir.ParseFusedSpec) that the arch tuples' " ops=" masks index into.
+	// Requires Schema >= 2. Part of the coalesce key: requests differing
+	// only in Ops are different work and never share a job.
+	Ops []string `json:"ops,omitempty"`
 	// TraceParent propagates the submitter's trace ("00-<trace>-<span>-01",
 	// same syntax as the traceparent header, which it overrides). The
 	// job's spans then join that trace and come back in JobStatus.Spans.
@@ -265,13 +285,33 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.Schema > SchemaVersion {
+		// 409, not 400: the request is well-formed, this worker is just
+		// too old to honor it — the coordinator should find another.
+		writeErr(w, http.StatusConflict, fmt.Sprintf(
+			"request schema %d exceeds supported %d (op-aware request on an op-unaware worker?)",
+			req.Schema, SchemaVersion))
+		return
+	}
+	if len(req.Ops) > 0 && req.Schema < 2 {
+		writeErr(w, http.StatusBadRequest, "ops requires schema >= 2")
+		return
+	}
 	if len(req.Archs) > 0 && req.Sample > 1 {
 		writeErr(w, http.StatusBadRequest, "archs and sample are mutually exclusive")
 		return
 	}
+	var opSet *machine.OpSet
+	if len(req.Ops) > 0 {
+		opSet, err = machine.ParseOpCatalog(req.Ops)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	var archs []machine.Arch
 	for _, tuple := range req.Archs {
-		a, err := cli.ParseArch(tuple)
+		a, err := cli.ParseArchOps(tuple, opSet)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
@@ -306,6 +346,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			Benchmarks:  benches,
 			Archs:       archs,
 			ExactArchs:  len(archs) > 0,
+			Ops:         opSet,
 			Sample:      req.Sample,
 			Width:       req.Width,
 			Parallelism: s.opts.EvalParallelism,

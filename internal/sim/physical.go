@@ -189,6 +189,15 @@ func RunPhysical(prog *vliw.Program, env *ir.Env) (*Stats, error) {
 						}
 					case ir.OpRet:
 						done = true
+					case ir.OpFused:
+						c, p, err := locate(in.Dest)
+						if err != nil {
+							return nil, err
+						}
+						pend = append(pend, physWrite{
+							at: now + int64(ddg.Latency(in, prog.Arch)),
+							c:  c, p: p, val: in.Fused.Eval(r.vals),
+						})
 					default:
 						c, p, err := locate(in.Dest)
 						if err != nil {

@@ -41,20 +41,23 @@ type Stats struct {
 	// L1Busy / L2Busy count port-cycles reserved on each memory level
 	// (an L2 access holds a port for the architecture's L2 latency).
 	L1Busy, L2Busy int64
+	// CUBusy counts issued custom (fused) operations on the per-cluster
+	// custom-op units; zero on op-free architectures.
+	CUBusy int64
 	// StallCycles counts executed cycles that issued no operation.
 	StallCycles int64
-	// ALUOcc..L2Occ are the *Busy tallies normalized to the fraction of
-	// available slot-cycles (ALU/MUL) or port-cycles (L1/L2).
-	ALUOcc, MULOcc, L1Occ, L2Occ float64
-	// Bound is "alu", "mul", "l1", "l2", or "none": the resource class
-	// with the highest dynamic occupancy.
+	// ALUOcc..CUOcc are the *Busy tallies normalized to the fraction of
+	// available slot-cycles (ALU/MUL/CU) or port-cycles (L1/L2).
+	ALUOcc, MULOcc, L1Occ, L2Occ, CUOcc float64
+	// Bound is "alu", "mul", "l1", "l2", "cu", or "none": the resource
+	// class with the highest dynamic occupancy.
 	Bound string
 }
 
 // occTally accumulates dynamic occupancy during a run; one note() call
 // per executed cycle.
 type occTally struct {
-	alu, mul, l1, l2, stalls int64
+	alu, mul, l1, l2, cu, stalls int64
 }
 
 func (o *occTally) note(bundle []vliw.Op, arch machine.Arch) {
@@ -74,6 +77,8 @@ func (o *occTally) note(bundle []vliw.Op, arch machine.Arch) {
 		case ir.OpMul:
 			o.alu++
 			o.mul++
+		case ir.OpFused:
+			o.cu++ // custom unit; no ALU issue slot charged
 		default: // ALU ops, including the source slot of an XMov
 			o.alu++
 		}
@@ -84,6 +89,7 @@ func (o *occTally) note(bundle []vliw.Op, arch machine.Arch) {
 func (st *Stats) finalize(arch machine.Arch, o *occTally) {
 	st.ALUBusy, st.MULBusy = o.alu, o.mul
 	st.L1Busy, st.L2Busy = o.l1, o.l2
+	st.CUBusy = o.cu
 	st.StallCycles = o.stalls
 	st.Bound = "none"
 	if st.Cycles == 0 {
@@ -100,11 +106,14 @@ func (st *Stats) finalize(arch machine.Arch, o *occTally) {
 	if arch.L2Ports > 0 {
 		st.L2Occ = float64(o.l2) / (cyc * float64(arch.L2Ports))
 	}
+	if !arch.Ops.Empty() {
+		st.CUOcc = float64(o.cu) / (cyc * float64(arch.Clusters))
+	}
 	best := 0.0
 	for _, r := range []struct {
 		name string
 		occ  float64
-	}{{"alu", st.ALUOcc}, {"mul", st.MULOcc}, {"l1", st.L1Occ}, {"l2", st.L2Occ}} {
+	}{{"alu", st.ALUOcc}, {"mul", st.MULOcc}, {"l1", st.L1Occ}, {"l2", st.L2Occ}, {"cu", st.CUOcc}} {
 		if r.occ > best {
 			best = r.occ
 			st.Bound = r.name
@@ -285,6 +294,12 @@ func RunCtx(ctx context.Context, prog *vliw.Program, env *ir.Env) (*Stats, error
 						}
 					case ir.OpRet:
 						done = true
+					case ir.OpFused:
+						pend = append(pend, pendingWrite{
+							at:  now + int64(ddg.Latency(in, prog.Arch)),
+							reg: in.Dest,
+							val: in.Fused.Eval(r.vals),
+						})
 					default:
 						pend = append(pend, pendingWrite{
 							at:  now + int64(ddg.Latency(in, prog.Arch)),

@@ -1,0 +1,132 @@
+package customfit_test
+
+import (
+	"strings"
+	"testing"
+
+	"customfit"
+)
+
+// TestTemplateSpace pins the extensible template: the zero template is
+// exactly the paper's space, and an op catalog doubles it (every point
+// op-free and fully enabled).
+func TestTemplateSpace(t *testing.T) {
+	plain := customfit.Template{}.Space()
+	if len(plain) != len(customfit.FullSpace()) {
+		t.Fatalf("zero template has %d points, FullSpace has %d", len(plain), len(customfit.FullSpace()))
+	}
+	set, err := customfit.MineOps([]*customfit.Benchmark{customfit.BenchmarkByName("A")}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set == nil {
+		t.Fatal("mining A produced no ops")
+	}
+	crossed := customfit.Template{Ops: set}.Space()
+	if len(crossed) != 2*len(plain) {
+		t.Fatalf("op-crossed template has %d points, want %d", len(crossed), 2*len(plain))
+	}
+}
+
+// TestParseCustomOpRoundTrip pins the public codec.
+func TestParseCustomOpRoundTrip(t *testing.T) {
+	const text = "mac/3/2:mul $0 $1;add %0 $2"
+	op, err := customfit.ParseCustomOp(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := op.String(); got != text {
+		t.Fatalf("round trip: %q -> %q", text, got)
+	}
+	if op.NIn != 3 || op.Lat != 2 || len(op.Steps) != 2 {
+		t.Fatalf("parsed spec %+v", op)
+	}
+}
+
+// TestFusedDifferentialAllKernels is the differential simulation gate:
+// for every kernel of the paper's suite, compile and run the same
+// machine with and without its mined op set, and require both cycle-
+// accurate runs to produce memory images identical to the golden
+// reference model. Fused execution must change cycle counts, never
+// values. Also asserts the headline acceptance: the op set improves
+// simulated cycles on at least 3 kernels.
+func TestFusedDifferentialAllKernels(t *testing.T) {
+	// Roomy single-cluster machine: fusion limited by patterns, not ports.
+	base := customfit.Arch{ALUs: 8, MULs: 2, Regs: 256, L2Ports: 2, L2Lat: 4, Clusters: 1}
+	improved := 0
+	suite := customfit.Benchmarks()
+	for _, b := range suite {
+		set, err := customfit.MineOps([]*customfit.Benchmark{b}, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if set == nil {
+			t.Logf("%s: no fusable clusters", b.Name)
+			continue
+		}
+		k, err := customfit.ParseKernel(b.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		fusedArch := base.WithOps(set, set.FullMask())
+		plain, err := k.Compile(base, 1)
+		if err != nil {
+			t.Fatalf("%s plain: %v", b.Name, err)
+		}
+		fused, err := k.Compile(fusedArch, 1)
+		if err != nil {
+			t.Fatalf("%s fused: %v", b.Name, err)
+		}
+
+		cse := b.NewCase(48, 1)
+		runPlain, runFused := cse.Clone(), cse.Clone()
+		stPlain, err := plain.Run(runPlain.Args, runPlain.Mem)
+		if err != nil {
+			t.Fatalf("%s plain run: %v", b.Name, err)
+		}
+		stFused, err := fused.Run(runFused.Args, runFused.Mem)
+		if err != nil {
+			t.Fatalf("%s fused run: %v", b.Name, err)
+		}
+		for _, name := range cse.Outputs {
+			want := cse.Golden()[name]
+			for i := range want {
+				if got := runFused.Mem[name][i]; got != want[i] {
+					t.Fatalf("%s: fused run diverges from golden at %s[%d]: %d != %d",
+						b.Name, name, i, got, want[i])
+				}
+				if got := runPlain.Mem[name][i]; got != want[i] {
+					t.Fatalf("%s: plain run diverges from golden at %s[%d]: %d != %d",
+						b.Name, name, i, got, want[i])
+				}
+			}
+		}
+		if stFused.Cycles < stPlain.Cycles {
+			improved++
+		}
+		t.Logf("%s: cycles %d -> %d with %d ops", b.Name, stPlain.Cycles, stFused.Cycles, set.Len())
+	}
+	if improved < 3 {
+		t.Errorf("custom ops improved only %d/%d kernels, want >= 3", improved, len(suite))
+	}
+}
+
+// TestOpSetCostIsPriced pins that enabling ops is never free hardware:
+// the cost model must charge for the fused datapath.
+func TestOpSetCostIsPriced(t *testing.T) {
+	set, err := customfit.MineOps([]*customfit.Benchmark{customfit.BenchmarkByName("A")}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set == nil {
+		t.Fatal("mining A produced no ops")
+	}
+	a := customfit.Baseline
+	withOps := a.WithOps(set, set.FullMask())
+	if customfit.Cost(withOps) <= customfit.Cost(a) {
+		t.Errorf("op hardware is free: cost %.3f with ops, %.3f without", customfit.Cost(withOps), customfit.Cost(a))
+	}
+	if !strings.Contains(withOps.String(), "+ops:") {
+		t.Errorf("op-enabled arch renders as %q, want an +ops suffix", withOps.String())
+	}
+}
